@@ -1,0 +1,77 @@
+// Ablation: what each modelling ingredient buys.
+//
+// Compares three predictors against simulation on the same homogeneous
+// fork-join systems:
+//   - exponential fit  (mean only -- the authors' earlier HotCloud'16 model
+//                       that ForkTail's GE fit replaces),
+//   - ForkTail GE fit  (mean + variance),
+//   - EAT baseline     (exact marginal CDF + copula dependence correction;
+//                       phase-type services only).
+// Paper context: Section 3 ("this distribution significantly outperforms
+// the exponential distribution in terms of tail latency predictive
+// accuracy") and the Fig. 3 comparison.
+#include "baselines/eat.hpp"
+#include "baselines/expfit.hpp"
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "dist/factory.hpp"
+#include "fjsim/homogeneous.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forktail;
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner(
+      "Ablation: baselines",
+      "p99 errors: exponential fit vs ForkTail GE fit vs EAT, N = 100",
+      options);
+
+  util::Table table({"distribution", "load%", "sim_p99_ms", "expfit_err%",
+                     "forktail_err%", "eat_err%"});
+  for (const char* name :
+       {"Erlang-2", "Exponential", "HyperExp2", "Weibull", "TruncPareto",
+        "Empirical"}) {
+    const dist::DistPtr service = dist::make_named(name);
+    for (double load : {0.50, 0.80, 0.90}) {
+      fjsim::HomogeneousConfig cfg;
+      cfg.num_nodes = 100;
+      cfg.service = service;
+      cfg.load = load;
+      cfg.num_requests =
+          bench::scaled(50000, options.scale * bench::load_boost(load));
+      cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
+      cfg.seed = options.seed;
+      const auto sim = fjsim::run_homogeneous(cfg);
+      const double measured = stats::percentile(sim.responses, 99.0);
+      const core::TaskStats stats{sim.task_stats.mean(),
+                                  sim.task_stats.variance()};
+      const double expfit =
+          baselines::exponential_fit_quantile(stats, 100.0, 99.0);
+      const double forktail = core::homogeneous_quantile(stats, 100.0, 99.0);
+      std::string eat_err = "n/a";
+      if (service->has_lst()) {
+        baselines::EatPredictor eat(sim.lambda, service, 100, {.accuracy = 100});
+        eat_err = util::format_fixed(
+            stats::relative_error_pct(eat.quantile(99.0), measured), 1);
+      }
+      table.row()
+          .str(name)
+          .num(load * 100.0, 0)
+          .num(measured, 2)
+          .num(stats::relative_error_pct(expfit, measured), 1)
+          .num(stats::relative_error_pct(forktail, measured), 1)
+          .str(eat_err);
+    }
+  }
+  bench::emit(table, options);
+  if (!options.csv) {
+    std::printf(
+        "expfit uses the measured mean only; ForkTail adds the variance; EAT\n"
+        "adds the full marginal CDF plus a dependence correction (phase-type\n"
+        "services only).  The GE fit's gain over expfit concentrates exactly\n"
+        "where the service CV differs from 1.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Simulator throughput: tasks/second of the Lindley fast path vs the
+// general event-driven engine vs the queued redundant node -- the ablation
+// behind DESIGN.md's "Lindley fast path vs general event engine" choice.
+#include <benchmark/benchmark.h>
+
+#include "dist/factory.hpp"
+#include "fjsim/homogeneous.hpp"
+#include "fjsim/node.hpp"
+#include "fjsim/redundant_node.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace forktail;
+
+void BM_FastNodeReplay(benchmark::State& state) {
+  const auto service = dist::make_named("Exponential");
+  const double lambda = 0.8 / service->mean();
+  for (auto _ : state) {
+    fjsim::FastNode node(service.get(), 1, fjsim::Policy::kSingle, util::Rng(1));
+    util::Rng arr(2);
+    double t = 0.0;
+    double sink = 0.0;
+    auto cb = [&](std::uint64_t, double a, double d) { sink += d - a; };
+    for (int i = 0; i < 100000; ++i) {
+      t += arr.exponential(1.0 / lambda);
+      node.submit_task(t, static_cast<std::uint64_t>(i), cb);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_FastNodeReplay)->Unit(benchmark::kMillisecond);
+
+void BM_RedundantNodeReplay(benchmark::State& state) {
+  const auto service = dist::make_named("Empirical");
+  const double lambda = 3.0 * 0.8 / service->mean();
+  for (auto _ : state) {
+    fjsim::RedundantNode node(service.get(), 3, 10.0, util::Rng(1));
+    util::Rng arr(2);
+    double t = 0.0;
+    double sink = 0.0;
+    auto cb = [&](std::uint64_t, double a, double d) { sink += d - a; };
+    for (int i = 0; i < 100000; ++i) {
+      t += arr.exponential(1.0 / lambda);
+      node.submit_task(t, static_cast<std::uint64_t>(i), cb);
+    }
+    node.flush(cb);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_RedundantNodeReplay)->Unit(benchmark::kMillisecond);
+
+void BM_EventDrivenFjSystem(benchmark::State& state) {
+  sim::FjConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.service = dist::make_named("Exponential");
+  cfg.num_requests = 5000;
+  cfg.warmup_fraction = 0.2;
+  cfg.seed = 3;
+  cfg.lambda = sim::lambda_for_nominal_load(cfg, 0.8);
+  for (auto _ : state) {
+    const auto r = sim::run_fj_simulation(cfg);
+    benchmark::DoNotOptimize(r.request_responses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000 * 16);
+}
+BENCHMARK(BM_EventDrivenFjSystem)->Unit(benchmark::kMillisecond);
+
+void BM_FastHomogeneousSystem(benchmark::State& state) {
+  fjsim::HomogeneousConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.service = dist::make_named("Exponential");
+  cfg.load = 0.8;
+  cfg.num_requests = 5000;
+  cfg.warmup_fraction = 0.2;
+  cfg.seed = 3;
+  for (auto _ : state) {
+    const auto r = fjsim::run_homogeneous(cfg);
+    benchmark::DoNotOptimize(r.responses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000 * 16);
+}
+BENCHMARK(BM_FastHomogeneousSystem)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

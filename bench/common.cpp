@@ -1,0 +1,48 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+namespace forktail::bench {
+
+bool parse_options(int argc, const char* const* argv, util::CliFlags& flags,
+                   BenchOptions& options) {
+  flags.declare("scale", "default", "sample-count scale: smoke|default|full");
+  flags.declare("seed", "1", "master RNG seed");
+  flags.declare("csv", "false", "emit CSV instead of text tables");
+  if (!flags.parse(argc, argv)) return false;
+  options.scale = util::scale_factor(util::parse_scale(flags.get_string("scale")));
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.csv = flags.get_bool("csv");
+  return true;
+}
+
+bool parse_options(int argc, const char* const* argv, BenchOptions& options) {
+  util::CliFlags flags;
+  return parse_options(argc, argv, flags, options);
+}
+
+std::uint64_t scaled(std::uint64_t base, double factor, std::uint64_t floor) {
+  const auto n = static_cast<std::uint64_t>(static_cast<double>(base) * factor);
+  return std::max(n, floor);
+}
+
+void print_banner(const std::string& exhibit, const std::string& description,
+                  const BenchOptions& options) {
+  if (options.csv) return;
+  std::printf("=== %s ===\n%s\n(scale x%.1f, seed %llu)\n\n", exhibit.c_str(),
+              description.c_str(), options.scale,
+              static_cast<unsigned long long>(options.seed));
+}
+
+void emit(const util::Table& table, const BenchOptions& options) {
+  if (options.csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+  } else {
+    std::fputs(table.to_text().c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+}
+
+}  // namespace forktail::bench

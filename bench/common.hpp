@@ -1,0 +1,51 @@
+// Shared harness for the figure/table reproduction binaries.
+//
+// Every binary accepts:
+//   --scale smoke|default|full   sample-count multiplier (0.1 / 1 / 5)
+//   --seed <n>                   master seed
+//   --csv true                   emit CSV instead of aligned text tables
+// and prints the same rows/series the corresponding paper exhibit reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace forktail::bench {
+
+struct BenchOptions {
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+/// Parse the standard flags; returns false (after printing usage) on
+/// --help.  Extra flags can be declared on `flags` before calling.
+bool parse_options(int argc, const char* const* argv, util::CliFlags& flags,
+                   BenchOptions& options);
+bool parse_options(int argc, const char* const* argv, BenchOptions& options);
+
+/// Scale a sample count, keeping a sane floor.
+std::uint64_t scaled(std::uint64_t base, double factor,
+                     std::uint64_t floor = 2000);
+
+/// Sample-count multiplier for heavy-traffic points: the p99-of-max
+/// estimator is long-range dependent near saturation, so high-load cells
+/// need proportionally longer runs to keep measurement noise below the
+/// error bands being reported.
+inline double load_boost(double load) {
+  if (load >= 0.88) return 4.0;
+  if (load >= 0.72) return 2.0;
+  return 1.0;
+}
+
+/// Print the exhibit banner.
+void print_banner(const std::string& exhibit, const std::string& description,
+                  const BenchOptions& options);
+
+/// Print a table in the selected format.
+void emit(const util::Table& table, const BenchOptions& options);
+
+}  // namespace forktail::bench

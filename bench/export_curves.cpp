@@ -1,0 +1,60 @@
+// CCDF curve export: the raw series behind the paper's latency plots.
+//
+// For a set of fork-join systems, prints P(X > x) on a log grid for both
+// the simulation and the ForkTail prediction (Eq. 6) -- the full
+// distributional comparison, not just one percentile.  Use --csv true and
+// feed the output straight into a plotting tool.
+#include <cmath>
+
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "dist/factory.hpp"
+#include "fjsim/homogeneous.hpp"
+#include "stats/ecdf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forktail;
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner(
+      "CCDF export",
+      "Simulated vs predicted request CCDF, N = 100, loads 80/90%",
+      options);
+
+  util::Table table({"distribution", "load%", "x_ms", "sim_ccdf",
+                     "pred_ccdf"});
+  for (const char* name : {"Exponential", "Empirical"}) {
+    const dist::DistPtr service = dist::make_named(name);
+    for (double load : {0.80, 0.90}) {
+      fjsim::HomogeneousConfig cfg;
+      cfg.num_nodes = 100;
+      cfg.service = service;
+      cfg.load = load;
+      cfg.num_requests =
+          bench::scaled(60000, options.scale * bench::load_boost(load));
+      cfg.warmup_fraction = 0.25;
+      cfg.seed = options.seed;
+      const auto sim = fjsim::run_homogeneous(cfg);
+      const stats::Ecdf ecdf(sim.responses);
+      const core::ForkTailPredictor predictor(
+          core::TaskStats{sim.task_stats.mean(), sim.task_stats.variance()});
+
+      // Log grid from the simulated median to just past the p99.9.
+      const double lo = ecdf.quantile(0.5);
+      const double hi = ecdf.quantile(0.999) * 1.2;
+      const int points = 25;
+      for (int i = 0; i <= points; ++i) {
+        const double x =
+            lo * std::pow(hi / lo, static_cast<double>(i) / points);
+        table.row()
+            .str(name)
+            .num(load * 100.0, 0)
+            .num(x, 2)
+            .num(1.0 - ecdf.cdf(x), 5)
+            .num(1.0 - predictor.cdf(x, 100.0), 5);
+      }
+    }
+  }
+  bench::emit(table, options);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 10: prediction errors of the 99th percentile response times for a
+// 1000-node cluster when the number of tasks per job is FIXED
+// (k = 100 / 500 / 900), tasks dispatched to k randomly selected nodes.
+//
+// Paper shape: errors within 10% at 90% load and 20% at 80% for all cases;
+// the exponential service case accurate (within ~6%) across the whole
+// load range.
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "dist/factory.hpp"
+#include "fjsim/subset.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace forktail;
+
+std::uint64_t samples_for(int k, double load, double scale) {
+  std::uint64_t base = 25000;
+  if (k >= 500) base = 15000;
+  if (k >= 900) base = 12000;
+  return bench::scaled(base, scale * bench::load_boost(load));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner("Figure 10",
+                      "Fixed k <= N on 1000 nodes: 99th percentile errors",
+                      options);
+
+  util::Table table({"distribution", "k", "load%", "sim_p99_ms", "pred_p99_ms",
+                     "error%"});
+  for (const char* name : {"Exponential", "TruncPareto", "Empirical"}) {
+    const dist::DistPtr service = dist::make_named(name);
+    for (int k : {100, 500, 900}) {
+      for (double load : {0.50, 0.75, 0.80, 0.90}) {
+        fjsim::SubsetConfig cfg;
+        cfg.num_nodes = 1000;
+        cfg.service = service;
+        cfg.load = load;
+        cfg.k_mode = fjsim::KMode::kFixed;
+        cfg.k_fixed = k;
+        cfg.num_requests = samples_for(k, load, options.scale);
+        cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
+        cfg.seed = options.seed;
+        const auto sim = fjsim::run_subset(cfg);
+        const double measured = stats::percentile(sim.responses, 99.0);
+        // Eq. 13 with the black-box measured task moments.
+        const double predicted = core::homogeneous_quantile(
+            {sim.task_stats.mean(), sim.task_stats.variance()},
+            static_cast<double>(k), 99.0);
+        table.row()
+            .str(name)
+            .integer(k)
+            .num(load * 100.0, 0)
+            .num(measured, 2)
+            .num(predicted, 2)
+            .num(stats::relative_error_pct(predicted, measured), 1);
+      }
+    }
+  }
+  bench::emit(table, options);
+  return 0;
+}

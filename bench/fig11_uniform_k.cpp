@@ -1,0 +1,64 @@
+// Figure 11: prediction errors of the 99th percentile response times for a
+// 1000-node cluster when the number of tasks per job is UNIFORMLY
+// distributed over [80,120], [400,600], [800,1000], or [10,990].
+//
+// Prediction uses the mixture model (Eqs. 8-9 / 14) with the black-box
+// measured task moments.  Paper shape: good approximations at >= 80% load;
+// exponential accurate across the whole range.
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "dist/factory.hpp"
+#include "fjsim/subset.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forktail;
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner("Figure 11",
+                      "Uniform k <= N on 1000 nodes: 99th percentile errors",
+                      options);
+
+  struct Range {
+    int lo;
+    int hi;
+  };
+  const Range ranges[] = {{80, 120}, {400, 600}, {800, 1000}, {10, 990}};
+
+  util::Table table({"distribution", "k_range", "load%", "sim_p99_ms",
+                     "pred_p99_ms", "error%"});
+  for (const char* name : {"Exponential", "TruncPareto", "Empirical"}) {
+    const dist::DistPtr service = dist::make_named(name);
+    for (const Range& range : ranges) {
+      const auto mixture = core::TaskCountMixture::uniform_int(range.lo, range.hi);
+      for (double load : {0.50, 0.75, 0.80, 0.90}) {
+        fjsim::SubsetConfig cfg;
+        cfg.num_nodes = 1000;
+        cfg.service = service;
+        cfg.load = load;
+        cfg.k_mode = fjsim::KMode::kUniformInt;
+        cfg.k_lo = range.lo;
+        cfg.k_hi = range.hi;
+        cfg.num_requests =
+            bench::scaled(15000, options.scale * bench::load_boost(load));
+        cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
+        cfg.seed = options.seed;
+        const auto sim = fjsim::run_subset(cfg);
+        const double measured = stats::percentile(sim.responses, 99.0);
+        const double predicted = core::mixture_quantile(
+            {sim.task_stats.mean(), sim.task_stats.variance()}, mixture, 99.0);
+        table.row()
+            .str(name)
+            .str("U[" + std::to_string(range.lo) + "," +
+                 std::to_string(range.hi) + "]")
+            .num(load * 100.0, 0)
+            .num(measured, 2)
+            .num(predicted, 2)
+            .num(stats::relative_error_pct(predicted, measured), 1);
+      }
+    }
+  }
+  bench::emit(table, options);
+  return 0;
+}

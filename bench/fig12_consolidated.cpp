@@ -1,0 +1,87 @@
+// Figure 12: prediction errors of the 99th percentile TARGET-job response
+// times in a consolidated workload environment (trace-driven simulation).
+//
+// 90% of jobs are diverse background work synthesized from the Facebook
+// 2010 trace description [13, 15, 43]; 10% are statistically-uniform
+// target jobs whose tasks reach all N nodes (left plot) or a random half
+// of them (right plot).  Clusters of 100 / 500 / 1000 / 5000 three-server
+// nodes, loads 50-90%.  Paper shape: errors within 15% everywhere.
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "fjsim/consolidated.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+#include "trace/facebook.hpp"
+
+namespace {
+
+using namespace forktail;
+
+std::uint64_t jobs_for(std::size_t nodes, double scale) {
+  // 10% of jobs are targets and the p99 needs enough of them; larger
+  // clusters mean more tasks per job, so the job count tapers with N to
+  // bound total work.
+  std::uint64_t base = 100000;
+  if (nodes >= 1000) base = 60000;
+  if (nodes >= 5000) base = 30000;
+  return bench::scaled(base, scale, 5000);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner(
+      "Figure 12",
+      "Consolidated trace-driven workload: target-job 99th percentile errors",
+      options);
+
+  util::Table table({"target_k", "nodes", "load%", "targets", "sim_p99_ms",
+                     "pred_p99_ms", "error%"});
+  for (const char* mode : {"k=N", "k=N/2"}) {
+    const bool full = std::string(mode) == "k=N";
+    for (std::size_t nodes : {100, 500, 1000, 5000}) {
+      const auto target_k =
+          static_cast<std::uint32_t>(full ? nodes : nodes / 2);
+      trace::FacebookWorkload::Params params;
+      params.target_tasks = target_k;
+      params.target_mean_ms = 50.0;
+      params.max_tasks = static_cast<std::uint32_t>(nodes);
+      const trace::FacebookWorkload workload(params);
+      const double service_floor = 0.05;
+      const double mean_work = workload.estimate_mean_work(service_floor);
+
+      for (double load : {0.50, 0.75, 0.80, 0.90}) {
+        fjsim::ConsolidatedConfig cfg;
+        cfg.num_nodes = nodes;
+        cfg.replicas = 3;
+        cfg.load = load;
+        cfg.generator = workload.generator();
+        cfg.mean_work_per_job = mean_work;
+        cfg.num_jobs =
+            jobs_for(nodes, options.scale * bench::load_boost(load));
+        cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.2;
+        cfg.seed = options.seed;
+        cfg.service_floor = service_floor;
+        const auto sim = fjsim::run_consolidated(cfg);
+        const double measured = stats::percentile(sim.target_responses, 99.0);
+        // Black-box prediction from the target application's own measured
+        // task moments (Eq. 13; the target k is fixed per mode).
+        const double predicted = core::homogeneous_quantile(
+            {sim.target_task_stats.mean(), sim.target_task_stats.variance()},
+            static_cast<double>(target_k), 99.0);
+        table.row()
+            .str(mode)
+            .integer(static_cast<long long>(nodes))
+            .num(load * 100.0, 0)
+            .integer(static_cast<long long>(sim.target_responses.size()))
+            .num(measured, 2)
+            .num(predicted, 2)
+            .num(stats::relative_error_pct(predicted, measured), 1);
+      }
+    }
+  }
+  bench::emit(table, options);
+  return 0;
+}

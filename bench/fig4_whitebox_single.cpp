@@ -1,0 +1,30 @@
+// Figure 4: prediction errors of the 99th percentile response times for
+// WHITE-BOX systems with single-server fork nodes.
+//
+// The service-time distribution is assumed known; task response moments
+// come from the Takacs/Pollaczek-Khinchine formulas (Eqs. 10-11), then the
+// GE fit and Eq. 13.  Paper shape: Weibull within ~5% everywhere; the
+// heavy-tailed Empirical and truncated-Pareto cases within ~17% at 80%
+// load and ~5% at 90%, with larger (negative) errors at 50% load.
+#include "core/predictor.hpp"
+#include "sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forktail;
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner(
+      "Figure 4",
+      "White-box prediction errors, single-server fork nodes, k = N",
+      options);
+
+  bench::SweepSpec spec;  // defaults match the paper's Figure 4 sweep
+  bench::run_error_sweep(
+      spec,
+      [](const dist::Distribution& service, double lambda,
+         const core::TaskStats& /*measured*/, double k, double percentile) {
+        return core::whitebox_mg1_quantile(lambda, service, k, percentile);
+      },
+      options);
+  return 0;
+}

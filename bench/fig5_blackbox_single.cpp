@@ -1,0 +1,30 @@
+// Figure 5: prediction errors of the 99th percentile response times for
+// BLACK-BOX systems with single-server fork nodes.
+//
+// Identical systems to Figure 4, but the task response-time mean and
+// variance are *measured* at the (black-box) fork nodes rather than derived
+// from a known service distribution.  Paper shape: errors nearly identical
+// to Figure 4 -- the white-box and black-box pipelines should coincide up
+// to measurement noise.
+#include "core/predictor.hpp"
+#include "sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forktail;
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner(
+      "Figure 5",
+      "Black-box prediction errors, single-server fork nodes, k = N",
+      options);
+
+  bench::SweepSpec spec;
+  bench::run_error_sweep(
+      spec,
+      [](const dist::Distribution& /*service*/, double /*lambda*/,
+         const core::TaskStats& measured, double k, double percentile) {
+        return core::homogeneous_quantile(measured, k, percentile);
+      },
+      options);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 6: prediction errors of the 99th percentile response times for
+// black-box systems with 3-server fork nodes and round-robin dispatching.
+//
+// Paper shape: errors very close to the single-server case (Fig. 5) --
+// round-robin at the same per-server load makes each replica look like the
+// single-server scenario -- within 20% at 80% load and 10% at 90%.
+#include "core/predictor.hpp"
+#include "sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forktail;
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner(
+      "Figure 6",
+      "Black-box prediction errors, 3-server fork nodes, round-robin",
+      options);
+
+  bench::SweepSpec spec;
+  spec.replicas = 3;
+  spec.policy = fjsim::Policy::kRoundRobin;
+  bench::run_error_sweep(
+      spec,
+      [](const dist::Distribution& /*service*/, double /*lambda*/,
+         const core::TaskStats& measured, double k, double percentile) {
+        return core::homogeneous_quantile(measured, k, percentile);
+      },
+      options);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 9 + Table 1: the Amazon EC2 / Spark keyword-count case study,
+// reproduced on the cloud substrate (see DESIGN.md substitution #3).
+//
+// For 32 and 64 workers and arrival rates 3.0-5.5 req/s, prints the
+// measured 95th and 99th percentile request latencies alongside the
+// homogeneous (Eq. 6) and inhomogeneous (Eq. 4) ForkTail predictions --
+// the paper's finding is that the inhomogeneous model tracks the
+// measurement at high load while the homogeneous one drifts.  Table 1's
+// estimated load per arrival rate is reproduced exactly.
+#include <vector>
+
+#include "cloud/spark_cluster.hpp"
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forktail;
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner("Figure 9 + Table 1",
+                      "Cloud case study: measured vs predicted tail latencies",
+                      options);
+
+  // Table 1: estimated loads (%) for the testing cluster.
+  util::Table table1({"workers", "lam=3.0", "lam=3.5", "lam=4.0", "lam=4.5",
+                      "lam=5.0", "lam=5.5"});
+  for (std::size_t workers : {32, 64}) {
+    auto row = table1.row();
+    row.integer(static_cast<long long>(workers));
+    for (double lambda : {3.0, 3.5, 4.0, 4.5, 5.0, 5.5}) {
+      row.num(cloud::table1_load_percent(lambda, workers), 2);
+    }
+  }
+  bench::emit(table1, options);
+
+  // Figure 9: measured vs predicted p95/p99 for both cluster sizes.
+  util::Table fig9({"workers", "lambda_rps", "load%", "percentile",
+                    "measured_ms", "inhom_pred_ms", "inhom_err%",
+                    "hom_pred_ms", "hom_err%"});
+  for (std::size_t workers : {32, 64}) {
+    for (double lambda : {3.0, 3.5, 4.0, 4.5, 5.0, 5.5}) {
+      cloud::CloudConfig cfg;
+      cfg.num_workers = workers;
+      cfg.lambda = lambda;
+      cfg.base_mean_max = workers >= 64 ? 0.16680 : 0.16110;
+      cfg.num_requests = bench::scaled(30000, options.scale);
+      cfg.seed = options.seed;
+      const auto r = cloud::run_cloud_case_study(cfg);
+
+      std::vector<core::TaskStats> nodes;
+      nodes.reserve(r.worker_task_stats.size());
+      for (const auto& w : r.worker_task_stats) {
+        nodes.push_back({w.mean(), w.variance()});
+      }
+      const core::TaskStats pooled{r.pooled_task_stats.mean(),
+                                   r.pooled_task_stats.variance()};
+      for (double p : {95.0, 99.0}) {
+        const double measured =
+            stats::percentile(r.responses, p) * 1000.0;  // seconds -> ms
+        const double inhom = core::inhomogeneous_quantile(nodes, p) * 1000.0;
+        const double hom =
+            core::homogeneous_quantile(pooled, static_cast<double>(workers), p) *
+            1000.0;
+        fig9.row()
+            .integer(static_cast<long long>(workers))
+            .num(lambda, 1)
+            .num(100.0 * r.estimated_load, 2)
+            .num(p, 1)
+            .num(measured, 1)
+            .num(inhom, 1)
+            .num(stats::relative_error_pct(inhom, measured), 1)
+            .num(hom, 1)
+            .num(stats::relative_error_pct(hom, measured), 1);
+      }
+    }
+  }
+  bench::emit(fig9, options);
+  return 0;
+}

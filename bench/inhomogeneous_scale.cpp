@@ -1,0 +1,93 @@
+// Inhomogeneous prediction at scale (Eq. 4/5 beyond the 32/64-worker cloud
+// case study): heterogeneous clusters where node speeds spread by up to
+// 4x, comparing the fine-grained per-node model against pooled (homogeneous)
+// prediction.
+//
+// Paper context: Section 3 presents Eq. 5 as "a fine-grained tail latency
+// expression" for heterogeneous fork nodes and uneven background load; the
+// EC2 case study (Fig. 9) demonstrates it at 32/64 nodes.  This bench
+// extends the comparison to larger N and controlled heterogeneity.
+#include <memory>
+
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "dist/basic.hpp"
+#include "fjsim/heterogeneous.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+using namespace forktail;
+
+std::vector<dist::DistPtr> spread_cluster(std::size_t n, double spread,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<dist::DistPtr> services;
+  services.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Node means log-uniform in [1, spread] ms: persistent heterogeneity.
+    const double mean = std::exp(rng.uniform(0.0, std::log(spread)));
+    services.push_back(std::make_shared<dist::Exponential>(mean));
+  }
+  return services;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner(
+      "Inhomogeneous scale",
+      "Eq. 4 per-node prediction vs pooled prediction on heterogeneous "
+      "clusters",
+      options);
+
+  util::Table table({"nodes", "speed_spread", "bottleneck_load%", "sim_p99_ms",
+                     "inhom_err%", "pooled_err%"});
+  for (std::size_t nodes : {32, 128, 512}) {
+    for (double spread : {1.5, 4.0}) {
+      const auto services = spread_cluster(nodes, spread, options.seed + nodes);
+      for (double rho : {0.70, 0.90}) {
+        fjsim::HeterogeneousConfig cfg;
+        cfg.services = services;
+        cfg.lambda = fjsim::lambda_for_max_load(services, rho);
+        cfg.num_requests =
+            bench::scaled(40000, options.scale * bench::load_boost(rho));
+        cfg.warmup_fraction = rho >= 0.9 ? 0.3 : 0.25;
+        cfg.seed = options.seed;
+        const auto r = fjsim::run_heterogeneous(cfg);
+        const double measured = stats::percentile(r.responses, 99.0);
+
+        std::vector<core::TaskStats> per_node;
+        stats::Welford pooled;
+        for (const auto& w : r.node_stats) {
+          per_node.push_back({w.mean(), w.variance()});
+          pooled.merge(w);
+        }
+        const double inhom = core::inhomogeneous_quantile(per_node, 99.0);
+        const double hom = core::homogeneous_quantile(
+            {pooled.mean(), pooled.variance()}, static_cast<double>(nodes),
+            99.0);
+        table.row()
+            .integer(static_cast<long long>(nodes))
+            .num(spread, 1)
+            .num(rho * 100.0, 0)
+            .num(measured, 2)
+            .num(stats::relative_error_pct(inhom, measured), 1)
+            .num(stats::relative_error_pct(hom, measured), 1);
+      }
+    }
+  }
+  bench::emit(table, options);
+  if (!options.csv) {
+    std::printf(
+        "With mild heterogeneity pooling is harmless; as the speed spread\n"
+        "grows the pooled model misattributes the slow nodes' tail and the\n"
+        "per-node expression (Eq. 4) keeps tracking -- the scaled-up version\n"
+        "of the Fig. 9 effect.\n");
+  }
+  return 0;
+}

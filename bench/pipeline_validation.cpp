@@ -1,0 +1,91 @@
+// Extension exhibit: multi-stage workflow prediction accuracy.
+//
+// The paper evaluates a single fork-join stage; real request workflows
+// chain several (its own Introduction's point).  This bench validates
+// core::PipelinePredictor -- per-stage GE composition plus moment-matched
+// stage sums -- against the pipeline simulator across loads and stage
+// mixes, reporting end-to-end p99 errors.  Expected shape: the same
+// heavy-load convergence as the single-stage results, since both the
+// within-stage (Eq. 4) and the new across-stage independence assumptions
+// sharpen as queueing noise dominates.
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/pipeline.hpp"
+#include "dist/factory.hpp"
+#include "fjsim/pipeline.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace forktail;
+
+struct Workflow {
+  std::string name;
+  std::vector<fjsim::PipelineStageConfig> stages;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner(
+      "Pipeline validation (extension)",
+      "End-to-end p99 errors for multi-stage fork-join workflows", options);
+
+  const std::vector<Workflow> workflows = {
+      {"2-tier kv (64+16)",
+       {{64, dist::make_named("Empirical")},
+        {16, dist::make_named("Exponential")}}},
+      {"3-tier search (64+16+4)",
+       {{64, dist::make_named("Empirical")},
+        {16, dist::make_named("Exponential")},
+        {4, dist::make_named("Weibull")}}},
+      {"balanced heavy (32+32)",
+       {{32, dist::make_named("TruncPareto")},
+        {32, dist::make_named("TruncPareto")}}},
+      {"deep (8x4 tiers)",
+       {{8, dist::make_named("Exponential")},
+        {8, dist::make_named("Weibull")},
+        {8, dist::make_named("Exponential")},
+        {8, dist::make_named("Weibull")}}},
+  };
+
+  util::Table table({"workflow", "load%", "sim_p99_ms", "pred_p99_ms",
+                     "error%", "bottleneck"});
+  for (const Workflow& wf : workflows) {
+    for (double load : {0.50, 0.75, 0.80, 0.90}) {
+      fjsim::PipelineConfig cfg;
+      cfg.stages = wf.stages;
+      cfg.load = load;
+      cfg.num_requests =
+          bench::scaled(40000, options.scale * bench::load_boost(load));
+      cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
+      cfg.seed = options.seed;
+      const auto sim = fjsim::run_pipeline(cfg);
+
+      std::vector<core::StageSpec> specs;
+      for (std::size_t s = 0; s < wf.stages.size(); ++s) {
+        specs.push_back({"s" + std::to_string(s),
+                         {sim.stage_task_stats[s].mean(),
+                          sim.stage_task_stats[s].variance()},
+                         static_cast<double>(wf.stages[s].num_nodes)});
+      }
+      const core::PipelinePredictor predictor(specs);
+      const double measured = stats::percentile(sim.responses, 99.0);
+      const double predicted = predictor.quantile(99.0);
+      table.row()
+          .str(wf.name)
+          .num(load * 100.0, 0)
+          .num(measured, 2)
+          .num(predicted, 2)
+          .num(stats::relative_error_pct(predicted, measured), 1)
+          .str(specs[predictor.bottleneck_stage(99.0)].name);
+    }
+  }
+  bench::emit(table, options);
+  return 0;
+}

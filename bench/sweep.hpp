@@ -1,0 +1,88 @@
+// Shared error-sweep runner for the Figure 4-7 family: homogeneous k = N
+// fork-join systems over (distribution x N x load), comparing a ForkTail
+// prediction against the simulated 99th percentile.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "dist/factory.hpp"
+#include "fjsim/homogeneous.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+
+namespace forktail::bench {
+
+struct SweepSpec {
+  std::vector<std::string> distributions = {"Empirical", "TruncPareto", "Weibull"};
+  std::vector<std::size_t> node_counts = {10, 100, 500, 1000};
+  std::vector<double> loads = {0.50, 0.75, 0.80, 0.90};
+  int replicas = 1;
+  fjsim::Policy policy = fjsim::Policy::kSingle;
+  double redundant_delay = 10.0;
+  double percentile = 99.0;
+};
+
+/// How the prediction is produced from a finished simulation:
+/// (service distribution, lambda-per-server-equivalent, measured task
+/// stats, k) -> predicted percentile.
+using Predictor = std::function<double(
+    const dist::Distribution& service, double lambda,
+    const core::TaskStats& measured, double k, double percentile)>;
+
+inline std::uint64_t sweep_samples(std::size_t nodes, double load,
+                                   double scale) {
+  std::uint64_t base = 12000;
+  if (nodes <= 10) {
+    base = 120000;
+  } else if (nodes <= 100) {
+    base = 50000;
+  } else if (nodes <= 500) {
+    base = 20000;
+  }
+  return scaled(base, scale * load_boost(load));
+}
+
+inline void run_error_sweep(const SweepSpec& spec, const Predictor& predictor,
+                            const BenchOptions& options) {
+  util::Table table({"distribution", "nodes", "load%", "sim_p99_ms",
+                     "pred_p99_ms", "error%"});
+  for (const auto& name : spec.distributions) {
+    const dist::DistPtr service = dist::make_named(name);
+    for (std::size_t nodes : spec.node_counts) {
+      for (double load : spec.loads) {
+        fjsim::HomogeneousConfig cfg;
+        cfg.num_nodes = nodes;
+        cfg.replicas = spec.replicas;
+        cfg.policy = spec.policy;
+        cfg.redundant_delay = spec.redundant_delay;
+        cfg.service = service;
+        cfg.load = load;
+        cfg.num_requests = sweep_samples(nodes, load, options.scale);
+        cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
+        cfg.seed = options.seed;
+        const auto sim = fjsim::run_homogeneous(cfg);
+        const double measured =
+            stats::percentile(sim.responses, spec.percentile);
+        const core::TaskStats task_stats{sim.task_stats.mean(),
+                                         sim.task_stats.variance()};
+        const double predicted =
+            predictor(*service, sim.lambda, task_stats,
+                      static_cast<double>(nodes), spec.percentile);
+        table.row()
+            .str(name)
+            .integer(static_cast<long long>(nodes))
+            .num(load * 100.0, 0)
+            .num(measured, 2)
+            .num(predicted, 2)
+            .num(stats::relative_error_pct(predicted, measured), 1);
+      }
+    }
+  }
+  emit(table, options);
+}
+
+}  // namespace forktail::bench

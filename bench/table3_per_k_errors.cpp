@@ -1,0 +1,49 @@
+// Table 3: errors in the 99th percentile prediction when tracking request
+// groups with a given number of tasks (k in {10, 400, 500, 600, 900}) at
+// 90% load on a 1000-node cluster.
+//
+// Paper shape: all errors well within 10%.
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "dist/factory.hpp"
+#include "fjsim/subset.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forktail;
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, options)) return 0;
+  bench::print_banner("Table 3",
+                      "Per-k tracking errors (%) at 90% load, N = 1000",
+                      options);
+
+  const int ks[] = {10, 400, 500, 600, 900};
+  util::Table table(
+      {"distribution", "k=10", "k=400", "k=500", "k=600", "k=900"});
+  for (const char* name : {"Exponential", "TruncPareto", "Empirical"}) {
+    const dist::DistPtr service = dist::make_named(name);
+    auto row = table.row();
+    row.str(name);
+    for (int k : ks) {
+      fjsim::SubsetConfig cfg;
+      cfg.num_nodes = 1000;
+      cfg.service = service;
+      cfg.load = 0.90;
+      cfg.k_mode = fjsim::KMode::kFixed;
+      cfg.k_fixed = k;
+      cfg.num_requests = bench::scaled(k >= 500 ? 12000 : 20000,
+                                       options.scale * bench::load_boost(0.9));
+      cfg.warmup_fraction = 0.3;
+      cfg.seed = options.seed;
+      const auto sim = fjsim::run_subset(cfg);
+      const double measured = stats::percentile(sim.responses, 99.0);
+      const double predicted = core::homogeneous_quantile(
+          {sim.task_stats.mean(), sim.task_stats.variance()},
+          static_cast<double>(k), 99.0);
+      row.num(stats::relative_error_pct(predicted, measured), 2);
+    }
+  }
+  bench::emit(table, options);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Tail-latency-SLO-guaranteed admission control (Section 6, Fig. 14).
+//
+// A hybrid centralized-and-distributed scheduler: every fork node
+// continuously measures its task response-time mean/variance over a
+// sliding window and periodically reports to the central registry; on each
+// request arrival the controller picks the k best nodes and admits the
+// request only if the predicted p99 (Eq. 5) meets its SLO.
+//
+// The example runs a 16-node cluster where 3 nodes degrade mid-run
+// (background load spike), and shows admission decisions adapting.
+#include <cstdio>
+
+#include "core/forktail.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace forktail;
+
+  constexpr std::size_t kNodes = 16;
+  core::OnlineTailPredictor monitors(kNodes, /*window_seconds=*/20.0,
+                                     /*min_samples=*/50);
+  core::NodeStatsRegistry registry(kNodes, /*staleness_limit=*/30.0);
+  util::Rng rng(2024);
+
+  // Phase 1: healthy cluster -- all nodes ~ Exp(5 ms) task responses.
+  double now = 0.0;
+  for (int step = 0; step < 5000; ++step) {
+    now += 0.004;
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      monitors.record(n, now, rng.exponential(5.0));
+    }
+  }
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    if (auto s = monitors.node_stats(n)) registry.report(n, now, *s);
+  }
+
+  const core::AdmissionController controller(registry);
+  const core::TailSlo slo{99.0, 60.0};  // p99 <= 60 ms
+
+  auto report = [&](const char* phase) {
+    const auto d8 = controller.admit(8, slo, now);
+    const auto d16 = controller.admit(16, slo, now);
+    std::printf("%-22s k=8 : %s (predicted p99 %.1f ms)\n", phase,
+                d8.admitted ? "ADMIT " : "REJECT", d8.predicted_latency);
+    std::printf("%-22s k=16: %s (predicted p99 %.1f ms)\n", "",
+                d16.admitted ? "ADMIT " : "REJECT", d16.predicted_latency);
+  };
+  report("healthy cluster:");
+
+  // Phase 2: nodes 13..15 degrade 6x (co-located batch work).
+  for (int step = 0; step < 5000; ++step) {
+    now += 0.004;
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      const double mean = n >= 13 ? 30.0 : 5.0;
+      monitors.record(n, now, rng.exponential(mean));
+    }
+  }
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    if (auto s = monitors.node_stats(n)) registry.report(n, now, *s);
+  }
+  std::printf("\nnodes 13-15 degraded to ~30 ms task means\n");
+  report("degraded cluster:");
+
+  std::printf(
+      "\nWith k=8 the controller routes around the slow nodes and still\n"
+      "admits; with k=16 every node must participate, the predicted tail\n"
+      "violates the SLO, and the request is rejected (or renegotiated).\n");
+
+  // Fine-grained per-request prediction (Eq. 5): compare a subset that
+  // includes a degraded node with one that avoids it.
+  const std::size_t clean[] = {0, 1, 2, 3};
+  const std::size_t dirty[] = {0, 1, 2, 15};
+  if (auto p = monitors.predict_subset(clean, 99.0)) {
+    std::printf("\np99 over nodes {0,1,2,3}  : %6.1f ms\n", *p);
+  }
+  if (auto p = monitors.predict_subset(dirty, 99.0)) {
+    std::printf("p99 over nodes {0,1,2,15} : %6.1f ms\n", *p);
+  }
+  return 0;
+}

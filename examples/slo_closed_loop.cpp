@@ -1,0 +1,70 @@
+// Closed-loop SLO-guaranteed scheduling (the paper's Section 6 vision,
+// built out in src/sched): distributed sliding-window measurement, central
+// registry, per-request admission with Eq. 5.
+//
+// The demo runs the same 32-node cluster under three regimes and shows the
+// controller's value proposition: the violation rate among admitted
+// requests stays bounded even when the offered load exceeds capacity,
+// because excess work is rejected before it queues.
+#include <cstdio>
+
+#include "dist/factory.hpp"
+#include "sched/closed_loop.hpp"
+#include "stats/percentile.hpp"
+
+int main() {
+  using namespace forktail;
+
+  auto make_config = [](double load_multiple, double slo_latency,
+                        bool admission) {
+    sched::ClosedLoopConfig cfg;
+    cfg.num_nodes = 32;
+    cfg.service = dist::make_named("Empirical");  // heavy-tailed, mean 4.22 ms
+    cfg.tasks_per_request = 8;
+    cfg.lambda = load_multiple * 32.0 / (8.0 * 4.22);
+    cfg.window_seconds = 500.0;
+    cfg.report_interval = 50.0;
+    cfg.num_requests = 50000;
+    cfg.seed = 7;
+    cfg.slo = {99.0, slo_latency};
+    cfg.admission_enabled = admission;
+    return cfg;
+  };
+
+  // Calibrate an SLO with headroom at a healthy operating point.
+  const auto reference = sched::run_closed_loop(make_config(0.7, 1e9, false));
+  const double p99_healthy =
+      stats::percentile(reference.admitted_responses, 99.0);
+  const double slo = 1.5 * p99_healthy;
+  std::printf("p99 at 70%% load: %.1f ms  =>  SLO: p99 <= %.1f ms\n\n",
+              p99_healthy, slo);
+
+  struct Row {
+    const char* label;
+    double load;
+    bool admission;
+  };
+  const Row rows[] = {
+      {"80% load, admission on ", 0.80, true},
+      {"80% load, admission off", 0.80, false},
+      {"125% load, admission on ", 1.25, true},
+      {"125% load, admission off", 1.25, false},
+  };
+  std::printf("%-26s %9s %10s %12s %12s\n", "scenario", "admit%", "viol%",
+              "p99(ms)", "p50(ms)");
+  for (const Row& row : rows) {
+    const auto r = sched::run_closed_loop(make_config(row.load, slo, row.admission));
+    std::printf("%-26s %8.1f%% %9.2f%% %12.1f %12.1f\n", row.label,
+                100.0 * r.admit_rate, 100.0 * r.violation_rate,
+                stats::percentile(r.admitted_responses, 99.0),
+                stats::percentile(r.admitted_responses, 50.0));
+  }
+
+  std::printf(
+      "\nAt 80%% load the SLO is achievable and the controller admits nearly\n"
+      "everything.  At 125%% load the uncontrolled system diverges (every\n"
+      "request violates, latencies unbounded); the controller sheds the\n"
+      "excess and keeps the requests it accepts within a small multiple of\n"
+      "the SLO -- tail-latency protection by design, not by reaction.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// The Amazon EC2 / Spark grep case study as a runnable example
+// (Section 4.1, Figs. 8-9): a keyword-count service over N HDFS shards,
+// one task per worker, central virtual queues in the driver.
+//
+// Demonstrates why the inhomogeneous model matters in real deployments:
+// at low arrival rates the workers look identical; at high rates data
+// locality misses skew them, and only the per-worker (Eq. 4) prediction
+// keeps tracking the measured tail.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cloud/spark_cluster.hpp"
+#include "core/forktail.hpp"
+#include "stats/percentile.hpp"
+
+int main() {
+  using namespace forktail;
+
+  std::printf("Spark-like grep cluster, 32 workers, 128 MB shards\n");
+  std::printf("%-8s %-7s %-12s %-22s %-22s %s\n", "rate", "load%", "meas p99",
+              "inhomogeneous (Eq. 4)", "homogeneous (Eq. 6)", "worker spread");
+
+  for (double lambda : {3.0, 4.0, 5.0, 5.5}) {
+    cloud::CloudConfig cfg;
+    cfg.num_workers = 32;
+    cfg.lambda = lambda;
+    cfg.num_requests = 30000;
+    cfg.seed = 11;
+    const auto r = cloud::run_cloud_case_study(cfg);
+
+    const double measured = stats::percentile(r.responses, 99.0);
+    std::vector<core::TaskStats> workers;
+    double slowest = 0.0;
+    double fastest = 1e300;
+    for (const auto& w : r.worker_task_stats) {
+      workers.push_back({w.mean(), w.variance()});
+      slowest = std::max(slowest, w.mean());
+      fastest = std::min(fastest, w.mean());
+    }
+    const double inhom = core::inhomogeneous_quantile(workers, 99.0);
+    const double hom = core::homogeneous_quantile(
+        {r.pooled_task_stats.mean(), r.pooled_task_stats.variance()}, 32.0,
+        99.0);
+    std::printf("%-8.1f %-7.1f %8.2f s   %8.2f s (%+6.1f%%)   %8.2f s (%+6.1f%%)   %.2fx\n",
+                lambda, 100.0 * r.estimated_load, measured, inhom,
+                100.0 * (inhom - measured) / measured, hom,
+                100.0 * (hom - measured) / measured, slowest / fastest);
+  }
+
+  std::printf(
+      "\nThe 'worker spread' column (slowest/fastest mean task response)\n"
+      "shows the cluster drifting inhomogeneous as locality misses ramp up\n"
+      "with load -- exactly the effect the paper measured on EC2; the\n"
+      "homogeneous model underestimates once that happens.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Direct tail-latency measurement: the alternative ForkTail argues against
+// (Section 2's 33-minute example).  Provides the sample-size arithmetic and
+// a distribution-free confidence interval for measured percentiles, used by
+// the online-prediction example to contrast measurement cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace forktail::baselines {
+
+/// Samples needed so that the expected number of observations beyond the
+/// p-th percentile is `expected_exceedances` (the paper uses 100 for the
+/// 99.9th percentile => 100k samples).
+std::uint64_t required_samples(double percentile, double expected_exceedances = 100.0);
+
+/// Wall-clock measurement time at the given request rate.
+double measurement_time_seconds(double percentile, double lambda,
+                                double expected_exceedances = 100.0);
+
+struct PercentileCi {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool valid = false;  ///< false when the sample is too small for the level
+};
+
+/// Distribution-free (order-statistics / binomial) two-sided CI for the
+/// p-th percentile at ~95% confidence.  Demonstrates how wide direct
+/// measurement remains at small sample counts.
+PercentileCi direct_percentile_ci(std::span<const double> samples, double percentile);
+
+}  // namespace forktail::baselines

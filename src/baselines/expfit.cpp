@@ -1,0 +1,25 @@
+#include "baselines/expfit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace forktail::baselines {
+
+double exponential_fit_quantile(const core::TaskStats& stats, double k, double p) {
+  if (!(stats.mean > 0.0)) {
+    throw std::invalid_argument("exponential_fit_quantile: mean must be > 0");
+  }
+  if (!(p > 0.0 && p < 100.0) || !(k > 0.0)) {
+    throw std::invalid_argument("exponential_fit_quantile: bad k or p");
+  }
+  // Exponential is GE with alpha = 1, beta = mean.
+  const double y = std::log(p / 100.0) / k;
+  return -stats.mean * std::log(-std::expm1(y));
+}
+
+double exponential_fit_cdf(const core::TaskStats& stats, double k, double x) {
+  if (x <= 0.0) return 0.0;
+  return std::exp(k * std::log1p(-std::exp(-x / stats.mean)));
+}
+
+}  // namespace forktail::baselines

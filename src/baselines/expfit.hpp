@@ -1,0 +1,21 @@
+// Plain-exponential response-time baseline -- the model of the authors'
+// earlier HotCloud'16 paper [30] that the GE distribution replaces.
+//
+// The task response time is modelled Exp(1/E[T]), i.e. only the measured
+// mean is used and the variance is discarded.  Comparing this against the
+// GE fit quantifies the value of the second moment (the improvement the
+// paper claims for ForkTail over [30]).
+#pragma once
+
+#include "core/predictor.hpp"
+
+namespace forktail::baselines {
+
+/// Request tail latency with exponential task model:
+/// x_p = -E[T] ln(1 - (p/100)^{1/k}).
+double exponential_fit_quantile(const core::TaskStats& stats, double k, double p);
+
+/// Request response-time CDF under the exponential task model.
+double exponential_fit_cdf(const core::TaskStats& stats, double k, double x);
+
+}  // namespace forktail::baselines

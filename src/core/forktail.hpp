@@ -1,0 +1,21 @@
+// Umbrella header: the public API of the ForkTail library.
+//
+// Quick start:
+//
+//   #include "core/forktail.hpp"
+//
+//   // Black-box prediction: measure the mean and variance of task response
+//   // times at your fork nodes, then
+//   forktail::core::TaskStats stats{/*mean=*/42.0, /*variance=*/1764.0};
+//   double p99 = forktail::core::homogeneous_quantile(stats, /*k=*/100, 99.0);
+//
+// See README.md for the full tour.
+#pragma once
+
+#include "core/genexp.hpp"        // the GE response-time model (Eqs. 1-3)
+#include "core/online.hpp"        // sliding-window online prediction
+#include "core/pipeline.hpp"      // multi-stage workflow composition
+#include "core/predictor.hpp"     // Eqs. 4-9 and 13-14 predictors
+#include "core/provisioning.hpp"  // Section 6: SLO -> task budget
+#include "core/scheduler.hpp"     // Section 6: admission control
+#include "core/sensitivity.hpp"   // measurement-error propagation

@@ -1,0 +1,109 @@
+#include "core/genexp.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/roots.hpp"
+#include "stats/special_functions.hpp"
+
+namespace forktail::core {
+
+GenExp::GenExp(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  if (!(alpha > 0.0 && beta > 0.0)) {
+    throw std::invalid_argument("GenExp: alpha and beta must be > 0");
+  }
+}
+
+GenExp GenExp::fit_moments(double mean, double variance) {
+  if (!(mean > 0.0 && variance > 0.0)) {
+    throw std::invalid_argument("GenExp::fit_moments: mean and variance must be > 0");
+  }
+  const double target_ratio = mean * mean / variance;  // increasing in alpha
+  auto ratio_at = [](double log_alpha) {
+    const double a = std::exp(log_alpha);
+    const double um = stats::ge_unit_mean(a);
+    const double uv = stats::ge_unit_variance(a);
+    return um * um / uv;
+  };
+  // alpha in [e^-30, e^30] covers CVs from ~4% to astronomically heavy;
+  // degenerate measurements beyond either end (e.g. near-deterministic
+  // windows during a load transient) clamp to the boundary fit rather
+  // than failing.
+  constexpr double kLogAlphaLo = -30.0;
+  constexpr double kLogAlphaHi = 30.0;
+  double log_alpha;
+  if (target_ratio <= ratio_at(kLogAlphaLo)) {
+    log_alpha = kLogAlphaLo;
+  } else if (target_ratio >= ratio_at(kLogAlphaHi)) {
+    log_alpha = kLogAlphaHi;
+  } else {
+    log_alpha = stats::brent(
+        [&](double la) { return ratio_at(la) - target_ratio; }, kLogAlphaLo,
+        kLogAlphaHi,
+        {.x_tolerance = 1e-13, .f_tolerance = 0.0, .max_iterations = 300});
+  }
+  const double alpha = std::exp(log_alpha);
+  const double beta = mean / stats::ge_unit_mean(alpha);
+  return GenExp(alpha, beta);
+}
+
+double GenExp::mean() const { return beta_ * stats::ge_unit_mean(alpha_); }
+
+double GenExp::variance() const {
+  return beta_ * beta_ * stats::ge_unit_variance(alpha_);
+}
+
+double GenExp::cdf(double x) const { return max_cdf(x, 1.0); }
+
+double GenExp::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double e = std::exp(-x / beta_);
+  // alpha/beta * e^{-x/beta} * (1 - e^{-x/beta})^{alpha-1}
+  return alpha_ / beta_ * e * std::exp((alpha_ - 1.0) * std::log1p(-e));
+}
+
+double GenExp::quantile(double q) const { return max_quantile(q, 1.0); }
+
+double GenExp::max_quantile(double q, double k) const {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("GenExp: quantile level must be in (0,1)");
+  }
+  if (!(k > 0.0)) throw std::invalid_argument("GenExp: k must be > 0");
+  // x = -beta ln(1 - q^{1/(k alpha)}) = -beta ln(1 - e^y).  Two precision
+  // regimes: when e^y is close to 1 (large k alpha), 1 - e^y needs expm1;
+  // when e^y is tiny (deep lower tail), ln(1 - e^y) needs log1p -- using
+  // the wrong primitive loses all relative precision on the other side.
+  const double y = std::log(q) / (k * alpha_);  // <= 0
+  if (y > -0.6931471805599453) {                // e^y > 1/2: expm1 regime
+    return -beta_ * std::log(-std::expm1(y));
+  }
+  return -beta_ * std::log1p(-std::exp(y));     // e^y <= 1/2: log1p regime
+}
+
+double GenExp::max_cdf(double x, double k) const {
+  if (x <= 0.0) return 0.0;
+  // (1 - e^{-x/beta})^{k alpha} = exp(k alpha ln(1 - e^{-z})), z = x/beta.
+  // Mirror of max_quantile's two regimes: small z needs expm1 for the
+  // difference, large z needs log1p for the logarithm near 1.
+  const double z = x / beta_;
+  double log_one_minus;
+  if (z < 0.6931471805599453) {  // e^{-z} > 1/2: expm1 regime
+    const double one_minus = -std::expm1(-z);
+    if (one_minus <= 0.0) return 0.0;
+    log_one_minus = std::log(one_minus);
+  } else {  // e^{-z} <= 1/2: log1p regime
+    log_one_minus = std::log1p(-std::exp(-z));
+  }
+  return std::exp(k * alpha_ * log_one_minus);
+}
+
+double GenExp::sample(util::Rng& rng) const { return quantile(rng.uniform_pos()); }
+
+std::string GenExp::to_string() const {
+  std::ostringstream os;
+  os << "GenExp(alpha=" << alpha_ << ", beta=" << beta_ << ")";
+  return os.str();
+}
+
+}  // namespace forktail::core

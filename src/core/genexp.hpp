@@ -1,0 +1,59 @@
+// The generalized exponential (GE) distribution of Gupta & Kundu [20],
+// which ForkTail uses to approximate per-node task response times under
+// heavy load (Eq. 1 of the paper):
+//
+//     F_T(x) = (1 - e^{-x/beta})^alpha ,  x > 0, alpha > 0, beta > 0
+//
+// with moments (Eqs. 2-3):
+//     E[T] = beta [psi(alpha+1) - psi(1)]
+//     V[T] = beta^2 [psi'(1) - psi'(alpha+1)]
+//
+// `fit_moments` is the black-box measurement interface: given a node's
+// measured response-time mean and variance, recover (alpha, beta).
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace forktail::core {
+
+class GenExp {
+ public:
+  GenExp(double alpha, double beta);
+
+  /// Moment-match (alpha, beta) from a measured mean and variance.
+  /// The moment ratio E^2/V = [psi(a+1)-psi(1)]^2 / [psi'(1)-psi'(a+1)] is
+  /// strictly increasing in alpha, so the fit is unique; solved by Brent on
+  /// log(alpha).  Requires mean > 0 and variance > 0.
+  static GenExp fit_moments(double mean, double variance);
+
+  double alpha() const noexcept { return alpha_; }
+  double beta() const noexcept { return beta_; }
+
+  double mean() const;
+  double variance() const;
+
+  double cdf(double x) const;
+  double pdf(double x) const;
+
+  /// Quantile of a single task: x = -beta ln(1 - q^{1/alpha}), q in (0,1).
+  double quantile(double q) const;
+
+  /// Quantile of the max of k iid GE variables (the homogeneous fork-join
+  /// request, Eq. 13): x_p = -beta ln(1 - q^{1/(k alpha)}).
+  double max_quantile(double q, double k) const;
+
+  /// CDF of the max of k iid GE variables: (1 - e^{-x/beta})^{k alpha}.
+  double max_cdf(double x, double k) const;
+
+  double sample(util::Rng& rng) const;
+
+  std::string to_string() const;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace forktail::core

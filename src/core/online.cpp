@@ -1,0 +1,107 @@
+#include "core/online.hpp"
+
+#include <stdexcept>
+
+namespace forktail::core {
+
+OnlineTailPredictor::OnlineTailPredictor(std::size_t num_nodes,
+                                         double window_seconds,
+                                         std::size_t min_samples)
+    : min_samples_(min_samples) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("OnlineTailPredictor: need at least one node");
+  }
+  windows_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    windows_.emplace_back(window_seconds);
+  }
+}
+
+void OnlineTailPredictor::record(std::size_t node, double now, double response) {
+  windows_.at(node).add(now, response);
+}
+
+void OnlineTailPredictor::advance(std::size_t node, double now) {
+  windows_.at(node).advance(now);
+}
+
+std::optional<TaskStats> OnlineTailPredictor::node_stats(std::size_t node) const {
+  const auto& w = windows_.at(node);
+  if (w.count() < min_samples_ || !(w.variance() > 0.0)) return std::nullopt;
+  return TaskStats{w.mean(), w.variance()};
+}
+
+std::optional<double> OnlineTailPredictor::predict_homogeneous(double p,
+                                                               double k) const {
+  // Pool all node windows into one service-level moment estimate.
+  double total_n = 0.0;
+  double mean_acc = 0.0;
+  for (const auto& w : windows_) {
+    if (w.count() < min_samples_) return std::nullopt;
+    const double n = static_cast<double>(w.count());
+    total_n += n;
+    mean_acc += n * w.mean();
+  }
+  const double mean = mean_acc / total_n;
+  double var_acc = 0.0;
+  for (const auto& w : windows_) {
+    const double n = static_cast<double>(w.count());
+    const double d = w.mean() - mean;
+    var_acc += n * (w.variance() + d * d);
+  }
+  const double variance = var_acc / total_n;
+  if (!(variance > 0.0)) return std::nullopt;
+  const double kk = k > 0.0 ? k : static_cast<double>(windows_.size());
+  return homogeneous_quantile({mean, variance}, kk, p);
+}
+
+std::optional<double> OnlineTailPredictor::predict_inhomogeneous(double p) const {
+  std::vector<TaskStats> stats;
+  stats.reserve(windows_.size());
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const auto s = node_stats(i);
+    if (!s) return std::nullopt;
+    stats.push_back(*s);
+  }
+  return inhomogeneous_quantile(stats, p);
+}
+
+std::optional<double> OnlineTailPredictor::predict_subset(
+    std::span<const std::size_t> nodes, double p) const {
+  if (nodes.empty()) {
+    throw std::invalid_argument("predict_subset: empty node set");
+  }
+  std::vector<TaskStats> stats;
+  stats.reserve(nodes.size());
+  for (std::size_t node : nodes) {
+    const auto s = node_stats(node);
+    if (!s) return std::nullopt;
+    stats.push_back(*s);
+  }
+  return inhomogeneous_quantile(stats, p);
+}
+
+std::optional<double> OnlineTailPredictor::predict_mixture(
+    const TaskCountMixture& mixture, double p) const {
+  // Reuse the pooled homogeneous fit through the mixture formula.
+  double total_n = 0.0;
+  double mean_acc = 0.0;
+  for (const auto& w : windows_) {
+    if (w.count() < min_samples_) return std::nullopt;
+    const double n = static_cast<double>(w.count());
+    total_n += n;
+    mean_acc += n * w.mean();
+  }
+  const double mean = mean_acc / total_n;
+  double var_acc = 0.0;
+  for (const auto& w : windows_) {
+    const double n = static_cast<double>(w.count());
+    const double d = w.mean() - mean;
+    var_acc += n * (w.variance() + d * d);
+  }
+  const double variance = var_acc / total_n;
+  if (!(variance > 0.0)) return std::nullopt;
+  return mixture_quantile({mean, variance}, mixture, p);
+}
+
+}  // namespace forktail::core

@@ -1,0 +1,62 @@
+// Online tail-latency prediction from streaming task-response samples.
+//
+// Implements the measurement loop Section 3 describes: every fork node
+// keeps a moving window (e.g. 20 s) of task response times; the predictor
+// re-fits the GE model from the windowed mean/variance and answers quantile
+// queries in microseconds -- the paper's contrast with the ~33-minute
+// direct-measurement alternative.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "stats/windowed.hpp"
+
+namespace forktail::core {
+
+class OnlineTailPredictor {
+ public:
+  /// `num_nodes` fork nodes, each with a sliding time window of
+  /// `window_seconds`; predictions require at least `min_samples` samples
+  /// in every participating node's window.
+  OnlineTailPredictor(std::size_t num_nodes, double window_seconds,
+                      std::size_t min_samples = 30);
+
+  std::size_t num_nodes() const noexcept { return windows_.size(); }
+
+  /// Record a completed task at `node`: response time `response` observed
+  /// at wall-clock time `now` (seconds, non-decreasing per node).
+  void record(std::size_t node, double now, double response);
+
+  /// Evict samples older than the window without recording (call before
+  /// reading stats from a node that may have gone idle -- otherwise its
+  /// window freezes with its last, possibly congested, samples).
+  void advance(std::size_t node, double now);
+
+  /// Per-node current statistics; nullopt when the window is under-filled.
+  std::optional<TaskStats> node_stats(std::size_t node) const;
+
+  /// Homogeneous prediction pooling all nodes (coarse-grained,
+  /// per-service view; Eq. 6).  k defaults to the node count.
+  std::optional<double> predict_homogeneous(double p, double k = 0.0) const;
+
+  /// Inhomogeneous prediction over all nodes (Eq. 4): per-node fits.
+  std::optional<double> predict_inhomogeneous(double p) const;
+
+  /// Inhomogeneous prediction for a request touching `nodes` (Eq. 5): the
+  /// fine-grained per-request expression.
+  std::optional<double> predict_subset(std::span<const std::size_t> nodes,
+                                       double p) const;
+
+  /// Mixture prediction over pooled stats (Eq. 9).
+  std::optional<double> predict_mixture(const TaskCountMixture& mixture,
+                                        double p) const;
+
+ private:
+  std::vector<stats::WindowedMoments> windows_;
+  std::size_t min_samples_;
+};
+
+}  // namespace forktail::core

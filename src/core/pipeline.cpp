@@ -1,0 +1,73 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "stats/special_functions.hpp"
+
+namespace forktail::core {
+
+PipelinePredictor::PipelinePredictor(std::vector<StageSpec> stages)
+    : stages_(std::move(stages)) {
+  if (stages_.empty()) {
+    throw std::invalid_argument("PipelinePredictor: no stages");
+  }
+  stage_latencies_.reserve(stages_.size());
+  for (const StageSpec& stage : stages_) {
+    if (!(stage.fanout >= 1.0)) {
+      throw std::invalid_argument("PipelinePredictor: fanout must be >= 1");
+    }
+    const GenExp task_model =
+        GenExp::fit_moments(stage.tasks.mean, stage.tasks.variance);
+    // Max of k iid GE(alpha, beta) is exactly GE(k alpha, beta).
+    const GenExp stage_model(task_model.alpha() * stage.fanout,
+                             task_model.beta());
+    StageLatency lat{stage.name, stage_model, stage_model.mean(),
+                     stage_model.variance()};
+    total_mean_ += lat.mean;
+    total_variance_ += lat.variance;
+    stage_latencies_.push_back(std::move(lat));
+  }
+  total_model_ = GenExp::fit_moments(total_mean_, total_variance_);
+}
+
+double PipelinePredictor::quantile(double p) const {
+  if (!(p > 0.0 && p < 100.0)) {
+    throw std::invalid_argument("PipelinePredictor: p must be in (0,100)");
+  }
+  if (stage_latencies_.size() == 1) {
+    // Single stage: the exact stage law, no re-fit needed.
+    return stage_latencies_[0].model.quantile(p / 100.0);
+  }
+  return total_model_.quantile(p / 100.0);
+}
+
+double PipelinePredictor::cdf(double x) const {
+  if (stage_latencies_.size() == 1) {
+    return stage_latencies_[0].model.cdf(x);
+  }
+  return total_model_.cdf(x);
+}
+
+std::size_t PipelinePredictor::bottleneck_stage(double p) const {
+  std::size_t worst = 0;
+  double worst_q = -1.0;
+  for (std::size_t i = 0; i < stage_latencies_.size(); ++i) {
+    const double q = stage_latencies_[i].model.quantile(p / 100.0);
+    if (q > worst_q) {
+      worst_q = q;
+      worst = i;
+    }
+  }
+  return worst;
+}
+
+std::vector<double> PipelinePredictor::mean_breakdown() const {
+  std::vector<double> fractions;
+  fractions.reserve(stage_latencies_.size());
+  for (const StageLatency& lat : stage_latencies_) {
+    fractions.push_back(lat.mean / total_mean_);
+  }
+  return fractions;
+}
+
+}  // namespace forktail::core

@@ -1,0 +1,84 @@
+// Multi-stage fork-join workflow prediction.
+//
+// The paper's introduction motivates ForkTail with request workflows
+// "underlaid by various Fork-Join structures" -- e.g. web search runs a
+// retrieval fan-out, then a ranking fan-out, then assembly.  A single
+// ForkTail instance models one stage; this module composes stages.
+//
+// The composition is natural in the GE algebra:
+//   * within a stage, the max of k iid GE(alpha, beta) tasks is EXACTLY
+//     GE(k*alpha, beta) (the CDFs multiply), so each stage's latency is a
+//     GE variable with closed-form mean/variance (Eqs. 2-3 at shape
+//     k*alpha);
+//   * across stages, latencies add; treating stages as independent, the
+//     total's mean and variance are the sums, and the total is re-fitted
+//     as a GE by moment matching -- the same two-moment philosophy the
+//     paper applies per node, lifted one level.
+//
+// The independence-across-stages assumption parallels Eq. 4's assumption
+// across nodes, and is validated the same way (against simulation, at
+// high load) in tests/test_pipeline.cpp and bench/pipeline_validation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/genexp.hpp"
+#include "core/predictor.hpp"
+
+namespace forktail::core {
+
+/// One fork-join stage of a workflow: black-box task statistics plus the
+/// fan-out.
+struct StageSpec {
+  std::string name;     ///< label for reporting ("retrieval", "ranking", ...)
+  TaskStats tasks{};    ///< measured per-task response moments at this stage
+  double fanout = 1.0;  ///< k: tasks forked per request at this stage
+};
+
+/// Closed-form summary of one stage's latency (the max over its tasks).
+struct StageLatency {
+  std::string name;
+  GenExp model;      ///< GE(k*alpha, beta): the exact stage-latency law
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+class PipelinePredictor {
+ public:
+  explicit PipelinePredictor(std::vector<StageSpec> stages);
+
+  std::size_t num_stages() const noexcept { return stages_.size(); }
+
+  /// Per-stage latency laws (exact under the per-stage model).
+  const std::vector<StageLatency>& stage_latencies() const noexcept {
+    return stage_latencies_;
+  }
+
+  /// Mean / variance of the end-to-end workflow latency (sums of stages).
+  double total_mean() const noexcept { return total_mean_; }
+  double total_variance() const noexcept { return total_variance_; }
+
+  /// p-th percentile of the end-to-end latency via the moment-matched GE
+  /// of the stage sum.  p in (0, 100).
+  double quantile(double p) const;
+
+  /// End-to-end CDF of the moment-matched total.
+  double cdf(double x) const;
+
+  /// Which stage dominates the tail: index of the stage with the largest
+  /// p-th percentile contribution.
+  std::size_t bottleneck_stage(double p = 99.0) const;
+
+  /// Fraction of the total mean latency contributed by each stage.
+  std::vector<double> mean_breakdown() const;
+
+ private:
+  std::vector<StageSpec> stages_;
+  std::vector<StageLatency> stage_latencies_;
+  double total_mean_ = 0.0;
+  double total_variance_ = 0.0;
+  GenExp total_model_{1.0, 1.0};
+};
+
+}  // namespace forktail::core

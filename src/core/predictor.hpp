@@ -1,0 +1,113 @@
+// ForkTail tail-latency predictors (Section 3 of the paper).
+//
+// Inputs are always black-box per-node statistics: the mean and variance of
+// task response times.  Three request models are provided:
+//   - homogeneous, k tasks (Eq. 6/13)
+//   - inhomogeneous, one (mean, variance) pair per touched node (Eq. 4/5)
+//   - random task count K with P(K = k_i) = P_i (Eqs. 7-9, 14)
+// plus the white-box M/G/1 pipeline of Section 3.1 (Eqs. 10-11 feeding the
+// same moment fit).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/genexp.hpp"
+#include "dist/distribution.hpp"
+
+namespace forktail::core {
+
+/// Black-box measurement of one fork node (Fig. 2 of the paper).
+struct TaskStats {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// One component of a task-count mixture: requests spawn `tasks` tasks with
+/// probability `probability`.
+struct TaskCountGroup {
+  double tasks = 0.0;
+  double probability = 0.0;
+};
+
+/// Discrete distribution of the per-request task count K.
+class TaskCountMixture {
+ public:
+  explicit TaskCountMixture(std::vector<TaskCountGroup> groups);
+
+  /// Fixed task count (degenerate mixture).
+  static TaskCountMixture fixed(double k);
+
+  /// K uniform on the integers [a, b] (Scenario 2 of Section 4.2).  The
+  /// mixture stores the exact per-integer weights when b - a is small and a
+  /// binned approximation otherwise (bins of equal width; exactness is not
+  /// required because F depends smoothly on k).
+  static TaskCountMixture uniform_int(int a, int b, int max_groups = 256);
+
+  std::span<const TaskCountGroup> groups() const noexcept { return groups_; }
+  double mean_tasks() const noexcept;
+
+ private:
+  std::vector<TaskCountGroup> groups_;
+};
+
+/// Homogeneous tail latency (Eq. 13): all k tasks see iid GE response times
+/// fitted from `stats`.  `p` is a percentile in (0, 100).
+double homogeneous_quantile(const TaskStats& stats, double k, double p);
+
+/// Homogeneous request response-time CDF (Eq. 6).
+double homogeneous_cdf(const TaskStats& stats, double k, double x);
+
+/// Inhomogeneous tail latency (Eqs. 4-5): one measured (mean, variance) per
+/// fork node the request touches.
+double inhomogeneous_quantile(std::span<const TaskStats> nodes, double p);
+
+/// Inhomogeneous request response-time CDF (Eq. 4).
+double inhomogeneous_cdf(std::span<const TaskStats> nodes, double x);
+
+/// Mixture-of-task-counts tail latency (Eqs. 8-9 / 14): homogeneous nodes,
+/// random K.
+double mixture_quantile(const TaskStats& stats, const TaskCountMixture& mixture,
+                        double p);
+
+/// Mixture request response-time CDF (Eq. 8).
+double mixture_cdf(const TaskStats& stats, const TaskCountMixture& mixture,
+                   double x);
+
+/// White-box pipeline (Section 3.1): task moments from the M/G/1 formulas
+/// (Eqs. 10-11), then the homogeneous predictor.
+double whitebox_mg1_quantile(double lambda, const dist::Distribution& service,
+                             double k, double p);
+
+/// White-box task stats alone (useful for Table 2-style reporting).
+TaskStats whitebox_mg1_task_stats(double lambda, const dist::Distribution& service);
+
+/// Reusable predictor object: fits the GE once, answers many quantile /
+/// CDF queries.  This is the type the scheduler and provisioning layers
+/// hold on to.
+class ForkTailPredictor {
+ public:
+  /// Homogeneous: single fitted node model.
+  explicit ForkTailPredictor(const TaskStats& stats);
+
+  /// Inhomogeneous: one fitted model per touched node.
+  explicit ForkTailPredictor(std::span<const TaskStats> nodes);
+
+  /// Tail latency for k tasks (homogeneous) or for all stored nodes
+  /// (inhomogeneous; k must equal the stored node count or be omitted).
+  double quantile(double p, double k = 0.0) const;
+
+  double cdf(double x, double k = 0.0) const;
+
+  /// Tail latency under a task-count mixture (homogeneous only).
+  double quantile(double p, const TaskCountMixture& mixture) const;
+
+  bool homogeneous() const noexcept { return nodes_.size() == 1; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  const GenExp& node_model(std::size_t i = 0) const { return nodes_.at(i); }
+
+ private:
+  std::vector<GenExp> nodes_;
+};
+
+}  // namespace forktail::core

@@ -1,0 +1,135 @@
+#include "core/provisioning.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace forktail::core {
+
+TaskBudget derive_task_budget(const TailSlo& slo, const TaskCountMixture& mixture,
+                              double scv_hint) {
+  if (!(slo.latency > 0.0)) {
+    throw std::invalid_argument("derive_task_budget: SLO latency must be > 0");
+  }
+  if (!(scv_hint > 0.0)) {
+    throw std::invalid_argument("derive_task_budget: scv_hint must be > 0");
+  }
+  // The GE family is scale-invariant: fixing the task SCV fixes alpha, and
+  // every quantile scales linearly in the task mean.  Evaluate the mixture
+  // quantile at unit mean, then scale to hit the SLO with equality.
+  const TaskStats unit{1.0, scv_hint};
+  const double x_unit = mixture_quantile(unit, mixture, slo.percentile);
+  const double scale = slo.latency / x_unit;
+  return TaskBudget{scale, scale * scale * scv_hint};
+}
+
+TaskBudget derive_task_budget(const TailSlo& slo, double k, double scv_hint) {
+  return derive_task_budget(slo, TaskCountMixture::fixed(k), scv_hint);
+}
+
+ProvisioningResult max_sustainable_lambda(const NodeProbe& probe,
+                                          const TaskBudget& budget,
+                                          double lambda_lo, double lambda_hi,
+                                          double tolerance) {
+  if (!(lambda_lo > 0.0 && lambda_hi > lambda_lo)) {
+    throw std::invalid_argument("max_sustainable_lambda: bad lambda range");
+  }
+  auto within = [&](const TaskStats& s) {
+    return s.mean <= budget.mean && s.variance <= budget.variance;
+  };
+  ProvisioningResult result;
+  TaskStats lo_stats = probe(lambda_lo);
+  if (!within(lo_stats)) {
+    result.feasible = false;
+    result.stats_at_max = lo_stats;
+    return result;
+  }
+  result.feasible = true;
+  double lo = lambda_lo;
+  TaskStats best = lo_stats;
+  double hi = lambda_hi;
+  // If even lambda_hi fits, report it directly.
+  TaskStats hi_stats = probe(lambda_hi);
+  if (within(hi_stats)) {
+    result.max_lambda = lambda_hi;
+    result.stats_at_max = hi_stats;
+    return result;
+  }
+  while (hi - lo > tolerance * lambda_hi) {
+    const double mid = 0.5 * (lo + hi);
+    const TaskStats s = probe(mid);
+    if (within(s)) {
+      lo = mid;
+      best = s;
+    } else {
+      hi = mid;
+    }
+  }
+  result.max_lambda = lo;
+  result.stats_at_max = best;
+  return result;
+}
+
+ProvisioningResult max_lambda_for_slo(const NodeProbe& probe, const TailSlo& slo,
+                                      const TaskCountMixture& mixture,
+                                      double lambda_lo, double lambda_hi,
+                                      double tolerance) {
+  if (!(lambda_lo > 0.0 && lambda_hi > lambda_lo)) {
+    throw std::invalid_argument("max_lambda_for_slo: bad lambda range");
+  }
+  if (!(slo.latency > 0.0)) {
+    throw std::invalid_argument("max_lambda_for_slo: SLO latency must be > 0");
+  }
+  auto within = [&](const TaskStats& s) {
+    return mixture_quantile(s, mixture, slo.percentile) <= slo.latency;
+  };
+  ProvisioningResult result;
+  TaskStats lo_stats = probe(lambda_lo);
+  if (!within(lo_stats)) {
+    result.feasible = false;
+    result.stats_at_max = lo_stats;
+    return result;
+  }
+  result.feasible = true;
+  double lo = lambda_lo;
+  TaskStats best = lo_stats;
+  double hi = lambda_hi;
+  TaskStats hi_stats = probe(lambda_hi);
+  if (within(hi_stats)) {
+    result.max_lambda = lambda_hi;
+    result.stats_at_max = hi_stats;
+    return result;
+  }
+  while (hi - lo > tolerance * lambda_hi) {
+    const double mid = 0.5 * (lo + hi);
+    const TaskStats s = probe(mid);
+    if (within(s)) {
+      lo = mid;
+      best = s;
+    } else {
+      hi = mid;
+    }
+  }
+  result.max_lambda = lo;
+  result.stats_at_max = best;
+  return result;
+}
+
+double equivalent_load(std::span<const double> loads,
+                       std::span<const double> latencies, double latency) {
+  if (loads.size() != latencies.size() || loads.size() < 2) {
+    throw std::invalid_argument("equivalent_load: need matching curves, >= 2 points");
+  }
+  // The curve is increasing in load; clamp outside the sampled range.
+  if (latency <= latencies.front()) return loads.front();
+  if (latency >= latencies.back()) return loads.back();
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    if (latency <= latencies[i]) {
+      const double f =
+          (latency - latencies[i - 1]) / (latencies[i] - latencies[i - 1]);
+      return loads[i - 1] + f * (loads[i] - loads[i - 1]);
+    }
+  }
+  return loads.back();
+}
+
+}  // namespace forktail::core

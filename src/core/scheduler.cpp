@@ -1,0 +1,91 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace forktail::core {
+
+NodeStatsRegistry::NodeStatsRegistry(std::size_t num_nodes, double staleness_limit)
+    : entries_(num_nodes), staleness_limit_(staleness_limit) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("NodeStatsRegistry: need at least one node");
+  }
+  if (!(staleness_limit > 0.0)) {
+    throw std::invalid_argument("NodeStatsRegistry: staleness limit must be > 0");
+  }
+}
+
+void NodeStatsRegistry::report(std::size_t node, double now, const TaskStats& stats) {
+  if (!(stats.mean > 0.0 && stats.variance > 0.0)) {
+    throw std::invalid_argument("NodeStatsRegistry: stats must be positive");
+  }
+  Entry& e = entries_.at(node);
+  e.stats = stats;
+  e.reported_at = now;
+  e.valid = true;
+}
+
+std::optional<TaskStats> NodeStatsRegistry::fresh_stats(std::size_t node,
+                                                        double now) const {
+  const Entry& e = entries_.at(node);
+  if (!e.valid || now - e.reported_at > staleness_limit_) return std::nullopt;
+  return e.stats;
+}
+
+std::size_t NodeStatsRegistry::fresh_count(double now) const {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (fresh_stats(i, now)) ++c;
+  }
+  return c;
+}
+
+AdmissionController::AdmissionController(const NodeStatsRegistry& registry)
+    : registry_(registry) {}
+
+AdmissionDecision AdmissionController::admit(std::size_t k, const TailSlo& slo,
+                                             double now) const {
+  if (k == 0 || k > registry_.num_nodes()) {
+    throw std::invalid_argument("AdmissionController: bad k");
+  }
+  struct Candidate {
+    std::size_t node;
+    double score;
+    TaskStats stats;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(registry_.num_nodes());
+  const double level = std::pow(slo.percentile / 100.0,
+                                1.0 / static_cast<double>(k));
+  for (std::size_t i = 0; i < registry_.num_nodes(); ++i) {
+    const auto s = registry_.fresh_stats(i, now);
+    if (!s) continue;
+    const GenExp ge = GenExp::fit_moments(s->mean, s->variance);
+    candidates.push_back({i, ge.quantile(level), *s});
+  }
+  AdmissionDecision decision;
+  if (candidates.size() < k) return decision;  // not enough fresh nodes
+  std::nth_element(candidates.begin(),
+                   candidates.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score < b.score;
+                   });
+  std::vector<TaskStats> chosen_stats;
+  chosen_stats.reserve(k);
+  std::vector<std::size_t> chosen_nodes;
+  chosen_nodes.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    chosen_nodes.push_back(candidates[i].node);
+    chosen_stats.push_back(candidates[i].stats);
+  }
+  decision.predicted_latency = inhomogeneous_quantile(chosen_stats, slo.percentile);
+  if (decision.predicted_latency <= slo.latency) {
+    decision.admitted = true;
+    decision.chosen_nodes = std::move(chosen_nodes);
+  }
+  return decision;
+}
+
+}  // namespace forktail::core

@@ -1,0 +1,68 @@
+// Tail-latency-SLO-guaranteed job scheduling support (Section 6, Fig. 14).
+//
+// The hybrid centralized-and-distributed scheme: every server continuously
+// measures the mean/variance of its task response times and periodically
+// reports them to a central registry; on request arrival the scheduler
+// selects k fork nodes and admits the request only if the predicted tail
+// latency (Eq. 5) meets its SLO.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "core/provisioning.hpp"
+
+namespace forktail::core {
+
+/// Central store of per-node reported statistics.
+class NodeStatsRegistry {
+ public:
+  explicit NodeStatsRegistry(std::size_t num_nodes, double staleness_limit = 60.0);
+
+  std::size_t num_nodes() const noexcept { return entries_.size(); }
+
+  /// A node reports its windowed (mean, variance) at time `now`.
+  void report(std::size_t node, double now, const TaskStats& stats);
+
+  /// Latest stats if reported and fresh at time `now`.
+  std::optional<TaskStats> fresh_stats(std::size_t node, double now) const;
+
+  /// Number of nodes with fresh reports.
+  std::size_t fresh_count(double now) const;
+
+ private:
+  struct Entry {
+    TaskStats stats{};
+    double reported_at = -1.0;
+    bool valid = false;
+  };
+  std::vector<Entry> entries_;
+  double staleness_limit_;
+};
+
+/// Result of an admission decision.
+struct AdmissionDecision {
+  bool admitted = false;
+  double predicted_latency = 0.0;       ///< Eq. 5 over the chosen nodes
+  std::vector<std::size_t> chosen_nodes;///< empty when rejected
+};
+
+/// Fork-node selection + admission control.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const NodeStatsRegistry& registry);
+
+  /// Choose the k fork nodes minimising the predicted tail latency for the
+  /// request and admit it iff that latency meets the SLO.  Node scoring:
+  /// each node's marginal GE quantile at level (p/100)^{1/k} -- the exact
+  /// per-node contribution bound to Eq. 4 -- so the greedy choice of the k
+  /// smallest scores minimises the product-CDF quantile.
+  AdmissionDecision admit(std::size_t k, const TailSlo& slo, double now) const;
+
+ private:
+  const NodeStatsRegistry& registry_;
+};
+
+}  // namespace forktail::core

@@ -1,0 +1,155 @@
+#include "core/sensitivity.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace forktail::core {
+
+namespace {
+
+// 16-point Gauss-Legendre nodes/weights on [-1, 1].
+constexpr std::array<double, 8> kGlNodes = {
+    0.0950125098376374, 0.2816035507792589, 0.4580167776572274,
+    0.6178762444026438, 0.7554044083550030, 0.8656312023878318,
+    0.9445750230732326, 0.9894009349916499};
+constexpr std::array<double, 8> kGlWeights = {
+    0.1894506104550685, 0.1826034150449236, 0.1691565193950025,
+    0.1495959888165767, 0.1246289712555339, 0.0951585116824928,
+    0.0622535239386479, 0.0271524594117541};
+
+/// Integrate f over [a, b] with 16-point Gauss-Legendre.
+template <typename F>
+double gl16(const F& f, double a, double b) {
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kGlNodes.size(); ++i) {
+    acc += kGlWeights[i] *
+           (f(mid + half * kGlNodes[i]) + f(mid - half * kGlNodes[i]));
+  }
+  return acc * half;
+}
+
+}  // namespace
+
+double ge_central_moment(const GenExp& ge, int order) {
+  if (order < 2 || order > 4) {
+    throw std::out_of_range("ge_central_moment: order must be 2..4");
+  }
+  const double alpha = ge.alpha();
+  const double beta = ge.beta();
+  const double mean = ge.mean();
+  // E[(X - m)^r] = Int_0^inf (beta z - m)^r alpha e^{-z}(1-e^{-z})^{a-1} dz
+  // in the unit-scale variable z = x / beta.  The density has a z^{a-1}
+  // power singularity at 0; substituting z = w^{1/a} on the first segment
+  // absorbs it exactly (the Jacobian cancels the singular factor), leaving
+  // smooth integrands that 16-point Gauss-Legendre handles to ~1e-12.
+  auto centred_power = [&](double z) {
+    const double d = beta * z - mean;
+    double p = d;
+    for (int i = 1; i < order; ++i) p *= d;
+    return p;
+  };
+  constexpr double kSplit = 0.5;  // z boundary between the two segments
+
+  // Segment 1: z in (0, kSplit] via z = w^{1/alpha}.
+  // f dz = e^{-z} (1-e^{-z})^{a-1} w^{1/a - 1} dw; combine the two
+  // near-singular powers in log space.
+  auto lower = [&](double w) {
+    const double z = std::pow(w, 1.0 / alpha);
+    const double one_minus = -std::expm1(-z);  // 1 - e^{-z}
+    const double log_density = (alpha - 1.0) * std::log(one_minus) +
+                               (1.0 / alpha - 1.0) * std::log(w) - z;
+    return centred_power(z) * std::exp(log_density);
+  };
+  const double w_hi = std::pow(kSplit, alpha);
+  double acc = 0.0;
+  {
+    double a = 0.0;
+    for (double frac : {0.05, 0.15, 0.35, 0.65, 1.0}) {
+      const double b = w_hi * frac;
+      acc += gl16(lower, a, b);
+      a = b;
+    }
+  }
+
+  // Segment 2: z in [kSplit, 36] (residual mass beyond e^{-36} is far
+  // below the quadrature error even against the 4th power).
+  auto upper = [&](double z) {
+    const double one_minus = -std::expm1(-z);
+    return centred_power(z) * alpha * std::exp(-z) *
+           std::exp((alpha - 1.0) * std::log(one_minus));
+  };
+  {
+    double a = kSplit;
+    for (double b : {0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0,
+                     24.0, 36.0}) {
+      acc += gl16(upper, a, b);
+      a = b;
+    }
+  }
+  return acc;
+}
+
+QuantileSensitivity quantile_sensitivity(const TaskStats& stats, double k,
+                                         double p) {
+  QuantileSensitivity s;
+  s.value = homogeneous_quantile(stats, k, p);
+  // Central differences with relative steps; the fit is smooth in both
+  // moments so modest steps are fine.
+  const double h_mean = 1e-5 * stats.mean;
+  const double h_var = 1e-5 * stats.variance;
+  s.d_mean = (homogeneous_quantile({stats.mean + h_mean, stats.variance}, k, p) -
+              homogeneous_quantile({stats.mean - h_mean, stats.variance}, k, p)) /
+             (2.0 * h_mean);
+  s.d_variance =
+      (homogeneous_quantile({stats.mean, stats.variance + h_var}, k, p) -
+       homogeneous_quantile({stats.mean, stats.variance - h_var}, k, p)) /
+      (2.0 * h_var);
+  return s;
+}
+
+PredictionUncertainty prediction_uncertainty(const TaskStats& stats, double k,
+                                             double p, std::uint64_t samples) {
+  if (samples < 2) {
+    throw std::invalid_argument("prediction_uncertainty: need >= 2 samples");
+  }
+  const GenExp ge = GenExp::fit_moments(stats.mean, stats.variance);
+  const double mu2 = ge_central_moment(ge, 2);
+  const double mu3 = ge_central_moment(ge, 3);
+  const double mu4 = ge_central_moment(ge, 4);
+  const double n = static_cast<double>(samples);
+
+  const QuantileSensitivity s = quantile_sensitivity(stats, k, p);
+  const double var_mean = mu2 / n;
+  const double var_var = std::max(0.0, (mu4 - mu2 * mu2) / n);
+  const double cov = mu3 / n;
+  double variance = s.d_mean * s.d_mean * var_mean +
+                    s.d_variance * s.d_variance * var_var +
+                    2.0 * s.d_mean * s.d_variance * cov;
+  variance = std::max(variance, 0.0);
+
+  PredictionUncertainty u;
+  u.value = s.value;
+  u.stderr_abs = std::sqrt(variance);
+  u.stderr_rel = u.stderr_abs / u.value;
+  return u;
+}
+
+std::uint64_t samples_for_precision(const TaskStats& stats, double k, double p,
+                                    double rel_precision) {
+  if (!(rel_precision > 0.0)) {
+    throw std::invalid_argument("samples_for_precision: precision must be > 0");
+  }
+  // stderr_rel scales as 1/sqrt(n): one evaluation at a reference n gives
+  // the answer in closed form.
+  constexpr std::uint64_t kReference = 1000;
+  const PredictionUncertainty u =
+      prediction_uncertainty(stats, k, p, kReference);
+  const double ratio = u.stderr_rel / rel_precision;
+  const double n = static_cast<double>(kReference) * ratio * ratio;
+  return std::max<std::uint64_t>(2, static_cast<std::uint64_t>(std::ceil(n)));
+}
+
+}  // namespace forktail::core

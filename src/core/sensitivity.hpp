@@ -1,0 +1,57 @@
+// Measurement-error propagation for ForkTail predictions.
+//
+// The model consumes a *sampled* mean and variance, so the predicted
+// quantile is itself a random variable.  This module quantifies that:
+//
+//   - the partial derivatives of the predicted quantile w.r.t. the two
+//     measured moments;
+//   - the delta-method standard error of the prediction given n task
+//     samples (using the fitted GE's own third/fourth central moments for
+//     the sampling variance of the moment estimators);
+//   - the sample count needed for a target relative precision -- the
+//     quantitative version of the paper's "1000 samples collected in 20
+//     seconds allow a reasonably accurate estimation" argument.
+#pragma once
+
+#include <cstdint>
+
+#include "core/predictor.hpp"
+
+namespace forktail::core {
+
+/// Partial derivatives of the homogeneous p-th percentile (Eq. 13) with
+/// respect to the measured task mean and variance.
+struct QuantileSensitivity {
+  double value = 0.0;        ///< x_p at the nominal (mean, variance)
+  double d_mean = 0.0;       ///< dx_p / dE[T]
+  double d_variance = 0.0;   ///< dx_p / dV[T]
+};
+
+QuantileSensitivity quantile_sensitivity(const TaskStats& stats, double k,
+                                         double p);
+
+/// Delta-method standard error of the predicted quantile when the task
+/// moments are estimated from `samples` iid task response times.  The
+/// estimator covariance uses the fitted GE's central moments:
+///   Var(mean^)      = mu2 / n
+///   Var(var^)       = (mu4 - mu2^2) / n
+///   Cov(mean^,var^) = mu3 / n.
+struct PredictionUncertainty {
+  double value = 0.0;        ///< x_p
+  double stderr_abs = 0.0;   ///< standard error of x_p
+  double stderr_rel = 0.0;   ///< stderr_abs / value
+};
+
+PredictionUncertainty prediction_uncertainty(const TaskStats& stats, double k,
+                                             double p, std::uint64_t samples);
+
+/// Smallest sample count whose delta-method relative standard error is at
+/// most `rel_precision` (e.g. 0.05 for +-5% at one sigma).
+std::uint64_t samples_for_precision(const TaskStats& stats, double k, double p,
+                                    double rel_precision);
+
+/// Central moment of a GE distribution (order 2..4), by quadrature over
+/// the quantile transform; exposed for tests.
+double ge_central_moment(const GenExp& ge, int order);
+
+}  // namespace forktail::core

@@ -1,0 +1,158 @@
+#include "dist/basic.hpp"
+
+#include <cmath>
+
+namespace forktail::dist {
+
+namespace {
+double factorial(int n) {
+  double f = 1.0;
+  for (int i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double mean) : mean_(mean) {
+  if (!(mean > 0.0)) throw std::invalid_argument("Exponential: mean must be > 0");
+}
+
+double Exponential::moment(int k) const {
+  check_moment_order(k);
+  return factorial(k) * std::pow(mean_, k);
+}
+
+double Exponential::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / mean_);
+}
+
+std::complex<double> Exponential::lst(std::complex<double> s) const {
+  const double rate = 1.0 / mean_;
+  return rate / (rate + s);
+}
+
+// --------------------------------------------------------------------- Erlang
+
+Erlang::Erlang(int stages, double mean)
+    : stages_(stages), stage_rate_(static_cast<double>(stages) / mean) {
+  if (stages < 1) throw std::invalid_argument("Erlang: stages must be >= 1");
+  if (!(mean > 0.0)) throw std::invalid_argument("Erlang: mean must be > 0");
+}
+
+double Erlang::sample(util::Rng& rng) const {
+  // Product-of-uniforms trick: sum of k exponentials.
+  double prod = 1.0;
+  for (int i = 0; i < stages_; ++i) prod *= rng.uniform_pos();
+  return -std::log(prod) / stage_rate_;
+}
+
+double Erlang::moment(int k) const {
+  check_moment_order(k);
+  // E[X^k] = (n+k-1)! / ((n-1)! * rate^k)
+  double num = 1.0;
+  for (int i = stages_; i < stages_ + k; ++i) num *= i;
+  return num / std::pow(stage_rate_, k);
+}
+
+double Erlang::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  // 1 - e^{-rx} * sum_{j<n} (rx)^j / j!
+  const double rx = stage_rate_ * x;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int j = 1; j < stages_; ++j) {
+    term *= rx / j;
+    sum += term;
+  }
+  return 1.0 - std::exp(-rx) * sum;
+}
+
+std::string Erlang::name() const { return "Erlang-" + std::to_string(stages_); }
+
+std::complex<double> Erlang::lst(std::complex<double> s) const {
+  std::complex<double> base = stage_rate_ / (stage_rate_ + s);
+  std::complex<double> out = 1.0;
+  for (int i = 0; i < stages_; ++i) out *= base;
+  return out;
+}
+
+// ------------------------------------------------------------------ HyperExp2
+
+HyperExp2::HyperExp2(double p1, double rate1, double rate2)
+    : p1_(p1), rate1_(rate1), rate2_(rate2) {
+  if (!(p1 >= 0.0 && p1 <= 1.0)) throw std::invalid_argument("HyperExp2: bad p1");
+  if (!(rate1 > 0.0 && rate2 > 0.0)) {
+    throw std::invalid_argument("HyperExp2: rates must be > 0");
+  }
+}
+
+HyperExp2 HyperExp2::from_mean_scv(double mean, double scv) {
+  if (!(mean > 0.0)) throw std::invalid_argument("HyperExp2: mean must be > 0");
+  if (!(scv >= 1.0)) {
+    throw std::invalid_argument("HyperExp2: requires SCV >= 1");
+  }
+  // Balanced-means two-moment fit (Tijms): p1 = (1 + sqrt((c2-1)/(c2+1)))/2,
+  // mu1 = 2 p1 / mean, mu2 = 2 (1-p1) / mean.
+  const double p1 = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  const double mu1 = 2.0 * p1 / mean;
+  const double mu2 = 2.0 * (1.0 - p1) / mean;
+  return HyperExp2(p1, mu1, mu2);
+}
+
+double HyperExp2::sample(util::Rng& rng) const {
+  const double rate = rng.bernoulli(p1_) ? rate1_ : rate2_;
+  return rng.exponential(1.0 / rate);
+}
+
+double HyperExp2::moment(int k) const {
+  check_moment_order(k);
+  const double f = factorial(k);
+  return p1_ * f / std::pow(rate1_, k) + (1.0 - p1_) * f / std::pow(rate2_, k);
+}
+
+double HyperExp2::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return p1_ * (1.0 - std::exp(-rate1_ * x)) +
+         (1.0 - p1_) * (1.0 - std::exp(-rate2_ * x));
+}
+
+std::complex<double> HyperExp2::lst(std::complex<double> s) const {
+  return p1_ * (rate1_ / (rate1_ + s)) + (1.0 - p1_) * (rate2_ / (rate2_ + s));
+}
+
+// -------------------------------------------------------------- Deterministic
+
+Deterministic::Deterministic(double value) : value_(value) {
+  if (!(value >= 0.0)) throw std::invalid_argument("Deterministic: value < 0");
+}
+
+double Deterministic::moment(int k) const {
+  check_moment_order(k);
+  return std::pow(value_, k);
+}
+
+std::complex<double> Deterministic::lst(std::complex<double> s) const {
+  return std::exp(-s * value_);
+}
+
+// ---------------------------------------------------------------- UniformReal
+
+UniformReal::UniformReal(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (!(hi > lo) || lo < 0.0) throw std::invalid_argument("Uniform: bad range");
+}
+
+double UniformReal::moment(int k) const {
+  check_moment_order(k);
+  const double kk = static_cast<double>(k);
+  return (std::pow(hi_, kk + 1.0) - std::pow(lo_, kk + 1.0)) /
+         ((kk + 1.0) * (hi_ - lo_));
+}
+
+double UniformReal::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+}  // namespace forktail::dist

@@ -1,0 +1,102 @@
+// Light-tailed / phase-type service-time distributions: exponential,
+// Erlang-k, 2-phase hyperexponential, deterministic, uniform.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace forktail::dist {
+
+/// Exponential with the given mean.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean);
+
+  double sample(util::Rng& rng) const override { return rng.exponential(mean_); }
+  double moment(int k) const override;
+  double cdf(double x) const override;
+  std::string name() const override { return "Exponential"; }
+  bool has_lst() const override { return true; }
+  std::complex<double> lst(std::complex<double> s) const override;
+
+ private:
+  double mean_;
+};
+
+/// Erlang with `stages` phases and the given overall mean; CV^2 = 1/stages.
+class Erlang final : public Distribution {
+ public:
+  Erlang(int stages, double mean);
+
+  double sample(util::Rng& rng) const override;
+  double moment(int k) const override;
+  double cdf(double x) const override;
+  std::string name() const override;
+  bool has_lst() const override { return true; }
+  std::complex<double> lst(std::complex<double> s) const override;
+
+  int stages() const noexcept { return stages_; }
+
+ private:
+  int stages_;
+  double stage_rate_;  // per-stage rate = stages / mean
+};
+
+/// Two-phase hyperexponential: with probability p1 draw Exp(1/rate1), else
+/// Exp(1/rate2).  CV^2 >= 1.
+class HyperExp2 final : public Distribution {
+ public:
+  HyperExp2(double p1, double rate1, double rate2);
+
+  /// Balanced-means construction from a target mean and SCV (>= 1): the
+  /// standard two-moment fit with p1*mu2 = p2*mu1 branch loads balanced.
+  static HyperExp2 from_mean_scv(double mean, double scv);
+
+  double sample(util::Rng& rng) const override;
+  double moment(int k) const override;
+  double cdf(double x) const override;
+  std::string name() const override { return "HyperExp2"; }
+  bool has_lst() const override { return true; }
+  std::complex<double> lst(std::complex<double> s) const override;
+
+  double p1() const noexcept { return p1_; }
+  double rate1() const noexcept { return rate1_; }
+  double rate2() const noexcept { return rate2_; }
+
+ private:
+  double p1_;
+  double rate1_;
+  double rate2_;
+};
+
+/// Degenerate distribution: always `value`.
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value);
+
+  double sample(util::Rng&) const override { return value_; }
+  double moment(int k) const override;
+  double cdf(double x) const override { return x >= value_ ? 1.0 : 0.0; }
+  std::string name() const override { return "Deterministic"; }
+  bool has_lst() const override { return true; }
+  std::complex<double> lst(std::complex<double> s) const override;
+
+ private:
+  double value_;
+};
+
+/// Uniform on [lo, hi].
+class UniformReal final : public Distribution {
+ public:
+  UniformReal(double lo, double hi);
+
+  double sample(util::Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double moment(int k) const override;
+  double cdf(double x) const override;
+  std::string name() const override { return "Uniform"; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace forktail::dist

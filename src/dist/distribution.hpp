@@ -1,0 +1,70 @@
+// Service-time distribution interface.
+//
+// Every distribution used by the simulators and the white-box analysis
+// provides: sampling, analytic raw moments E[S^k] for k = 1..3 (Eq. 11 of
+// the paper needs the third moment), a CDF, and -- for the phase-type
+// family used by the EAT baseline -- the Laplace-Stieltjes transform.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace forktail::dist {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draw one variate.
+  virtual double sample(util::Rng& rng) const = 0;
+
+  /// Raw moment E[S^k], k in 1..3, computed analytically.
+  virtual double moment(int k) const = 0;
+
+  /// P(S <= x).
+  virtual double cdf(double x) const = 0;
+
+  virtual std::string name() const = 0;
+
+  double mean() const { return moment(1); }
+
+  double variance() const {
+    const double m = moment(1);
+    return moment(2) - m * m;
+  }
+
+  /// Squared coefficient of variation C_S^2 = V[S]/E[S]^2.
+  double scv() const {
+    const double m = moment(1);
+    return variance() / (m * m);
+  }
+
+  double cv() const {
+    const double s = scv();
+    return s > 0.0 ? std::sqrt(s) : 0.0;
+  }
+
+  /// Laplace-Stieltjes transform E[e^{-sS}] at complex s.  Only the
+  /// phase-type family (exponential, Erlang, hyperexponential,
+  /// deterministic) implements this; others throw.
+  virtual bool has_lst() const { return false; }
+  virtual std::complex<double> lst(std::complex<double> /*s*/) const {
+    throw std::logic_error("LST not available for " + name());
+  }
+
+ protected:
+  static void check_moment_order(int k) {
+    if (k < 1 || k > 3) {
+      throw std::out_of_range("moment order must be in 1..3");
+    }
+  }
+};
+
+using DistPtr = std::shared_ptr<const Distribution>;
+
+}  // namespace forktail::dist

@@ -1,0 +1,133 @@
+#include "dist/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/kahan.hpp"
+
+namespace forktail::dist {
+
+Empirical::Empirical(std::vector<double> probs, std::vector<double> values,
+                     std::string label)
+    : probs_(std::move(probs)), values_(std::move(values)), label_(std::move(label)) {
+  if (probs_.size() != values_.size() || probs_.size() < 2) {
+    throw std::invalid_argument("Empirical: need matching knot arrays, >= 2 knots");
+  }
+  if (probs_.front() != 0.0 || probs_.back() != 1.0) {
+    throw std::invalid_argument("Empirical: probs must span [0, 1]");
+  }
+  for (std::size_t i = 1; i < probs_.size(); ++i) {
+    if (!(probs_[i] > probs_[i - 1])) {
+      throw std::invalid_argument("Empirical: probs must be strictly increasing");
+    }
+    if (values_[i] < values_[i - 1]) {
+      throw std::invalid_argument("Empirical: values must be non-decreasing");
+    }
+  }
+  if (values_.front() < 0.0) {
+    throw std::invalid_argument("Empirical: negative values");
+  }
+  compute_moments();
+}
+
+Empirical Empirical::from_samples(std::span<const double> samples,
+                                  std::size_t knots, std::string label) {
+  if (samples.size() < 16 || knots < 8) {
+    throw std::invalid_argument("Empirical::from_samples: too few samples/knots");
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  // 3/4 of the knots uniform over [0, 0.95], 1/4 geometric into the tail.
+  std::vector<double> probs;
+  probs.reserve(knots);
+  const std::size_t body = knots * 3 / 4;
+  for (std::size_t i = 0; i < body; ++i) {
+    probs.push_back(0.95 * static_cast<double>(i) / static_cast<double>(body));
+  }
+  const std::size_t tail = knots - body - 1;
+  // Residual mass from 0.05 down to ~1/n, geometrically.
+  const double min_res =
+      std::max(1.0 / static_cast<double>(sorted.size()), 1e-6);
+  for (std::size_t i = 0; i < tail; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(tail);
+    probs.push_back(1.0 - 0.05 * std::pow(min_res / 0.05, f));
+  }
+  probs.push_back(1.0);
+  std::vector<double> values;
+  values.reserve(probs.size());
+  const double n1 = static_cast<double>(sorted.size() - 1);
+  for (double p : probs) {
+    const double h = p * n1;
+    const auto lo = static_cast<std::size_t>(h);
+    if (lo + 1 >= sorted.size()) {
+      values.push_back(sorted.back());
+    } else {
+      const double frac = h - static_cast<double>(lo);
+      values.push_back(sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]));
+    }
+  }
+  return Empirical(std::move(probs), std::move(values), std::move(label));
+}
+
+void Empirical::compute_moments() {
+  // Piecewise-linear quantile => mixture of uniforms over segments:
+  // E[X^k] = sum_i w_i * (v_{i+1}^{k+1} - v_i^{k+1}) / ((k+1)(v_{i+1} - v_i)).
+  for (int k = 1; k <= 3; ++k) {
+    util::KahanSum acc;
+    for (std::size_t i = 0; i + 1 < probs_.size(); ++i) {
+      const double w = probs_[i + 1] - probs_[i];
+      const double a = values_[i];
+      const double b = values_[i + 1];
+      double seg;
+      if (b - a < 1e-300) {
+        seg = std::pow(a, k);
+      } else {
+        seg = (std::pow(b, k + 1) - std::pow(a, k + 1)) /
+              (static_cast<double>(k + 1) * (b - a));
+      }
+      acc.add(w * seg);
+    }
+    moments_[k - 1] = acc.value();
+  }
+}
+
+double Empirical::quantile(double u) const {
+  if (u <= 0.0) return values_.front();
+  if (u >= 1.0) return values_.back();
+  const auto it = std::upper_bound(probs_.begin(), probs_.end(), u);
+  const auto hi = static_cast<std::size_t>(it - probs_.begin());
+  const std::size_t lo = hi - 1;
+  const double frac = (u - probs_[lo]) / (probs_[hi] - probs_[lo]);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+double Empirical::sample(util::Rng& rng) const { return quantile(rng.uniform()); }
+
+double Empirical::moment(int k) const {
+  check_moment_order(k);
+  return moments_[k - 1];
+}
+
+double Empirical::cdf(double x) const {
+  if (x <= values_.front()) return 0.0;
+  if (x >= values_.back()) return 1.0;
+  // Find the segment containing x.  Values may repeat (flat segments);
+  // upper_bound gives the right-most matching knot.
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  const auto hi = static_cast<std::size_t>(it - values_.begin());
+  const std::size_t lo = hi - 1;
+  const double a = values_[lo];
+  const double b = values_[hi];
+  if (b - a < 1e-300) return probs_[hi];
+  const double frac = (x - a) / (b - a);
+  return probs_[lo] + frac * (probs_[hi] - probs_[lo]);
+}
+
+Empirical Empirical::scaled(double factor) const {
+  if (!(factor > 0.0)) throw std::invalid_argument("Empirical::scaled: factor <= 0");
+  std::vector<double> values = values_;
+  for (double& v : values) v *= factor;
+  return Empirical(probs_, std::move(values), label_);
+}
+
+}  // namespace forktail::dist

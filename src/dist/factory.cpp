@@ -1,0 +1,32 @@
+#include "dist/factory.hpp"
+
+#include "dist/basic.hpp"
+#include "dist/google_leaf.hpp"
+#include "dist/heavy.hpp"
+
+namespace forktail::dist {
+
+DistPtr make_named(const std::string& name) {
+  const double m = kPaperMeanServiceMs;
+  if (name == "Exponential") return std::make_shared<Exponential>(m);
+  if (name == "Erlang-2") return std::make_shared<Erlang>(2, m);
+  if (name == "HyperExp2") {
+    return std::make_shared<HyperExp2>(HyperExp2::from_mean_scv(m, 2.0));
+  }
+  if (name == "Weibull") {
+    return std::make_shared<Weibull>(Weibull::from_mean_cv(m, 1.5));
+  }
+  if (name == "TruncPareto") {
+    return std::make_shared<TruncatedPareto>(
+        TruncatedPareto::from_mean_cv_upper(m, 1.2, kGoogleLeafMaxMs));
+  }
+  if (name == "Empirical") return google_leaf_ptr();
+  throw std::invalid_argument("unknown distribution name: " + name);
+}
+
+std::vector<std::string> named_distributions() {
+  return {"Exponential", "Erlang-2",    "HyperExp2",
+          "Weibull",     "TruncPareto", "Empirical"};
+}
+
+}  // namespace forktail::dist

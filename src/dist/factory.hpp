@@ -1,0 +1,29 @@
+// Construction of the paper's named service-time distributions.
+//
+// Section 4 of the paper evaluates a fixed roster of service-time
+// distributions, all normalised to the same mean (4.22 ms):
+//   - "Exponential"            (CV = 1)
+//   - "Erlang-2"               (CV^2 = 0.5)
+//   - "HyperExp2"              (CV^2 = 2, balanced means)
+//   - "Weibull"                (CV = 1.5; shape 0.6848, scale 3.2630)
+//   - "TruncPareto"            (CV = 1.2, H = 276.6 ms; alpha 2.0119, L 2.14)
+//   - "Empirical"              (synthesized Google-leaf table)
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace forktail::dist {
+
+/// The common mean service time used across the paper's experiments (ms).
+inline constexpr double kPaperMeanServiceMs = 4.22;
+
+/// Build one of the named distributions above at the paper's mean.
+/// Throws std::invalid_argument for unknown names.
+DistPtr make_named(const std::string& name);
+
+/// All names accepted by make_named.
+std::vector<std::string> named_distributions();
+
+}  // namespace forktail::dist

@@ -1,0 +1,92 @@
+#include "dist/google_leaf.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "dist/heavy.hpp"
+#include "stats/roots.hpp"
+
+namespace forktail::dist {
+
+namespace {
+
+// Fixed shape choices (see header): lognormal body spread and the tail
+// segment.  Only the mixture weight and the body mean are solved.
+constexpr double kBodySigma = 0.65;
+constexpr double kTailAlpha = 1.2;
+constexpr double kTailLower = 8.0;
+
+Empirical build_google_leaf() {
+  const TruncatedPareto tail(kTailAlpha, kTailLower, kGoogleLeafMaxMs);
+  const double tail_m1 = tail.moment(1);
+  const double tail_m2 = tail.moment(2);
+  const double target_mean = kGoogleLeafMeanMs;
+  const double target_m2 =
+      target_mean * target_mean * (1.0 + kGoogleLeafCv * kGoogleLeafCv);
+  const double w = std::exp(kBodySigma * kBodySigma);  // E[B^2] = m_b^2 * w
+
+  // Body mean implied by the overall-mean constraint at tail weight p.
+  auto body_mean = [&](double p) {
+    return (target_mean - p * tail_m1) / (1.0 - p);
+  };
+  // Second-moment residual as a function of tail weight.
+  auto m2_err = [&](double p) {
+    const double mb = body_mean(p);
+    return (1.0 - p) * mb * mb * w + p * tail_m2 - target_m2;
+  };
+  const double p = stats::brent(m2_err, 1e-5, 0.04,
+                                {.x_tolerance = 1e-14, .f_tolerance = 0.0,
+                                 .max_iterations = 200});
+  const double mb = body_mean(p);
+  const double mu = std::log(mb) - 0.5 * kBodySigma * kBodySigma;
+
+  auto mixture_cdf = [&](double x) {
+    const double body =
+        x <= 0.0 ? 0.0 : normal_cdf((std::log(x) - mu) / kBodySigma);
+    return (1.0 - p) * body + p * tail.cdf(x);
+  };
+
+  // Probability knots: dense body plus geometrically refined tail.
+  std::vector<double> probs;
+  const std::size_t body_knots = 384;
+  for (std::size_t i = 0; i < body_knots; ++i) {
+    probs.push_back(0.95 * static_cast<double>(i) / static_cast<double>(body_knots));
+  }
+  const std::size_t tail_knots = 127;
+  for (std::size_t i = 0; i < tail_knots; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(tail_knots);
+    probs.push_back(1.0 - 0.05 * std::pow(1e-5 / 0.05, f));
+  }
+  probs.push_back(1.0);
+
+  std::vector<double> values;
+  values.reserve(probs.size());
+  for (double u : probs) {
+    if (u <= 0.0) {
+      values.push_back(0.0);
+    } else if (u >= 1.0) {
+      values.push_back(kGoogleLeafMaxMs);
+    } else {
+      values.push_back(stats::brent(
+          [&](double x) { return mixture_cdf(x) - u; }, 1e-6, kGoogleLeafMaxMs,
+          {.x_tolerance = 1e-10, .f_tolerance = 0.0, .max_iterations = 300}));
+    }
+  }
+  Empirical table(std::move(probs), std::move(values), "Empirical");
+  // The discretization shifts the mean by a fraction of a percent; rescale
+  // so the published mean is exact (CV is scale-invariant).
+  return table.scaled(target_mean / table.mean());
+}
+
+}  // namespace
+
+const Empirical& google_leaf() {
+  static const Empirical instance = build_google_leaf();
+  return instance;
+}
+
+DistPtr google_leaf_ptr() {
+  return std::make_shared<Empirical>(google_leaf());
+}
+
+}  // namespace forktail::dist

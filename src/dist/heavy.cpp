@@ -1,0 +1,203 @@
+#include "dist/heavy.hpp"
+
+#include <cmath>
+
+#include "stats/roots.hpp"
+#include "stats/special_functions.hpp"
+
+namespace forktail::dist {
+
+double normal_cdf(double z) { return stats::normal_cdf(z); }
+
+double normal_pdf(double z) { return stats::normal_pdf(z); }
+
+double normal_quantile(double p) { return stats::normal_quantile(p); }
+
+// -------------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0 && scale > 0.0)) {
+    throw std::invalid_argument("Weibull: shape and scale must be > 0");
+  }
+}
+
+Weibull Weibull::from_mean_cv(double mean, double cv) {
+  if (!(mean > 0.0 && cv > 0.0)) {
+    throw std::invalid_argument("Weibull: mean and cv must be > 0");
+  }
+  const double target = cv * cv;
+  auto cv2_of_shape = [](double k) {
+    const double g1 = std::lgamma(1.0 + 1.0 / k);
+    const double g2 = std::lgamma(1.0 + 2.0 / k);
+    return std::exp(g2 - 2.0 * g1) - 1.0;
+  };
+  // CV^2 is strictly decreasing in shape; bracket and solve.
+  double lo = 0.05;  // CV^2(0.05) is astronomically large
+  double hi = 50.0;  // CV^2(50) ~ 0.0006
+  const double shape = stats::brent(
+      [&](double k) { return cv2_of_shape(k) - target; }, lo, hi,
+      {.x_tolerance = 1e-12, .f_tolerance = 0.0, .max_iterations = 200});
+  const double scale = mean / std::exp(std::lgamma(1.0 + 1.0 / shape));
+  return Weibull(shape, scale);
+}
+
+double Weibull::sample(util::Rng& rng) const {
+  return scale_ * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape_);
+}
+
+double Weibull::moment(int k) const {
+  check_moment_order(k);
+  return std::pow(scale_, k) * std::exp(std::lgamma(1.0 + static_cast<double>(k) / shape_));
+}
+
+double Weibull::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+// ------------------------------------------------------------ TruncatedPareto
+
+TruncatedPareto::TruncatedPareto(double alpha, double lower, double upper)
+    : alpha_(alpha), lower_(lower), upper_(upper) {
+  if (!(alpha > 0.0) || !(lower > 0.0) || !(upper > lower)) {
+    throw std::invalid_argument("TruncatedPareto: invalid parameters");
+  }
+  trunc_mass_ = 1.0 - std::pow(lower_ / upper_, alpha_);
+}
+
+double TruncatedPareto::sample(util::Rng& rng) const {
+  // Inverse transform: x = L / (1 - u * trunc_mass)^{1/alpha}.
+  const double u = rng.uniform();
+  return lower_ / std::pow(1.0 - u * trunc_mass_, 1.0 / alpha_);
+}
+
+double TruncatedPareto::moment(int k) const {
+  check_moment_order(k);
+  const double kk = static_cast<double>(k);
+  const double la = std::pow(lower_, alpha_);
+  if (std::fabs(kk - alpha_) < 1e-9) {
+    // E[X^k] = alpha L^alpha ln(H/L) / trunc_mass at k == alpha.
+    return alpha_ * la * std::log(upper_ / lower_) / trunc_mass_;
+  }
+  return alpha_ * la *
+         (std::pow(upper_, kk - alpha_) - std::pow(lower_, kk - alpha_)) /
+         ((kk - alpha_) * trunc_mass_);
+}
+
+double TruncatedPareto::cdf(double x) const {
+  if (x <= lower_) return 0.0;
+  if (x >= upper_) return 1.0;
+  return (1.0 - std::pow(lower_ / x, alpha_)) / trunc_mass_;
+}
+
+TruncatedPareto TruncatedPareto::from_mean_cv_upper(double mean, double cv,
+                                                    double upper) {
+  if (!(mean > 0.0 && cv > 0.0 && upper > mean)) {
+    throw std::invalid_argument("TruncatedPareto: invalid (mean, cv, upper)");
+  }
+  const double target_m2 = mean * mean * (1.0 + cv * cv);
+  // For fixed alpha, the mean is strictly increasing in L; solve L from the
+  // mean, then match the second moment via an outer search on alpha.
+  auto lower_for_alpha = [&](double alpha) {
+    auto mean_of = [&](double lower) {
+      TruncatedPareto d(alpha, lower, upper);
+      return d.moment(1) - mean;
+    };
+    // mean(L -> 0+) -> small; mean(L -> upper) -> upper > mean.
+    return stats::brent(mean_of, upper * 1e-9, upper * (1.0 - 1e-9),
+                        {.x_tolerance = 1e-13 * upper, .f_tolerance = 0.0,
+                         .max_iterations = 300});
+  };
+  auto m2_err = [&](double alpha) {
+    const double lower = lower_for_alpha(alpha);
+    TruncatedPareto d(alpha, lower, upper);
+    return d.moment(2) - target_m2;
+  };
+  // Larger alpha => thinner tail => smaller second moment at fixed mean.
+  const double alpha = stats::brent(m2_err, 1.05, 20.0,
+                                    {.x_tolerance = 1e-10, .f_tolerance = 0.0,
+                                     .max_iterations = 300});
+  return TruncatedPareto(alpha, lower_for_alpha(alpha), upper);
+}
+
+// ------------------------------------------------------------------ LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("LogNormal: sigma must be > 0");
+}
+
+LogNormal LogNormal::from_mean_cv(double mean, double cv) {
+  if (!(mean > 0.0 && cv > 0.0)) {
+    throw std::invalid_argument("LogNormal: mean and cv must be > 0");
+  }
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return LogNormal(mu, std::sqrt(sigma2));
+}
+
+double LogNormal::sample(util::Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+double LogNormal::moment(int k) const {
+  check_moment_order(k);
+  const double kk = static_cast<double>(k);
+  return std::exp(kk * mu_ + 0.5 * kk * kk * sigma_ * sigma_);
+}
+
+double LogNormal::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+// ------------------------------------------------------------ TruncatedNormal
+
+TruncatedNormal::TruncatedNormal(double mu, double sigma, double lower)
+    : mu_(mu), sigma_(sigma), lower_(lower) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("TruncatedNormal: sigma <= 0");
+  if (lower < 0.0) throw std::invalid_argument("TruncatedNormal: lower < 0");
+  alpha0_ = (lower_ - mu_) / sigma_;
+  tail_mass_ = 1.0 - normal_cdf(alpha0_);
+  if (tail_mass_ < 1e-12) {
+    throw std::invalid_argument("TruncatedNormal: negligible mass above lower");
+  }
+  hazard_ = normal_pdf(alpha0_) / tail_mass_;
+  // Recurrence m_k = mu m_{k-1} + (k-1) sigma^2 m_{k-2} + sigma lower^{k-1} hazard.
+  double m_prev2 = 1.0;                      // m_0
+  double m_prev1 = mu_ + sigma_ * hazard_;   // m_1
+  moments_[0] = m_prev1;
+  for (int k = 2; k <= 3; ++k) {
+    const double mk = mu_ * m_prev1 +
+                      static_cast<double>(k - 1) * sigma_ * sigma_ * m_prev2 +
+                      sigma_ * std::pow(lower_, k - 1) * hazard_;
+    moments_[k - 1] = mk;
+    m_prev2 = m_prev1;
+    m_prev1 = mk;
+  }
+}
+
+double TruncatedNormal::sample(util::Rng& rng) const {
+  // Rejection from the untruncated normal; efficient when the retained mass
+  // is large (our traces use lower ~ 0 and mu > 0).  Falls back to
+  // inverse-CDF when the acceptance probability is small.
+  if (tail_mass_ > 0.25) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const double x = rng.normal(mu_, sigma_);
+      if (x >= lower_) return x;
+    }
+  }
+  const double u = rng.uniform();
+  const double p = normal_cdf(alpha0_) + u * tail_mass_;
+  const double clamped = std::min(p, 1.0 - 1e-16);
+  return mu_ + sigma_ * normal_quantile(clamped);
+}
+
+double TruncatedNormal::moment(int k) const {
+  check_moment_order(k);
+  return moments_[k - 1];
+}
+
+double TruncatedNormal::cdf(double x) const {
+  if (x <= lower_) return 0.0;
+  return (normal_cdf((x - mu_) / sigma_) - normal_cdf(alpha0_)) / tail_mass_;
+}
+
+}  // namespace forktail::dist

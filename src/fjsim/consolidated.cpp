@@ -1,0 +1,109 @@
+#include "fjsim/consolidated.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace forktail::fjsim {
+
+ConsolidatedResult run_consolidated(const ConsolidatedConfig& config) {
+  if (config.num_nodes == 0) {
+    throw std::invalid_argument("run_consolidated: no nodes");
+  }
+  if (!config.generator) {
+    throw std::invalid_argument("run_consolidated: null generator");
+  }
+  if (!(config.load > 0.0 && config.load < 1.0)) {
+    throw std::invalid_argument("run_consolidated: load must be in (0,1)");
+  }
+  if (!(config.mean_work_per_job > 0.0)) {
+    throw std::invalid_argument("run_consolidated: mean_work_per_job <= 0");
+  }
+
+  util::Rng master(config.seed);
+  util::Rng arrival_rng = master.split(0);
+  util::Rng pick_rng = master.split(1);
+  util::Rng job_rng = master.split(2);
+  util::Rng service_rng = master.split(3);
+
+  const double lambda = config.load * static_cast<double>(config.num_nodes) *
+                        static_cast<double>(config.replicas) /
+                        config.mean_work_per_job;
+
+  const auto warmup = static_cast<std::uint64_t>(
+      config.warmup_fraction / (1.0 - config.warmup_fraction) *
+      static_cast<double>(config.num_jobs));
+  const std::uint64_t total = warmup + config.num_jobs;
+
+  std::vector<FastNode> nodes;
+  nodes.reserve(config.num_nodes);
+  for (std::size_t n = 0; n < config.num_nodes; ++n) {
+    nodes.emplace_back(nullptr, config.replicas, Policy::kRoundRobin,
+                       master.split(100 + n));
+  }
+
+  std::vector<double> arrivals(total);
+  std::vector<double> completion_max(total, 0.0);
+  std::vector<std::uint8_t> is_target(total, 0);
+  std::vector<std::uint32_t> job_tasks(total, 0);
+
+  std::vector<std::uint32_t> perm(config.num_nodes);
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    perm[i] = static_cast<std::uint32_t>(i);
+  }
+
+  ConsolidatedResult result;
+  result.lambda = lambda;
+
+  auto on_done = [&](std::uint64_t id, double arrival, double completion) {
+    if (id >= warmup) {
+      const double response = completion - arrival;
+      if (is_target[id]) {
+        result.target_task_stats.add(response);
+      } else {
+        result.background_task_stats.add(response);
+      }
+    }
+    if (completion > completion_max[id]) completion_max[id] = completion;
+  };
+
+  // Per-task times follow Hawk [15]: Normal(m, (2m)^2) truncated below.
+  auto sample_task_time = [&](double mean) {
+    double x;
+    do {
+      x = service_rng.normal(mean, 2.0 * mean);
+    } while (x < config.service_floor);
+    return x;
+  };
+
+  double t = 0.0;
+  for (std::uint64_t j = 0; j < total; ++j) {
+    t += arrival_rng.exponential(1.0 / lambda);
+    arrivals[j] = t;
+    const JobSpec job = config.generator(job_rng);
+    if (job.tasks < 1 ||
+        static_cast<std::size_t>(job.tasks) > config.num_nodes) {
+      throw std::invalid_argument("run_consolidated: job task count out of range");
+    }
+    is_target[j] = job.target ? 1 : 0;
+    job_tasks[j] = job.tasks;
+    const auto k = static_cast<std::size_t>(job.tasks);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t pick =
+          i + static_cast<std::size_t>(pick_rng.uniform_int(config.num_nodes - i));
+      std::swap(perm[i], perm[pick]);
+      nodes[perm[i]].submit_task_explicit(t, sample_task_time(job.mean_task_time),
+                                          j, on_done);
+    }
+    result.total_tasks += k;
+  }
+  for (auto& node : nodes) node.flush(on_done);
+
+  for (std::uint64_t j = warmup; j < total; ++j) {
+    if (!is_target[j]) continue;
+    result.target_responses.push_back(completion_max[j] - arrivals[j]);
+    result.target_ks.push_back(static_cast<int>(job_tasks[j]));
+  }
+  return result;
+}
+
+}  // namespace forktail::fjsim

@@ -1,0 +1,55 @@
+// Trace-driven consolidated-workload simulator (Case 3, Section 4.3).
+//
+// A single cluster of N fork nodes (3 replica servers each, round-robin)
+// shared by a diverse background workload (Facebook-2010-like trace jobs)
+// and a statistically-uniform target application whose tail latency is
+// being predicted.  Jobs arrive Poisson; each job forks `tasks` tasks to
+// that many randomly chosen distinct nodes; per-task service times are
+// Normal(m, (2m)^2) truncated below, following Hawk [15].
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fjsim/node.hpp"
+#include "stats/welford.hpp"
+
+namespace forktail::fjsim {
+
+/// One job drawn from the workload generator.
+struct JobSpec {
+  bool target = false;
+  std::uint32_t tasks = 1;
+  double mean_task_time = 1.0;  ///< per-job mean m; tasks ~ TruncNormal(m, 2m)
+};
+
+/// Produces the job stream (trace playback or synthesis).
+using JobGenerator = std::function<JobSpec(util::Rng&)>;
+
+struct ConsolidatedConfig {
+  std::size_t num_nodes = 100;
+  int replicas = 3;
+  double load = 0.8;  ///< per-server utilization target
+  JobGenerator generator;
+  /// E[tasks * E[task time]] per job, used to derive the job arrival rate:
+  /// lambda = load * N * replicas / mean_work_per_job.
+  double mean_work_per_job = 1.0;
+  std::uint64_t num_jobs = 100000;  ///< measured jobs
+  double warmup_fraction = 0.2;
+  std::uint64_t seed = 1;
+  double service_floor = 0.05;  ///< truncation floor for task times
+};
+
+struct ConsolidatedResult {
+  std::vector<double> target_responses;  ///< measured target-job responses
+  std::vector<int> target_ks;            ///< task count of each measured target job
+  stats::Welford target_task_stats;      ///< pooled target task responses
+  stats::Welford background_task_stats;  ///< pooled background task responses
+  double lambda = 0.0;
+  std::uint64_t total_tasks = 0;
+};
+
+ConsolidatedResult run_consolidated(const ConsolidatedConfig& config);
+
+}  // namespace forktail::fjsim

@@ -1,0 +1,98 @@
+#include "fjsim/heterogeneous.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace forktail::fjsim {
+
+double lambda_for_max_load(const std::vector<dist::DistPtr>& services,
+                           double rho) {
+  if (services.empty()) {
+    throw std::invalid_argument("lambda_for_max_load: no services");
+  }
+  if (!(rho > 0.0 && rho < 1.0)) {
+    throw std::invalid_argument("lambda_for_max_load: rho must be in (0,1)");
+  }
+  double slowest = 0.0;
+  for (const auto& s : services) {
+    if (!s) throw std::invalid_argument("lambda_for_max_load: null service");
+    slowest = std::max(slowest, s->mean());
+  }
+  return rho / slowest;
+}
+
+HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
+  const std::size_t n = config.services.size();
+  if (n == 0) throw std::invalid_argument("run_heterogeneous: no nodes");
+  if (!(config.lambda > 0.0)) {
+    throw std::invalid_argument("run_heterogeneous: lambda <= 0");
+  }
+  double max_rho = 0.0;
+  for (const auto& s : config.services) {
+    if (!s) throw std::invalid_argument("run_heterogeneous: null service");
+    max_rho = std::max(max_rho, config.lambda * s->mean());
+  }
+  if (max_rho >= 1.0) {
+    throw std::invalid_argument(
+        "run_heterogeneous: bottleneck node unstable (rho >= 1)");
+  }
+
+  util::Rng master(config.seed);
+  const auto warmup = static_cast<std::uint64_t>(
+      config.warmup_fraction / (1.0 - config.warmup_fraction) *
+      static_cast<double>(config.num_requests));
+  const std::uint64_t total = warmup + config.num_requests;
+
+  std::vector<double> arrivals(total);
+  {
+    util::Rng arrival_rng = master.split(0);
+    double t = 0.0;
+    for (auto& a : arrivals) {
+      t += arrival_rng.exponential(1.0 / config.lambda);
+      a = t;
+    }
+  }
+
+  auto& pool = util::global_pool();
+  const std::size_t num_blocks =
+      std::min<std::size_t>(n, std::max<std::size_t>(1, pool.size()));
+  std::vector<std::vector<double>> block_max(num_blocks,
+                                             std::vector<double>(total, 0.0));
+  HeterogeneousResult result;
+  result.lambda = config.lambda;
+  result.max_utilization = max_rho;
+  result.node_stats.resize(n);
+
+  util::parallel_for(pool, 0, num_blocks, [&](std::size_t b) {
+    auto& local_max = block_max[b];
+    const std::size_t lo = n * b / num_blocks;
+    const std::size_t hi = n * (b + 1) / num_blocks;
+    for (std::size_t node_id = lo; node_id < hi; ++node_id) {
+      FastNode node(config.services[node_id].get(), 1, Policy::kSingle,
+                    master.split(100 + node_id));
+      auto& welford = result.node_stats[node_id];  // block-owned: no race
+      auto on_done = [&](std::uint64_t id, double arrival, double completion) {
+        if (id >= warmup) welford.add(completion - arrival);
+        if (completion > local_max[id]) local_max[id] = completion;
+      };
+      for (std::uint64_t j = 0; j < total; ++j) {
+        node.submit_task(arrivals[j], j, on_done);
+      }
+      node.flush(on_done);
+    }
+  });
+
+  result.responses.reserve(config.num_requests);
+  for (std::uint64_t j = warmup; j < total; ++j) {
+    double m = 0.0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      m = std::max(m, block_max[b][j]);
+    }
+    result.responses.push_back(m - arrivals[j]);
+  }
+  return result;
+}
+
+}  // namespace forktail::fjsim

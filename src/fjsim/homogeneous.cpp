@@ -1,0 +1,112 @@
+#include "fjsim/homogeneous.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fjsim/redundant_node.hpp"
+#include "util/thread_pool.hpp"
+
+namespace forktail::fjsim {
+
+namespace {
+
+/// Replay the shared arrival sequence through one fork node (of whichever
+/// node type the policy requires), accumulating the per-request completion
+/// max and the post-warm-up task moments.
+template <typename Node>
+std::uint64_t replay_node(Node& node, const std::vector<double>& arrivals,
+                          std::uint64_t warmup, std::vector<double>& local_max,
+                          stats::Welford& local_stats) {
+  auto on_done = [&](std::uint64_t id, double arrival, double completion) {
+    if (id >= warmup) local_stats.add(completion - arrival);
+    if (completion > local_max[id]) local_max[id] = completion;
+  };
+  for (std::uint64_t j = 0; j < arrivals.size(); ++j) {
+    node.submit_task(arrivals[j], j, on_done);
+  }
+  node.flush(on_done);
+  return node.redundant_issues();
+}
+
+}  // namespace
+
+HomogeneousResult run_homogeneous(const HomogeneousConfig& config) {
+  if (config.num_nodes == 0) {
+    throw std::invalid_argument("run_homogeneous: num_nodes == 0");
+  }
+  if (!config.service) throw std::invalid_argument("run_homogeneous: null service");
+  if (!(config.load > 0.0 && config.load < 1.0)) {
+    throw std::invalid_argument("run_homogeneous: load must be in (0,1)");
+  }
+  if (config.policy == Policy::kSingle && config.replicas != 1) {
+    throw std::invalid_argument("run_homogeneous: kSingle requires 1 replica");
+  }
+
+  util::Rng master(config.seed);
+  const double lambda =
+      config.load * static_cast<double>(config.replicas) / config.service->mean();
+
+  const auto warmup = static_cast<std::uint64_t>(
+      config.warmup_fraction / (1.0 - config.warmup_fraction) *
+      static_cast<double>(config.num_requests));
+  const std::uint64_t total = warmup + config.num_requests;
+
+  // Shared arrival epochs: the correlation structure of the fork-join
+  // system lives entirely in this sequence.
+  std::vector<double> arrivals(total);
+  {
+    util::Rng arrival_rng = master.split(0);
+    double t = 0.0;
+    for (auto& a : arrivals) {
+      t += arrival_rng.exponential(1.0 / lambda);
+      a = t;
+    }
+  }
+
+  // Node-major replay, parallel across node blocks; each worker keeps a
+  // local per-request completion max and a local moment accumulator.
+  auto& pool = util::global_pool();
+  const std::size_t num_blocks =
+      std::min<std::size_t>(config.num_nodes, std::max<std::size_t>(1, pool.size()));
+  std::vector<std::vector<double>> block_max(
+      num_blocks, std::vector<double>(total, 0.0));
+  std::vector<stats::Welford> block_stats(num_blocks);
+  std::vector<std::uint64_t> block_redundant(num_blocks, 0);
+
+  util::parallel_for(pool, 0, num_blocks, [&](std::size_t b) {
+    const std::size_t lo = config.num_nodes * b / num_blocks;
+    const std::size_t hi = config.num_nodes * (b + 1) / num_blocks;
+    for (std::size_t n = lo; n < hi; ++n) {
+      if (config.policy == Policy::kRedundant) {
+        RedundantNode node(config.service.get(), config.replicas,
+                           config.redundant_delay, master.split(100 + n));
+        block_redundant[b] +=
+            replay_node(node, arrivals, warmup, block_max[b], block_stats[b]);
+      } else {
+        FastNode node(config.service.get(), config.replicas, config.policy,
+                      master.split(100 + n));
+        block_redundant[b] +=
+            replay_node(node, arrivals, warmup, block_max[b], block_stats[b]);
+      }
+    }
+  });
+
+  HomogeneousResult result;
+  result.lambda = lambda;
+  result.total_tasks = total * config.num_nodes;
+  result.responses.reserve(config.num_requests);
+  for (std::uint64_t j = warmup; j < total; ++j) {
+    double m = 0.0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      m = std::max(m, block_max[b][j]);
+    }
+    result.responses.push_back(m - arrivals[j]);
+  }
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    result.task_stats.merge(block_stats[b]);
+    result.redundant_issues += block_redundant[b];
+  }
+  return result;
+}
+
+}  // namespace forktail::fjsim

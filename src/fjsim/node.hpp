@@ -1,0 +1,96 @@
+// Fork-node state machine for the Lindley fast-path simulators.
+//
+// Mirrors sim::ForkNode exactly for the single-server and round-robin
+// policies, without an event engine: submissions must be fed in
+// non-decreasing arrival-time order, and completions are computed directly
+// from the Lindley recursion
+//     start = max(arrival, server.next_free);  done = start + service.
+// The redundant-issue policy needs kill-on-win cancellation, which breaks
+// the Lindley shortcut; it lives in RedundantNode (redundant_node.hpp).
+// The equivalence tests assert that this fast path is bit-identical to the
+// event-driven simulator under equal seeds.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::fjsim {
+
+enum class Policy : std::uint8_t {
+  kSingle,
+  kRoundRobin,
+  kRedundant,
+};
+
+class FastNode {
+ public:
+  /// `service` may be null only when every submission supplies its own
+  /// demand via submit_task_explicit.  The redundant policy is handled by
+  /// RedundantNode, not here.
+  FastNode(const dist::Distribution* service, int replicas, Policy policy,
+           util::Rng rng)
+      : service_(service),
+        next_free_(static_cast<std::size_t>(replicas), 0.0),
+        policy_(policy),
+        rng_(rng) {
+    if (policy_ == Policy::kRedundant) {
+      throw std::invalid_argument(
+          "FastNode: use RedundantNode for the redundant-issue policy");
+    }
+    if (policy_ == Policy::kSingle && replicas != 1) {
+      throw std::invalid_argument("FastNode: kSingle requires one replica");
+    }
+  }
+
+  /// Submit a task arriving at `arrival` (arrivals must be fed in
+  /// non-decreasing time order).  `done(task_id, arrival, completion)`
+  /// fires synchronously.
+  template <typename OnComplete>
+  void submit_task(double arrival, std::uint64_t task_id, OnComplete&& done) {
+    submit_task_explicit(arrival, service_->sample(rng_), task_id, done);
+  }
+
+  /// As submit_task but with an externally supplied service demand (used by
+  /// the trace-driven simulator, where each job carries its own service
+  /// time statistics).
+  template <typename OnComplete>
+  void submit_task_explicit(double arrival, double service,
+                            std::uint64_t task_id, OnComplete&& done) {
+    const std::size_t s = next_server();
+    const double start = std::max(arrival, next_free_[s]);
+    next_free_[s] = start + service;
+    done(task_id, arrival, next_free_[s]);
+  }
+
+  /// No deferred completions in the FIFO policies; present for interface
+  /// symmetry with RedundantNode.
+  template <typename OnComplete>
+  void flush(OnComplete&& /*done*/) {}
+
+  std::uint64_t redundant_issues() const noexcept { return 0; }
+
+  void reset() {
+    std::fill(next_free_.begin(), next_free_.end(), 0.0);
+    rr_next_ = 0;
+  }
+
+ private:
+  std::size_t next_server() noexcept {
+    const std::size_t s = rr_next_;
+    rr_next_ = (rr_next_ + 1) % next_free_.size();
+    return s;
+  }
+
+  const dist::Distribution* service_;
+  std::vector<double> next_free_;
+  Policy policy_;
+  util::Rng rng_;
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace forktail::fjsim

@@ -1,0 +1,109 @@
+#include "fjsim/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace forktail::fjsim {
+
+PipelineResult run_pipeline(const PipelineConfig& config) {
+  if (config.stages.empty()) {
+    throw std::invalid_argument("run_pipeline: no stages");
+  }
+  double slowest_mean = 0.0;
+  for (const auto& stage : config.stages) {
+    if (stage.num_nodes == 0 || !stage.service) {
+      throw std::invalid_argument("run_pipeline: invalid stage");
+    }
+    slowest_mean = std::max(slowest_mean, stage.service->mean());
+  }
+  if (!(config.load > 0.0 && config.load < 1.0)) {
+    throw std::invalid_argument("run_pipeline: load must be in (0,1)");
+  }
+
+  util::Rng master(config.seed);
+  const double lambda = config.load / slowest_mean;
+
+  const auto warmup = static_cast<std::uint64_t>(
+      config.warmup_fraction / (1.0 - config.warmup_fraction) *
+      static_cast<double>(config.num_requests));
+  const std::uint64_t total = warmup + config.num_requests;
+
+  // Initial (stage-0) arrivals: Poisson, already time-ordered.
+  std::vector<double> origin(total);
+  {
+    util::Rng arrival_rng = master.split(0);
+    double t = 0.0;
+    for (auto& a : origin) {
+      t += arrival_rng.exponential(1.0 / lambda);
+      a = t;
+    }
+  }
+
+  PipelineResult result;
+  result.lambda = lambda;
+  result.stage_task_stats.resize(config.stages.size());
+  result.stage_latency_stats.resize(config.stages.size());
+
+  // `order[i]` is the request id of the i-th arrival at the current stage;
+  // `arrivals[i]` its arrival time there (non-decreasing in i).
+  std::vector<std::uint32_t> order(total);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<double> arrivals = origin;
+  std::vector<double> completion(total);
+
+  for (std::size_t s = 0; s < config.stages.size(); ++s) {
+    const PipelineStageConfig& stage = config.stages[s];
+    auto& task_stats = result.stage_task_stats[s];
+    auto& latency_stats = result.stage_latency_stats[s];
+
+    // Node-major replay over this stage's nodes against the (sorted)
+    // arrival sequence; completions land per arrival index.
+    std::fill(completion.begin(), completion.end(), 0.0);
+    for (std::size_t n = 0; n < stage.num_nodes; ++n) {
+      FastNode node(stage.service.get(), 1, Policy::kSingle,
+                    master.split(1000 * (s + 1) + n));
+      auto on_done = [&](std::uint64_t idx, double arrival, double done) {
+        if (order[idx] >= warmup) task_stats.add(done - arrival);
+        if (done > completion[idx]) completion[idx] = done;
+      };
+      for (std::uint64_t i = 0; i < total; ++i) {
+        node.submit_task(arrivals[i], i, on_done);
+      }
+      node.flush(on_done);
+    }
+    for (std::uint64_t i = 0; i < total; ++i) {
+      if (order[i] >= warmup) {
+        latency_stats.add(completion[i] - arrivals[i]);
+      }
+    }
+
+    // The next stage sees requests in completion-time order.
+    std::vector<std::uint32_t> idx(total);
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return completion[a] < completion[b];
+    });
+    std::vector<std::uint32_t> next_order(total);
+    std::vector<double> next_arrivals(total);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      next_order[i] = order[idx[i]];
+      next_arrivals[i] = completion[idx[i]];
+    }
+    order = std::move(next_order);
+    arrivals = std::move(next_arrivals);
+  }
+
+  // End-to-end latency: final completion time minus the original arrival.
+  result.responses.reserve(config.num_requests);
+  std::vector<double> final_completion(total);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    final_completion[order[i]] = arrivals[i];
+  }
+  for (std::uint64_t req = warmup; req < total; ++req) {
+    result.responses.push_back(final_completion[req] - origin[req]);
+  }
+  return result;
+}
+
+}  // namespace forktail::fjsim

@@ -1,0 +1,217 @@
+// Fork node with redundant task issue and kill-on-win -- Spark-style
+// speculative execution (Section 4.1's tail-cutting policy, [14, 39]).
+//
+// Unlike the plain FIFO policies, cancellation makes the Lindley shortcut
+// unsound: killing a straggler mid-service frees its server early and
+// re-times every queued task behind it.  This node therefore runs a real
+// multi-server queue with an internal event heap.  Semantics:
+//
+//   - a task is assigned to the next server in round-robin order and
+//     queued FIFO there;
+//   - if a copy has been EXECUTING for `redundant_delay` without
+//     completing, a single replica is issued to the next RR server;
+//   - the first copy to complete finishes the task; the losing copy is
+//     killed at that instant -- removed from its queue if still waiting,
+//     or preempted (server freed immediately) if running.
+//
+// Submissions must be fed in non-decreasing arrival order (as with
+// FastNode); completions are reported through the callback, possibly
+// during a later submission or at flush().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::fjsim {
+
+class RedundantNode {
+ public:
+  RedundantNode(const dist::Distribution* service, int replicas,
+                double redundant_delay, util::Rng rng)
+      : service_(service),
+        servers_(static_cast<std::size_t>(replicas)),
+        redundant_delay_(redundant_delay),
+        rng_(rng) {
+    if (service_ == nullptr) {
+      throw std::invalid_argument("RedundantNode: null service distribution");
+    }
+    if (replicas < 2) {
+      throw std::invalid_argument(
+          "RedundantNode: redundant issue needs at least 2 replica servers");
+    }
+    if (!(redundant_delay > 0.0)) {
+      throw std::invalid_argument("RedundantNode: delay must be positive");
+    }
+  }
+
+  template <typename OnComplete>
+  void submit_task(double arrival, std::uint64_t task_id, OnComplete&& done) {
+    advance(arrival, done);
+    tasks_.emplace(task_id, TaskState{arrival});
+    enqueue_copy(arrival, task_id, /*is_replica=*/false,
+                 service_->sample(rng_));
+  }
+
+  template <typename OnComplete>
+  void flush(OnComplete&& done) {
+    advance(std::numeric_limits<double>::infinity(), done);
+  }
+
+  std::uint64_t redundant_issues() const noexcept { return redundant_issues_; }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Copy {
+    std::uint64_t task;
+    bool is_replica;
+    double service;
+  };
+
+  struct Server {
+    std::deque<Copy> waiting;
+    bool busy = false;
+    Copy current{};
+    double done_at = 0.0;
+    std::uint64_t epoch = 0;  // invalidates stale completion events
+  };
+
+  struct TaskState {
+    double arrival = 0.0;
+    bool finished = false;
+    // Where each live copy currently runs (kNone if not running).
+    std::size_t primary_running_on = kNone;
+    std::size_t replica_running_on = kNone;
+  };
+
+  enum class EventKind : std::uint8_t { kCompletion, kReplicaIssue };
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    EventKind kind;
+    std::size_t server;     // kCompletion
+    std::uint64_t epoch;    // kCompletion
+    std::uint64_t task;     // kReplicaIssue
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::size_t next_server() noexcept {
+    const std::size_t s = rr_next_;
+    rr_next_ = (rr_next_ + 1) % servers_.size();
+    return s;
+  }
+
+  template <typename OnComplete>
+  void advance(double until, OnComplete&& done) {
+    while (!events_.empty() && events_.top().time <= until) {
+      const Event ev = events_.top();
+      events_.pop();
+      if (ev.kind == EventKind::kCompletion) {
+        handle_completion(ev, done);
+      } else {
+        handle_replica_issue(ev);
+      }
+    }
+  }
+
+  void enqueue_copy(double now, std::uint64_t task_id, bool is_replica,
+                    double service) {
+    const std::size_t s = next_server();
+    Server& server = servers_[s];
+    server.waiting.push_back(Copy{task_id, is_replica, service});
+    if (!server.busy) start_next(s, now);
+  }
+
+  /// Start the next live copy waiting at server s (skipping lazily
+  /// cancelled ones).  Starting a copy never completes a task, so no
+  /// completion callback is involved here.
+  void start_next(std::size_t s, double now) {
+    Server& server = servers_[s];
+    while (!server.waiting.empty()) {
+      Copy copy = server.waiting.front();
+      server.waiting.pop_front();
+      auto it = tasks_.find(copy.task);
+      if (it == tasks_.end() || it->second.finished) continue;  // lazy cancel
+      TaskState& task = it->second;
+      server.busy = true;
+      server.current = copy;
+      server.done_at = now + copy.service;
+      ++server.epoch;
+      (copy.is_replica ? task.replica_running_on : task.primary_running_on) = s;
+      events_.push(Event{server.done_at, seq_++, EventKind::kCompletion, s,
+                         server.epoch, 0});
+      // Straggler trigger: the original has been executing for
+      // redundant_delay without completing (the paper sets the threshold at
+      // ~p95 of the service-time distribution, so ~5% of tasks hedge).  A
+      // sojourn-time trigger would hedge the majority of tasks once
+      // queueing delay crosses the threshold -- a replica storm the paper's
+      // "avoid overloading the server replicas" remark rules out.
+      if (!copy.is_replica && copy.service > redundant_delay_) {
+        events_.push(Event{now + redundant_delay_, seq_++,
+                           EventKind::kReplicaIssue, 0, 0, copy.task});
+      }
+      return;
+    }
+    server.busy = false;
+  }
+
+  template <typename OnComplete>
+  void handle_completion(const Event& ev, OnComplete&& done) {
+    Server& server = servers_[ev.server];
+    if (!server.busy || server.epoch != ev.epoch) return;  // stale (preempted)
+    const Copy copy = server.current;
+    server.busy = false;
+    auto it = tasks_.find(copy.task);
+    // The copy ran to completion; the task must still be live (a finished
+    // task would have killed this copy and bumped the epoch).
+    if (it != tasks_.end() && !it->second.finished) {
+      TaskState& task = it->second;
+      task.finished = true;
+      // Kill the sibling copy: preempt if running, lazily drop if queued.
+      const std::size_t sibling =
+          copy.is_replica ? task.primary_running_on : task.replica_running_on;
+      const double arrival = task.arrival;
+      const std::uint64_t id = copy.task;
+      tasks_.erase(it);
+      if (sibling != kNone && sibling != ev.server) {
+        Server& other = servers_[sibling];
+        ++other.epoch;  // invalidate its completion event
+        other.busy = false;
+        start_next(sibling, ev.time);
+      }
+      done(id, arrival, ev.time);
+    }
+    start_next(ev.server, ev.time);
+  }
+
+  void handle_replica_issue(const Event& ev) {
+    auto it = tasks_.find(ev.task);
+    if (it == tasks_.end() || it->second.finished) return;
+    ++redundant_issues_;
+    enqueue_copy(ev.time, ev.task, /*is_replica=*/true, service_->sample(rng_));
+  }
+
+  const dist::Distribution* service_;
+  std::vector<Server> servers_;
+  double redundant_delay_;
+  util::Rng rng_;
+  std::size_t rr_next_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t redundant_issues_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::unordered_map<std::uint64_t, TaskState> tasks_;
+};
+
+}  // namespace forktail::fjsim

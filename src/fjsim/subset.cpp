@@ -1,0 +1,124 @@
+#include "fjsim/subset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fjsim/redundant_node.hpp"
+
+namespace forktail::fjsim {
+
+namespace {
+
+template <typename Node>
+void run_loop(const SubsetConfig& config, std::vector<Node>& nodes,
+              double lambda, std::uint64_t warmup, std::uint64_t total,
+              util::Rng& arrival_rng, util::Rng& pick_rng, util::Rng& k_rng,
+              std::vector<double>& arrivals, std::vector<double>& completion_max,
+              std::vector<int>& request_k, SubsetResult& result) {
+  std::vector<std::uint32_t> perm(config.num_nodes);
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    perm[i] = static_cast<std::uint32_t>(i);
+  }
+  auto on_done = [&](std::uint64_t id, double arrival, double completion) {
+    if (id >= warmup) result.task_stats.add(completion - arrival);
+    if (completion > completion_max[id]) completion_max[id] = completion;
+  };
+  double t = 0.0;
+  for (std::uint64_t j = 0; j < total; ++j) {
+    t += arrival_rng.exponential(1.0 / lambda);
+    arrivals[j] = t;
+    std::size_t k;
+    if (config.k_mode == KMode::kFixed) {
+      k = static_cast<std::size_t>(config.k_fixed);
+    } else {
+      k = static_cast<std::size_t>(k_rng.uniform_int(config.k_lo, config.k_hi));
+    }
+    if (config.group_by_k) request_k[j] = static_cast<int>(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t pick =
+          i + static_cast<std::size_t>(pick_rng.uniform_int(config.num_nodes - i));
+      std::swap(perm[i], perm[pick]);
+      nodes[perm[i]].submit_task(t, j, on_done);
+    }
+    result.total_tasks += k;
+  }
+  for (auto& node : nodes) node.flush(on_done);
+}
+
+}  // namespace
+
+SubsetResult run_subset(const SubsetConfig& config) {
+  if (config.num_nodes == 0) throw std::invalid_argument("run_subset: no nodes");
+  if (!config.service) throw std::invalid_argument("run_subset: null service");
+  if (!(config.load > 0.0 && config.load < 1.0)) {
+    throw std::invalid_argument("run_subset: load must be in (0,1)");
+  }
+  double mean_k = 0.0;
+  if (config.k_mode == KMode::kFixed) {
+    if (config.k_fixed < 1 ||
+        static_cast<std::size_t>(config.k_fixed) > config.num_nodes) {
+      throw std::invalid_argument("run_subset: k_fixed out of range");
+    }
+    mean_k = static_cast<double>(config.k_fixed);
+  } else {
+    if (config.k_lo < 1 || config.k_hi < config.k_lo ||
+        static_cast<std::size_t>(config.k_hi) > config.num_nodes) {
+      throw std::invalid_argument("run_subset: uniform k range invalid");
+    }
+    mean_k = 0.5 * static_cast<double>(config.k_lo + config.k_hi);
+  }
+
+  util::Rng master(config.seed);
+  util::Rng arrival_rng = master.split(0);
+  util::Rng pick_rng = master.split(1);
+  util::Rng k_rng = master.split(2);
+
+  const double lambda = config.load * static_cast<double>(config.num_nodes) *
+                        static_cast<double>(config.replicas) /
+                        (mean_k * config.service->mean());
+
+  const auto warmup = static_cast<std::uint64_t>(
+      config.warmup_fraction / (1.0 - config.warmup_fraction) *
+      static_cast<double>(config.num_requests));
+  const std::uint64_t total = warmup + config.num_requests;
+
+  std::vector<double> arrivals(total);
+  std::vector<double> completion_max(total, 0.0);
+  std::vector<int> request_k(config.group_by_k ? total : 0);
+
+  SubsetResult result;
+  result.lambda = lambda;
+  result.mean_k = mean_k;
+
+  if (config.policy == Policy::kRedundant) {
+    std::vector<RedundantNode> nodes;
+    nodes.reserve(config.num_nodes);
+    for (std::size_t n = 0; n < config.num_nodes; ++n) {
+      nodes.emplace_back(config.service.get(), config.replicas,
+                         config.redundant_delay, master.split(100 + n));
+    }
+    run_loop(config, nodes, lambda, warmup, total, arrival_rng, pick_rng, k_rng,
+             arrivals, completion_max, request_k, result);
+  } else {
+    std::vector<FastNode> nodes;
+    nodes.reserve(config.num_nodes);
+    for (std::size_t n = 0; n < config.num_nodes; ++n) {
+      nodes.emplace_back(config.service.get(), config.replicas, config.policy,
+                         master.split(100 + n));
+    }
+    run_loop(config, nodes, lambda, warmup, total, arrival_rng, pick_rng, k_rng,
+             arrivals, completion_max, request_k, result);
+  }
+
+  result.responses.reserve(config.num_requests);
+  for (std::uint64_t j = warmup; j < total; ++j) {
+    const double response = completion_max[j] - arrivals[j];
+    result.responses.push_back(response);
+    if (config.group_by_k) {
+      result.responses_by_k[request_k[j]].push_back(response);
+    }
+  }
+  return result;
+}
+
+}  // namespace forktail::fjsim

@@ -1,0 +1,52 @@
+// Fast simulator for Case 2 (k <= N): each request forks k tasks to k
+// randomly chosen distinct nodes, with k fixed or uniformly distributed
+// (Section 4.2 of the paper).
+//
+// Processed request-major in arrival order: each request samples its node
+// subset by partial Fisher-Yates over a persistent permutation and pushes
+// one task into each chosen node's Lindley state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "fjsim/node.hpp"
+#include "stats/welford.hpp"
+
+namespace forktail::fjsim {
+
+enum class KMode : std::uint8_t { kFixed, kUniformInt };
+
+struct SubsetConfig {
+  std::size_t num_nodes = 1000;
+  int replicas = 1;
+  Policy policy = Policy::kSingle;
+  double redundant_delay = 10.0;
+  dist::DistPtr service;
+  /// Nominal per-server utilization; lambda = rho * N * replicas / (E[k] E[S]).
+  double load = 0.8;
+  KMode k_mode = KMode::kFixed;
+  int k_fixed = 100;
+  int k_lo = 0;
+  int k_hi = 0;
+  std::uint64_t num_requests = 10000;
+  double warmup_fraction = 0.25;
+  std::uint64_t seed = 1;
+  /// Also bucket measured responses by the request's k (Table 3).
+  bool group_by_k = false;
+};
+
+struct SubsetResult {
+  std::vector<double> responses;           ///< measured request responses
+  stats::Welford task_stats;               ///< pooled task responses
+  std::map<int, std::vector<double>> responses_by_k;  ///< when group_by_k
+  double lambda = 0.0;
+  double mean_k = 0.0;
+  std::uint64_t total_tasks = 0;
+};
+
+SubsetResult run_subset(const SubsetConfig& config);
+
+}  // namespace forktail::fjsim

@@ -1,0 +1,43 @@
+#include "queueing/heavy_traffic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace forktail::queueing {
+
+namespace {
+double check_rho(const GG1Inputs& in) {
+  if (!(in.lambda > 0.0 && in.mean_service > 0.0)) {
+    throw std::invalid_argument("kingman: rates must be > 0");
+  }
+  const double rho = in.lambda * in.mean_service;
+  if (!(rho < 1.0)) throw std::invalid_argument("kingman: unstable queue");
+  return rho;
+}
+}  // namespace
+
+double kingman_mean_wait(const GG1Inputs& in) {
+  const double rho = check_rho(in);
+  return rho / (1.0 - rho) * 0.5 * (in.scv_arrival + in.scv_service) *
+         in.mean_service;
+}
+
+double kingman_wait_ccdf(const GG1Inputs& in, double x) {
+  const double rho = check_rho(in);
+  if (x <= 0.0) return rho;  // P(W > 0) ~ rho
+  const double ew = kingman_mean_wait(in) / rho;  // conditional mean given W>0
+  return rho * std::exp(-x / ew);
+}
+
+double kingman_wait_percentile(const GG1Inputs& in, double p) {
+  const double rho = check_rho(in);
+  if (!(p >= 0.0 && p < 100.0)) {
+    throw std::invalid_argument("kingman: p must be in [0,100)");
+  }
+  const double q = 1.0 - p / 100.0;
+  if (q >= rho) return 0.0;  // the percentile falls in the P(W=0) atom
+  const double ew = kingman_mean_wait(in) / rho;
+  return -ew * std::log(q / rho);
+}
+
+}  // namespace forktail::queueing

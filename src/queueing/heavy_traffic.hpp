@@ -1,0 +1,31 @@
+// Heavy-traffic approximations (Kingman; Köllerström for multi-server).
+//
+// The paper's modelling postulate rests on the heavy-traffic central limit
+// theorem: under high load the waiting time of a G/G/m queue is
+// approximately exponential.  This module provides that approximation both
+// as a sanity baseline in tests and as the analytic motivation recorded in
+// the docs.
+#pragma once
+
+namespace forktail::queueing {
+
+struct GG1Inputs {
+  double lambda = 0.0;  ///< arrival rate
+  double mean_service = 0.0;
+  double scv_arrival = 1.0;  ///< squared CV of inter-arrival times
+  double scv_service = 1.0;  ///< squared CV of service times
+};
+
+/// Kingman's heavy-traffic mean waiting time:
+/// E[W] ~ (rho / (1-rho)) * ((ca^2 + cs^2)/2) * E[S].
+double kingman_mean_wait(const GG1Inputs& in);
+
+/// Heavy-traffic exponential approximation of the waiting-time tail:
+/// P(W > x) ~ rho * exp(-x / E[W_exp]) with E[W_exp] the Kingman mean.
+double kingman_wait_ccdf(const GG1Inputs& in, double x);
+
+/// p-th percentile (p in [0,100)) of the exponential heavy-traffic waiting
+/// time approximation.
+double kingman_wait_percentile(const GG1Inputs& in, double p);
+
+}  // namespace forktail::queueing

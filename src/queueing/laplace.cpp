@@ -1,0 +1,74 @@
+#include "queueing/laplace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace forktail::queueing {
+
+LaplaceInverter::LaplaceInverter(int terms, int euler_terms, double a)
+    : terms_(terms), euler_terms_(euler_terms), a_(a) {
+  if (terms < 10 || euler_terms < 4 || !(a > 0.0)) {
+    throw std::invalid_argument("LaplaceInverter: invalid parameters");
+  }
+  // Binomial weights for Euler summation: C(m, k) / 2^m.
+  binom_.resize(static_cast<std::size_t>(euler_terms_) + 1);
+  double c = std::pow(2.0, -euler_terms_);
+  binom_[0] = c;
+  for (int k = 1; k <= euler_terms_; ++k) {
+    c *= static_cast<double>(euler_terms_ - k + 1) / static_cast<double>(k);
+    binom_[static_cast<std::size_t>(k)] = c;
+  }
+}
+
+double LaplaceInverter::invert(
+    const std::function<std::complex<double>(std::complex<double>)>& F,
+    double t) const {
+  if (!(t > 0.0)) throw std::invalid_argument("LaplaceInverter: t must be > 0");
+  constexpr double kPi = 3.14159265358979323846;
+  const double h = a_ / (2.0 * t);
+  // Partial sums s_n for n = terms_ .. terms_ + euler_terms_.
+  double sum = 0.5 * F(std::complex<double>(h, 0.0)).real();
+  std::vector<double> partials;
+  partials.reserve(static_cast<std::size_t>(euler_terms_) + 1);
+  int sign = -1;
+  for (int k = 1; k <= terms_ + euler_terms_; ++k) {
+    const std::complex<double> s(h, static_cast<double>(k) * kPi / t);
+    sum += static_cast<double>(sign) * F(s).real();
+    sign = -sign;
+    if (k >= terms_) partials.push_back(sum);
+  }
+  // Euler acceleration: weighted average of the trailing partial sums.
+  double accelerated = 0.0;
+  for (int k = 0; k <= euler_terms_; ++k) {
+    accelerated += binom_[static_cast<std::size_t>(k)] *
+                   partials[static_cast<std::size_t>(k)];
+  }
+  return std::exp(a_ / 2.0) / t * accelerated;
+}
+
+std::complex<double> pk_response_lst(std::complex<double> s, double lambda,
+                                     const dist::Distribution& service) {
+  const double rho = lambda * service.mean();
+  if (!(rho < 1.0)) throw std::invalid_argument("pk_response_lst: unstable");
+  const std::complex<double> s_lst = service.lst(s);
+  return s_lst * (1.0 - rho) * s / (s - lambda * (1.0 - s_lst));
+}
+
+double mg1_response_cdf(double lambda, const dist::Distribution& service,
+                        double x, const LaplaceInverter& inverter) {
+  if (x <= 0.0) return 0.0;
+  if (!service.has_lst()) {
+    throw std::logic_error("mg1_response_cdf: service distribution lacks LST");
+  }
+  // CDF transform = T~(s) / s.
+  const double value = inverter.invert(
+      [&](std::complex<double> s) { return pk_response_lst(s, lambda, service) / s; },
+      x);
+  // Clamp inversion noise.
+  if (value < 0.0) return 0.0;
+  if (value > 1.0) return 1.0;
+  return value;
+}
+
+}  // namespace forktail::queueing

@@ -1,0 +1,44 @@
+#include "queueing/mg1.hpp"
+
+#include <stdexcept>
+
+namespace forktail::queueing {
+
+Mg1Response mg1_response(double lambda, const ServiceMoments& s) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("mg1: lambda must be > 0");
+  if (!(s.m1 > 0.0 && s.m2 > 0.0 && s.m3 >= 0.0)) {
+    throw std::invalid_argument("mg1: invalid service moments");
+  }
+  Mg1Response r;
+  r.utilization = lambda * s.m1;
+  if (r.utilization >= 1.0) {
+    throw std::invalid_argument("mg1: unstable queue (rho >= 1)");
+  }
+  const double one_minus_rho = 1.0 - r.utilization;
+  // Pollaczek-Khinchine mean wait.
+  r.mean_wait = lambda * s.m2 / (2.0 * one_minus_rho);
+  // Takács recurrence, second moment: E[W^2] = 2 E[W]^2 + lambda E[S^3]/(3(1-rho)).
+  r.wait_second_moment =
+      2.0 * r.mean_wait * r.mean_wait + lambda * s.m3 / (3.0 * one_minus_rho);
+  r.mean = r.mean_wait + s.m1;
+  // V[T] = V[W] + V[S]; V[W] = E[W^2] - E[W]^2 = E[W]^2 + lambda E[S^3]/(3(1-rho)).
+  const double var_wait = r.wait_second_moment - r.mean_wait * r.mean_wait;
+  r.variance = var_wait + s.variance();
+  return r;
+}
+
+Mg1Response mg1_response(double lambda, const dist::Distribution& service) {
+  return mg1_response(lambda, ServiceMoments::of(service));
+}
+
+double lambda_for_load(double rho, double mean_service) {
+  if (!(rho > 0.0 && rho < 1.0)) {
+    throw std::invalid_argument("lambda_for_load: rho must be in (0,1)");
+  }
+  if (!(mean_service > 0.0)) {
+    throw std::invalid_argument("lambda_for_load: mean_service must be > 0");
+  }
+  return rho / mean_service;
+}
+
+}  // namespace forktail::queueing

@@ -1,0 +1,46 @@
+// M/G/1 FCFS queue analysis: Pollaczek-Khinchine / Takács moment formulas.
+//
+// These are Eqs. (10)-(11) of the paper: the white-box path of ForkTail
+// computes the mean and variance of the task *response* time from the first
+// three moments of the service time, then moment-matches the generalized
+// exponential distribution.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace forktail::queueing {
+
+/// First three raw service-time moments.
+struct ServiceMoments {
+  double m1 = 0.0;  ///< E[S]
+  double m2 = 0.0;  ///< E[S^2]
+  double m3 = 0.0;  ///< E[S^3]
+
+  static ServiceMoments of(const dist::Distribution& d) {
+    return {d.moment(1), d.moment(2), d.moment(3)};
+  }
+
+  double variance() const { return m2 - m1 * m1; }
+  double scv() const { return variance() / (m1 * m1); }
+};
+
+/// Response-time mean/variance of an M/G/1 FCFS queue.
+struct Mg1Response {
+  double utilization = 0.0;       ///< rho = lambda E[S]
+  double mean_wait = 0.0;         ///< E[W]
+  double wait_second_moment = 0.0;///< E[W^2] (Takács)
+  double mean = 0.0;              ///< E[T] = E[W] + E[S]
+  double variance = 0.0;          ///< V[T] = V[W] + V[S]
+};
+
+/// Analyse an M/G/1 queue at arrival rate `lambda`.  Requires rho < 1.
+Mg1Response mg1_response(double lambda, const ServiceMoments& s);
+
+/// Convenience overload taking a distribution.
+Mg1Response mg1_response(double lambda, const dist::Distribution& service);
+
+/// Arrival rate that produces the target utilization for the given mean
+/// service time: lambda = rho / E[S].
+double lambda_for_load(double rho, double mean_service);
+
+}  // namespace forktail::queueing

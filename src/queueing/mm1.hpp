@@ -1,0 +1,25 @@
+// M/M/1 exact results -- closed forms used as ground truth in unit tests
+// and as the degenerate case of the white-box pipeline.
+#pragma once
+
+namespace forktail::queueing {
+
+struct Mm1 {
+  double lambda = 0.0;
+  double mu = 0.0;
+
+  Mm1(double lambda_, double mu_);
+
+  double utilization() const { return lambda / mu; }
+  double mean_wait() const;
+  double mean_response() const;
+  /// Response time of M/M/1 FCFS is Exp(mu - lambda): variance is the
+  /// squared mean.
+  double response_variance() const;
+  /// P(T > x) = e^{-(mu-lambda)x}.
+  double response_ccdf(double x) const;
+  /// p-th percentile (p in [0,100)) of response time.
+  double response_percentile(double p) const;
+};
+
+}  // namespace forktail::queueing

@@ -1,0 +1,39 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace forktail::sim {
+
+void Engine::schedule(double time, Handler handler) {
+  if (time < now_) {
+    throw std::invalid_argument("Engine::schedule: time is in the past");
+  }
+  queue_.push(Event{time, seq_++, std::move(handler)});
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top returns const&; the handler must be moved out
+    // before pop, so copy the POD fields and steal the handler.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.handler();
+  }
+}
+
+void Engine::run_until(double t_end) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t_end) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.handler();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace forktail::sim

@@ -1,0 +1,64 @@
+// General discrete-event simulation engine.
+//
+// A binary-heap calendar of (time, sequence, handler) events.  The fork-join
+// systems in `src/sim` are built on this engine; the Lindley fast path in
+// `src/fjsim` is the specialised alternative, and the two are
+// cross-validated in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace forktail::sim {
+
+class Engine {
+ public:
+  using Handler = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Schedule `handler` at absolute time `time` (>= now).  Events at equal
+  /// times fire in scheduling order.
+  void schedule(double time, Handler handler);
+
+  /// Schedule at now + delay.
+  void schedule_in(double delay, Handler handler) {
+    schedule(now_ + delay, std::move(handler));
+  }
+
+  /// Run until the event queue empties or `stop()` is called.
+  void run();
+
+  /// Run until simulated time exceeds `t_end` (events after t_end stay
+  /// queued).
+  void run_until(double t_end);
+
+  /// Request termination from inside a handler.
+  void stop() noexcept { stopped_ = true; }
+
+  bool empty() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace forktail::sim

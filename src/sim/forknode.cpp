@@ -1,0 +1,69 @@
+#include "sim/forknode.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace forktail::sim {
+
+ForkNode::ForkNode(Engine& engine, dist::DistPtr service, int replicas,
+                   DispatchPolicy policy, double redundant_delay, util::Rng rng)
+    : engine_(engine),
+      service_(std::move(service)),
+      policy_(policy),
+      rng_(rng) {
+  if (!service_) throw std::invalid_argument("ForkNode: null service distribution");
+  if (replicas < 1) throw std::invalid_argument("ForkNode: replicas must be >= 1");
+  if (policy == DispatchPolicy::kSingle && replicas != 1) {
+    throw std::invalid_argument("ForkNode: kSingle requires exactly one replica");
+  }
+  if (policy == DispatchPolicy::kRedundant) {
+    if (!(redundant_delay > 0.0)) {
+      throw std::invalid_argument("ForkNode: kRedundant requires a positive delay");
+    }
+    redundant_ = std::make_unique<fjsim::RedundantNode>(
+        service_.get(), replicas, redundant_delay, rng_);
+  }
+  servers_.resize(static_cast<std::size_t>(replicas));
+}
+
+void ForkNode::resolve(std::uint64_t id, double arrival, double completion) {
+  const auto it = pending_callbacks_.find(id);
+  if (it == pending_callbacks_.end()) {
+    throw std::logic_error("ForkNode: completion for unknown task");
+  }
+  TaskCallback cb = std::move(it->second);
+  pending_callbacks_.erase(it);
+  cb(arrival, completion);
+}
+
+void ForkNode::submit(TaskCallback on_complete) {
+  const double arrival = engine_.now();
+  if (policy_ == DispatchPolicy::kRedundant) {
+    const std::uint64_t id = next_task_id_++;
+    pending_callbacks_.emplace(id, std::move(on_complete));
+    redundant_->submit_task(
+        arrival, id, [this](std::uint64_t tid, double arr, double done) {
+          resolve(tid, arr, done);
+        });
+    return;
+  }
+  const double service = service_->sample(rng_);
+  const std::size_t server = next_server();
+  const double done = servers_[server].submit(arrival, service);
+  engine_.schedule(done, [arrival, done, cb = std::move(on_complete)] {
+    cb(arrival, done);
+  });
+}
+
+void ForkNode::flush() {
+  if (policy_ != DispatchPolicy::kRedundant) return;
+  redundant_->flush([this](std::uint64_t tid, double arr, double done) {
+    resolve(tid, arr, done);
+  });
+}
+
+std::uint64_t ForkNode::redundant_issues() const noexcept {
+  return redundant_ ? redundant_->redundant_issues() : 0;
+}
+
+}  // namespace forktail::sim

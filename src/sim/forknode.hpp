@@ -1,0 +1,102 @@
+// Fork-node models for the event-driven simulator.
+//
+// A fork node is a black box containing one or more replicated FIFO
+// servers (Fig. 1 of the paper).  Three dispatch policies from Section 4.1:
+//   - single server (r = 1)
+//   - round-robin over r replicas
+//   - round-robin with redundant task issue and kill-on-win (speculative
+//     execution): if a copy has been executing for D time units without
+//     completing, a single replica is issued to the next server; the first
+//     completion wins and the losing copy is cancelled immediately.  This
+//     policy is delegated to fjsim::RedundantNode, the shared queued-server
+//     implementation (cancellation breaks plain Lindley accounting).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "fjsim/redundant_node.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::sim {
+
+enum class DispatchPolicy : std::uint8_t {
+  kSingle,      ///< r must be 1
+  kRoundRobin,  ///< RR over r replicas
+  kRedundant,   ///< RR + one redundant issue after `redundant_delay`
+};
+
+/// One FIFO work-conserving server: tracks the time it next becomes free.
+/// Submissions must arrive in non-decreasing time order (guaranteed when
+/// driven through the event engine).
+class FifoServer {
+ public:
+  /// Returns the completion time of a task arriving at `arrival` with the
+  /// given service demand.
+  double submit(double arrival, double service) noexcept {
+    const double start = arrival > next_free_ ? arrival : next_free_;
+    next_free_ = start + service;
+    return next_free_;
+  }
+
+  double next_free() const noexcept { return next_free_; }
+  void reset() noexcept { next_free_ = 0.0; }
+
+ private:
+  double next_free_ = 0.0;
+};
+
+class ForkNode {
+ public:
+  /// `on_task_complete(arrival, completion)` fires exactly once per task.
+  /// For the redundant policy the callback may fire from a later submit()
+  /// or from flush() (the completion *values* are exact; only the calling
+  /// point differs, which no consumer depends on).
+  using TaskCallback = std::function<void(double arrival, double completion)>;
+
+  ForkNode(Engine& engine, dist::DistPtr service, int replicas,
+           DispatchPolicy policy, double redundant_delay, util::Rng rng);
+
+  /// Submit a task arriving now (engine time).  The service demand is drawn
+  /// internally; the callback fires at completion.
+  void submit(TaskCallback on_complete);
+
+  /// Resolve any still-pending redundant completions (call after the event
+  /// loop drains).  No-op for the FIFO policies.
+  void flush();
+
+  int replicas() const noexcept { return static_cast<int>(servers_.size()); }
+  DispatchPolicy policy() const noexcept { return policy_; }
+
+  /// Count of redundant replicas actually issued (for load accounting).
+  std::uint64_t redundant_issues() const noexcept;
+
+ private:
+  Engine& engine_;
+  dist::DistPtr service_;
+  std::vector<FifoServer> servers_;
+  DispatchPolicy policy_;
+  util::Rng rng_;
+  std::size_t rr_next_ = 0;
+
+  // Redundant policy state: the shared queued-server node plus the pending
+  // callbacks keyed by task id.
+  std::unique_ptr<fjsim::RedundantNode> redundant_;
+  std::unordered_map<std::uint64_t, TaskCallback> pending_callbacks_;
+  std::uint64_t next_task_id_ = 0;
+
+  std::size_t next_server() noexcept {
+    const std::size_t s = rr_next_;
+    rr_next_ = (rr_next_ + 1) % servers_.size();
+    return s;
+  }
+
+  void resolve(std::uint64_t id, double arrival, double completion);
+};
+
+}  // namespace forktail::sim

@@ -1,0 +1,159 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace forktail::sim {
+
+namespace {
+
+double mean_tasks_per_request(const FjConfig& c) {
+  switch (c.k_mode) {
+    case TaskCountMode::kAllNodes:
+      return static_cast<double>(c.num_nodes);
+    case TaskCountMode::kFixed:
+      return static_cast<double>(c.k_fixed);
+    case TaskCountMode::kUniform:
+      return 0.5 * static_cast<double>(c.k_lo + c.k_hi);
+  }
+  return 0.0;
+}
+
+void validate(const FjConfig& c) {
+  if (c.num_nodes == 0) throw std::invalid_argument("FjConfig: num_nodes == 0");
+  if (!c.service) throw std::invalid_argument("FjConfig: null service");
+  if (!(c.lambda > 0.0)) throw std::invalid_argument("FjConfig: lambda <= 0");
+  if (c.num_requests == 0) throw std::invalid_argument("FjConfig: no requests");
+  if (c.k_mode == TaskCountMode::kFixed &&
+      (c.k_fixed < 1 || static_cast<std::size_t>(c.k_fixed) > c.num_nodes)) {
+    throw std::invalid_argument("FjConfig: k_fixed out of range");
+  }
+  if (c.k_mode == TaskCountMode::kUniform &&
+      (c.k_lo < 1 || c.k_hi < c.k_lo ||
+       static_cast<std::size_t>(c.k_hi) > c.num_nodes)) {
+    throw std::invalid_argument("FjConfig: uniform k range out of range");
+  }
+  if (!(c.warmup_fraction >= 0.0 && c.warmup_fraction < 1.0)) {
+    throw std::invalid_argument("FjConfig: warmup_fraction must be in [0,1)");
+  }
+}
+
+struct RequestState {
+  double arrival = 0.0;
+  double max_completion = 0.0;
+  std::uint32_t remaining = 0;
+};
+
+}  // namespace
+
+double nominal_load(const FjConfig& config) {
+  return config.lambda * mean_tasks_per_request(config) /
+         static_cast<double>(config.num_nodes) * config.service->mean() /
+         static_cast<double>(config.replicas);
+}
+
+double lambda_for_nominal_load(const FjConfig& config, double rho) {
+  if (!(rho > 0.0 && rho < 1.0)) {
+    throw std::invalid_argument("lambda_for_nominal_load: rho must be in (0,1)");
+  }
+  return rho * static_cast<double>(config.num_nodes) *
+         static_cast<double>(config.replicas) /
+         (mean_tasks_per_request(config) * config.service->mean());
+}
+
+FjResult run_fj_simulation(const FjConfig& config) {
+  validate(config);
+  Engine engine;
+  util::Rng master(config.seed);
+  util::Rng arrival_rng = master.split(0);
+  util::Rng pick_rng = master.split(1);
+  util::Rng k_rng = master.split(2);
+
+  std::vector<std::unique_ptr<ForkNode>> nodes;
+  nodes.reserve(config.num_nodes);
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    nodes.push_back(std::make_unique<ForkNode>(
+        engine, config.service, config.replicas, config.policy,
+        config.redundant_delay, master.split(100 + i)));
+  }
+
+  const auto warmup = static_cast<std::uint64_t>(
+      config.warmup_fraction / (1.0 - config.warmup_fraction) *
+      static_cast<double>(config.num_requests));
+  const std::uint64_t total_requests = warmup + config.num_requests;
+
+  FjResult result;
+  result.request_responses.reserve(config.num_requests);
+  result.node_task_stats.resize(config.num_nodes);
+
+  std::vector<RequestState> requests(total_requests);
+  // Scratch for subset sampling (partial Fisher-Yates).
+  std::vector<std::uint32_t> node_index(config.num_nodes);
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    node_index[i] = static_cast<std::uint32_t>(i);
+  }
+
+  const double mean_interarrival = 1.0 / config.lambda;
+  std::uint64_t issued = 0;
+
+  // One shared arrival handler reschedules itself until all requests are in.
+  std::function<void()> arrive = [&] {
+    const std::uint64_t id = issued++;
+    RequestState& req = requests[id];
+    req.arrival = engine.now();
+
+    std::size_t k = config.num_nodes;
+    if (config.k_mode == TaskCountMode::kFixed) {
+      k = static_cast<std::size_t>(config.k_fixed);
+    } else if (config.k_mode == TaskCountMode::kUniform) {
+      k = static_cast<std::size_t>(k_rng.uniform_int(config.k_lo, config.k_hi));
+    }
+    req.remaining = static_cast<std::uint32_t>(k);
+
+    const bool measured = id >= warmup;
+    auto touch = [&, id, measured](std::size_t node_id) {
+      nodes[node_id]->submit([&, id, measured, node_id](double arrival,
+                                                        double completion) {
+        const double response = completion - arrival;
+        if (measured) {
+          result.pooled_task_stats.add(response);
+          result.node_task_stats[node_id].add(response);
+        }
+        RequestState& r = requests[id];
+        r.max_completion = std::max(r.max_completion, completion);
+        if (--r.remaining == 0 && measured) {
+          result.request_responses.push_back(r.max_completion - r.arrival);
+        }
+      });
+      ++result.total_tasks;
+    };
+
+    if (k == config.num_nodes) {
+      for (std::size_t n = 0; n < config.num_nodes; ++n) touch(n);
+    } else {
+      // Partial Fisher-Yates: the first k entries become the chosen subset.
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(
+                    pick_rng.uniform_int(config.num_nodes - i));
+        std::swap(node_index[i], node_index[j]);
+        touch(node_index[i]);
+      }
+    }
+
+    if (issued < total_requests) {
+      engine.schedule_in(arrival_rng.exponential(mean_interarrival), arrive);
+    }
+  };
+
+  engine.schedule(arrival_rng.exponential(mean_interarrival), arrive);
+  engine.run();
+  for (const auto& node : nodes) node->flush();
+
+  for (const auto& node : nodes) result.redundant_issues += node->redundant_issues();
+  result.sim_end_time = engine.now();
+  return result;
+}
+
+}  // namespace forktail::sim

@@ -1,0 +1,83 @@
+#include "stats/batch_means.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dist/heavy.hpp"
+#include "stats/percentile.hpp"
+#include "stats/welford.hpp"
+
+namespace forktail::stats {
+
+double student_t_critical(std::size_t degrees_of_freedom, double confidence) {
+  if (degrees_of_freedom == 0) {
+    throw std::invalid_argument("student_t_critical: zero degrees of freedom");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("student_t_critical: bad confidence");
+  }
+  // Cornish-Fisher expansion of the t quantile around the normal quantile
+  // (Abramowitz & Stegun 26.7.5); accurate to ~1e-3 for df >= 3.
+  const double p = 0.5 * (1.0 + confidence);
+  const double z = dist::normal_quantile(p);
+  const double n = static_cast<double>(degrees_of_freedom);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  double t = z;
+  t += (z3 + z) / (4.0 * n);
+  t += (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * n * n);
+  t += (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * n * n * n);
+  return t;
+}
+
+BatchMeansCi batch_means_ci(
+    std::span<const double> samples,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t batches, double confidence) {
+  if (batches < 2) {
+    throw std::invalid_argument("batch_means_ci: need at least 2 batches");
+  }
+  if (samples.size() < batches * 2) {
+    throw std::invalid_argument("batch_means_ci: sample too small for batching");
+  }
+  BatchMeansCi ci;
+  ci.batches = batches;
+  ci.point = statistic(samples);
+  const std::size_t batch_len = samples.size() / batches;
+  Welford batch_stats;
+  for (std::size_t b = 0; b < batches; ++b) {
+    batch_stats.add(statistic(samples.subspan(b * batch_len, batch_len)));
+  }
+  ci.batch_stddev = std::sqrt(batch_stats.sample_variance());
+  const double half = student_t_critical(batches - 1, confidence) *
+                      ci.batch_stddev / std::sqrt(static_cast<double>(batches));
+  ci.lo = ci.point - half;
+  ci.hi = ci.point + half;
+  return ci;
+}
+
+BatchMeansCi batch_means_percentile_ci(std::span<const double> samples,
+                                       double percentile, std::size_t batches,
+                                       double confidence) {
+  return batch_means_ci(
+      samples,
+      [percentile](std::span<const double> s) {
+        return stats::percentile(s, percentile);
+      },
+      batches, confidence);
+}
+
+BatchMeansCi batch_means_mean_ci(std::span<const double> samples,
+                                 std::size_t batches, double confidence) {
+  return batch_means_ci(
+      samples,
+      [](std::span<const double> s) {
+        Welford w;
+        for (double v : s) w.add(v);
+        return w.mean();
+      },
+      batches, confidence);
+}
+
+}  // namespace forktail::stats

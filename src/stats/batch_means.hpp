@@ -1,0 +1,53 @@
+// Batch-means confidence intervals for steady-state simulation output.
+//
+// Queueing simulations near saturation produce heavily autocorrelated
+// sequences; the naive iid standard error understates the uncertainty of
+// means and percentiles by an order of magnitude.  The classical remedy is
+// the method of batch means: split the (post-warm-up) sequence into B
+// contiguous batches, compute the statistic per batch, and treat the batch
+// statistics as approximately independent draws -- valid once batches are
+// several autocorrelation times long.
+//
+// Used by the benches to attach honest error bars to simulated p99s.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace forktail::stats {
+
+struct BatchMeansCi {
+  double point = 0.0;      ///< statistic over the full sample
+  double lo = 0.0;         ///< lower confidence bound
+  double hi = 0.0;         ///< upper confidence bound
+  double batch_stddev = 0.0;  ///< stddev of the per-batch statistics
+  std::size_t batches = 0;
+};
+
+/// Batch-means CI for an arbitrary statistic (e.g. a percentile).
+/// `statistic` is evaluated on the whole sample and on each of `batches`
+/// contiguous equal-length batches; the interval is
+/// point +- t_{B-1, (1+conf)/2} * s_B / sqrt(B).
+BatchMeansCi batch_means_ci(
+    std::span<const double> samples,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t batches = 10, double confidence = 0.95);
+
+/// Convenience: batch-means CI for the p-th percentile.
+BatchMeansCi batch_means_percentile_ci(std::span<const double> samples,
+                                       double percentile,
+                                       std::size_t batches = 10,
+                                       double confidence = 0.95);
+
+/// Convenience: batch-means CI for the mean.
+BatchMeansCi batch_means_mean_ci(std::span<const double> samples,
+                                 std::size_t batches = 10,
+                                 double confidence = 0.95);
+
+/// Two-sided Student-t critical value (via the incomplete-beta-free
+/// Cornish-Fisher style approximation; accurate to ~1e-3 for df >= 3,
+/// adequate for CI construction).
+double student_t_critical(std::size_t degrees_of_freedom, double confidence);
+
+}  // namespace forktail::stats

@@ -1,0 +1,52 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/kahan.hpp"
+
+namespace forktail::stats {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  if (sorted_.empty()) throw std::invalid_argument("Ecdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+  util::KahanSum s;
+  for (double v : sorted_) s.add(v);
+  mean_ = s.value() / static_cast<double>(sorted_.size());
+  util::KahanSum s2;
+  for (double v : sorted_) s2.add((v - mean_) * (v - mean_));
+  variance_ = s2.value() / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::cdf(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("q must be in [0,1]");
+  const std::size_t n = sorted_.size();
+  if (n == 1) return sorted_[0];
+  const double h = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted_[n - 1];
+  const double frac = h - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+double Ecdf::ks_distance(const std::function<double(double)>& model_cdf) const {
+  const double n = static_cast<double>(sorted_.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    const double m = model_cdf(sorted_[i]);
+    const double upper = static_cast<double>(i + 1) / n - m;
+    const double lower = m - static_cast<double>(i) / n;
+    worst = std::max({worst, upper, lower});
+  }
+  return worst;
+}
+
+}  // namespace forktail::stats

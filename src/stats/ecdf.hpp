@@ -1,0 +1,41 @@
+// Empirical CDF over a retained sample: evaluation, inversion, and moments.
+// Backs the tabulated "empirical" service-time distribution and the
+// measurement-vs-model comparisons in tests.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace forktail::stats {
+
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> samples);
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// P(X <= x).
+  double cdf(double x) const noexcept;
+
+  /// Quantile with linear interpolation, q in [0, 1].
+  double quantile(double q) const;
+
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept { return variance_; }
+  double min() const noexcept { return sorted_.front(); }
+  double max() const noexcept { return sorted_.back(); }
+
+  /// Kolmogorov-Smirnov distance to a model CDF (used by goodness-of-fit
+  /// tests of the GE approximation).
+  double ks_distance(const std::function<double(double)>& model_cdf) const;
+
+  std::span<const double> sorted_samples() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+}  // namespace forktail::stats

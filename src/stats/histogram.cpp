@@ -1,0 +1,109 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace forktail::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, Spacing spacing)
+    : lo_(lo), hi_(hi), spacing_(spacing), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: invalid range or bin count");
+  }
+  if (spacing == Spacing::kLog) {
+    if (!(lo > 0.0)) {
+      throw std::invalid_argument("Histogram: log spacing requires lo > 0");
+    }
+    log_lo_ = std::log(lo);
+    log_width_ = (std::log(hi) - log_lo_) / static_cast<double>(bins);
+  } else {
+    width_ = (hi - lo) / static_cast<double>(bins);
+  }
+}
+
+std::size_t Histogram::bin_index(double x) const noexcept {
+  double idx;
+  if (spacing_ == Spacing::kLog) {
+    idx = (std::log(x) - log_lo_) / log_width_;
+  } else {
+    idx = (x - lo_) / width_;
+  }
+  return static_cast<std::size_t>(idx);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  std::size_t i = bin_index(x);
+  if (i >= counts_.size()) i = counts_.size() - 1;  // edge rounding
+  ++counts_[i];
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("bin index");
+  if (spacing_ == Spacing::kLog) {
+    return std::exp(log_lo_ + log_width_ * static_cast<double>(i));
+  }
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_upper(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("bin index");
+  if (spacing_ == Spacing::kLog) {
+    return std::exp(log_lo_ + log_width_ * static_cast<double>(i + 1));
+  }
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::ccdf_at_bin(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("bin index");
+  if (total_ == 0) return 0.0;
+  std::uint64_t above = overflow_;
+  for (std::size_t j = i; j < counts_.size(); ++j) above += counts_[j];
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double p) const {
+  if (total_ == 0) throw std::logic_error("Histogram: empty");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("p must be in [0,100]");
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lower(i) + frac * (bin_upper(i) - bin_lower(i));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_text(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%10.4g, %10.4g) ", bin_lower(i), bin_upper(i));
+    os << buf << std::string(std::max<std::size_t>(bar, 1), '#') << ' '
+       << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace forktail::stats

@@ -1,0 +1,52 @@
+// Fixed-bin and log-spaced histograms for response time distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace forktail::stats {
+
+/// Histogram over [lo, hi) with uniform or logarithmic bin spacing, plus
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  enum class Spacing { kLinear, kLog };
+
+  Histogram(double lo, double hi, std::size_t bins, Spacing spacing = Spacing::kLinear);
+
+  void add(double x) noexcept;
+
+  std::uint64_t total_count() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::size_t num_bins() const noexcept { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  double bin_lower(std::size_t i) const;
+  double bin_upper(std::size_t i) const;
+
+  /// Empirical complementary CDF P(X > x) evaluated at a bin edge.
+  double ccdf_at_bin(std::size_t i) const;
+
+  /// Approximate quantile from bin interpolation; p in [0,100].
+  double quantile(double p) const;
+
+  /// Plain-text sparkline-ish rendering for examples.
+  std::string to_text(std::size_t max_width = 60) const;
+
+ private:
+  std::size_t bin_index(double x) const noexcept;
+
+  double lo_;
+  double hi_;
+  Spacing spacing_;
+  double log_lo_ = 0.0;
+  double log_width_ = 0.0;
+  double width_ = 0.0;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace forktail::stats

@@ -1,0 +1,53 @@
+// Percentile estimation: exact order statistics on retained samples and the
+// P-square streaming estimator for memory-constrained online tracking.
+//
+// Simulated "ground truth" tails use the exact estimator; the online
+// scheduler example uses P-square.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace forktail::stats {
+
+/// Exact percentile of a sample using linear interpolation between order
+/// statistics (type-7 / the numpy default).  `p` in [0, 100].  Sorts a copy.
+double percentile(std::span<const double> samples, double p);
+
+/// As above but for several percentiles, sorting once.
+std::vector<double> percentiles(std::span<const double> samples,
+                                std::span<const double> ps);
+
+/// In-place variant: partially sorts `samples` (cheaper for single use).
+double percentile_inplace(std::span<double> samples, double p);
+
+/// P-square (Jain & Chlamtac 1985) streaming quantile estimator: O(1) memory
+/// per tracked quantile, no sample retention.
+class P2Quantile {
+ public:
+  /// `p` in (0, 100).
+  explicit P2Quantile(double p);
+
+  void add(double x);
+
+  /// Current estimate; requires at least 5 observations.
+  double value() const;
+
+  std::size_t count() const noexcept { return count_; }
+
+ private:
+  double p_;
+  std::size_t count_ = 0;
+  std::array<double, 5> q_{};   // marker heights
+  std::array<double, 5> n_{};   // marker positions
+  std::array<double, 5> np_{};  // desired positions
+  std::array<double, 5> dn_{};  // desired position increments
+  std::array<double, 5> initial_{};
+
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+};
+
+}  // namespace forktail::stats

@@ -1,0 +1,33 @@
+// Scalar root finding: bracketing bisection and Brent's method.
+//
+// Used to invert the GE moment-ratio equation (fit alpha from mean and
+// variance) and to invert mixture CDFs (Eqs. 4 and 8) for quantiles.
+#pragma once
+
+#include <functional>
+
+namespace forktail::stats {
+
+struct RootOptions {
+  double x_tolerance = 1e-12;   ///< absolute tolerance on the root location
+  double f_tolerance = 0.0;     ///< stop when |f| <= this (0 = off)
+  int max_iterations = 200;
+};
+
+/// Find a root of f in [lo, hi]; f(lo) and f(hi) must have opposite signs
+/// (or one of them be zero).  Throws std::invalid_argument otherwise.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const RootOptions& opts = {});
+
+/// Brent's method: bracketing with inverse quadratic interpolation;
+/// superlinear convergence with bisection's robustness.
+double brent(const std::function<double(double)>& f, double lo, double hi,
+             const RootOptions& opts = {});
+
+/// Expand [lo, hi] geometrically upward until f changes sign, then Brent.
+/// Requires f(lo) and the eventual f(hi) to differ in sign; used for
+/// quantile inversion where the upper bracket is unknown.
+double brent_expand_upper(const std::function<double(double)>& f, double lo,
+                          double hi_initial, const RootOptions& opts = {});
+
+}  // namespace forktail::stats

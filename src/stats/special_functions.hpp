@@ -1,0 +1,46 @@
+// Special functions required by the generalized exponential moment
+// equations (Eqs. 2-3 of the paper): digamma psi(x), trigamma psi'(x), and
+// the general polygamma recurrences they are built from.
+//
+// Implementation: upward recurrence to push the argument above a threshold,
+// followed by the standard asymptotic (Bernoulli-number) series.  Accurate
+// to ~1e-12 over the ranges the library uses (x > 0).
+#pragma once
+
+namespace forktail::stats {
+
+/// Euler-Mascheroni constant; psi(1) = -gamma.
+inline constexpr double kEulerGamma = 0.57721566490153286060651209;
+
+/// pi^2/6 = psi'(1).
+inline constexpr double kTrigammaAtOne = 1.64493406684822643647241516;
+
+/// Digamma function psi(x) for x > 0.
+double digamma(double x);
+
+/// Trigamma function psi'(x) for x > 0.
+double trigamma(double x);
+
+/// Tetragamma function psi''(x) for x > 0 (used by sensitivity analysis of
+/// the moment fit).
+double tetragamma(double x);
+
+/// Mean of the generalized exponential distribution with unit scale:
+/// psi(alpha + 1) - psi(1).  (Eq. 2 with beta = 1.)
+double ge_unit_mean(double alpha);
+
+/// Variance of the generalized exponential distribution with unit scale:
+/// psi'(1) - psi'(alpha + 1).  (Eq. 3 with beta = 1.)
+double ge_unit_variance(double alpha);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Standard normal pdf.
+double normal_pdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Halley step; |error| < 1e-13).  Requires p in (0, 1).
+double normal_quantile(double p);
+
+}  // namespace forktail::stats

@@ -1,0 +1,110 @@
+// Streaming first/second moment estimation (Welford's algorithm) plus a
+// third/fourth central moment extension used by distribution tests.
+//
+// This is the measurement primitive of the black-box model: each fork node
+// only ever reports (count, mean, variance) of its task response times.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace forktail::stats {
+
+class Welford {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    const double delta2 = x - mean_;
+    m2_ += delta * delta2;
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  /// Merge another accumulator (parallel reduction; Chan et al.).
+  void merge(const Welford& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+
+  /// Population variance (divides by n); matches the moment definitions the
+  /// model equations use.
+  double variance() const noexcept {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Unbiased sample variance (divides by n-1).
+  double sample_variance() const {
+    if (n_ < 2) throw std::logic_error("sample_variance requires n >= 2");
+    return m2_ / static_cast<double>(n_ - 1);
+  }
+
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Squared coefficient of variation V/E^2.
+  double scv() const noexcept {
+    return mean_ != 0.0 ? variance() / (mean_ * mean_) : 0.0;
+  }
+
+  void reset() noexcept { *this = Welford{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Raw-moment accumulator up to the 4th moment: needed by white-box M/G/1
+/// analysis (Eq. 11 requires E[S^3]) and by distribution unit tests.
+class RawMoments {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    double p = x;
+    for (int k = 0; k < 4; ++k) {
+      sums_[k] += p;
+      p *= x;
+    }
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+
+  /// E[X^k] for k in 1..4.
+  double moment(int k) const {
+    if (k < 1 || k > 4) throw std::out_of_range("moment order must be 1..4");
+    return n_ > 0 ? sums_[k - 1] / static_cast<double>(n_) : 0.0;
+  }
+
+  double mean() const { return moment(1); }
+  double variance() const {
+    const double m = mean();
+    return moment(2) - m * m;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sums_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace forktail::stats

@@ -1,0 +1,109 @@
+#include "stats/windowed.hpp"
+
+#include "util/kahan.hpp"
+
+namespace forktail::stats {
+
+namespace {
+// Re-sum from scratch every this many incremental updates to bound drift.
+constexpr std::uint64_t kResyncInterval = 1u << 16;
+}  // namespace
+
+WindowedMoments::WindowedMoments(double window_seconds) : window_(window_seconds) {
+  if (!(window_seconds > 0.0)) {
+    throw std::invalid_argument("window must be positive");
+  }
+}
+
+void WindowedMoments::add(double timestamp, double value) {
+  if (!samples_.empty() && timestamp < samples_.back().t) {
+    throw std::invalid_argument("timestamps must be non-decreasing");
+  }
+  samples_.push_back({timestamp, value});
+  sum_ += value;
+  sum_sq_ += value * value;
+  evict(timestamp);
+  if (++ops_since_resync_ >= kResyncInterval) resync();
+}
+
+void WindowedMoments::advance(double now) { evict(now); }
+
+void WindowedMoments::evict(double now) {
+  const double cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().t < cutoff) {
+    const double v = samples_.front().v;
+    sum_ -= v;
+    sum_sq_ -= v * v;
+    samples_.pop_front();
+    ++ops_since_resync_;
+  }
+}
+
+void WindowedMoments::resync() {
+  util::KahanSum s;
+  util::KahanSum s2;
+  for (const auto& sample : samples_) {
+    s.add(sample.v);
+    s2.add(sample.v * sample.v);
+  }
+  sum_ = s.value();
+  sum_sq_ = s2.value();
+  ops_since_resync_ = 0;
+}
+
+double WindowedMoments::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double WindowedMoments::variance() const noexcept {
+  if (samples_.empty()) return 0.0;
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double v = sum_sq_ / n - m * m;
+  return v > 0.0 ? v : 0.0;
+}
+
+RollingMoments::RollingMoments(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("capacity must be positive");
+}
+
+void RollingMoments::add(double value) {
+  window_.push_back(value);
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (buffer_size_ == capacity_) {
+    const double old = window_.front();
+    window_.pop_front();
+    sum_ -= old;
+    sum_sq_ -= old * old;
+  } else {
+    ++buffer_size_;
+  }
+  if (++ops_since_resync_ >= kResyncInterval) resync();
+}
+
+void RollingMoments::resync() {
+  util::KahanSum s;
+  util::KahanSum s2;
+  for (double v : window_) {
+    s.add(v);
+    s2.add(v * v);
+  }
+  sum_ = s.value();
+  sum_sq_ = s2.value();
+  ops_since_resync_ = 0;
+}
+
+double RollingMoments::mean() const noexcept {
+  return buffer_size_ == 0 ? 0.0 : sum_ / static_cast<double>(buffer_size_);
+}
+
+double RollingMoments::variance() const noexcept {
+  if (buffer_size_ == 0) return 0.0;
+  const double n = static_cast<double>(buffer_size_);
+  const double m = sum_ / n;
+  const double v = sum_sq_ / n - m * m;
+  return v > 0.0 ? v : 0.0;
+}
+
+}  // namespace forktail::stats

@@ -1,0 +1,75 @@
+// Sliding-window moment estimation.
+//
+// Section 3 of the paper: "Using the same example ... with only 20 seconds
+// of measurement time, one can collect 1000 task samples ... With moving
+// average for a given time window, e.g., 20 seconds, these means and
+// variances and hence, the tail latency prediction, can be updated every
+// tens of milliseconds."  This module provides exactly that primitive:
+// count/mean/variance over the trailing time window, updatable per sample.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+namespace forktail::stats {
+
+/// Moments over a sliding *time* window.  Samples are (timestamp, value)
+/// with non-decreasing timestamps; samples older than `window` relative to
+/// the most recent insertion (or an explicit advance) are evicted.
+class WindowedMoments {
+ public:
+  explicit WindowedMoments(double window_seconds);
+
+  void add(double timestamp, double value);
+
+  /// Evict samples older than `now - window` without adding a sample.
+  void advance(double now);
+
+  std::uint64_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  double variance() const noexcept;
+  double window() const noexcept { return window_; }
+
+ private:
+  struct Sample {
+    double t;
+    double v;
+  };
+
+  void evict(double now);
+
+  double window_;
+  std::deque<Sample> samples_;
+  // Running sums maintained incrementally; re-synced periodically to bound
+  // floating point drift from the add/subtract pattern.
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  std::uint64_t ops_since_resync_ = 0;
+  void resync();
+};
+
+/// Moments over the trailing N samples (count window rather than time
+/// window); used when the sampling rate rather than wall time is fixed.
+class RollingMoments {
+ public:
+  explicit RollingMoments(std::size_t capacity);
+
+  void add(double value);
+
+  std::size_t count() const noexcept { return buffer_size_; }
+  bool full() const noexcept { return buffer_size_ == capacity_; }
+  double mean() const noexcept;
+  double variance() const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  std::size_t buffer_size_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  std::uint64_t ops_since_resync_ = 0;
+  void resync();
+};
+
+}  // namespace forktail::stats

@@ -1,0 +1,100 @@
+// Synthesis of a Facebook-2010-like workload (Section 4.3 of the paper).
+//
+// The paper generates its trace from published descriptions rather than raw
+// data, and we do the same:
+//   - job sizes (number of forked tasks) follow the nine-bin histogram
+//     published with delay scheduling [43], uniform within each bin;
+//   - each job gets a mean task service time spanning the wide range
+//     reported for MapReduce workloads [13] (log-uniform across
+//     [min_mean_ms, max_mean_ms]);
+//   - individual task times are Normal(m, (2m)^2) truncated below, as in
+//     Hawk [15].
+// Target jobs (the application whose tail is predicted) are injected with a
+// given probability and are statistically uniform: fixed task count and
+// fixed mean task time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fjsim/consolidated.hpp"
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::trace {
+
+/// One bin of the job-size histogram: tasks uniform on [lo, hi] with
+/// probability `probability`.
+struct JobSizeBin {
+  std::uint32_t lo = 1;
+  std::uint32_t hi = 1;
+  double probability = 0.0;
+};
+
+/// The nine Facebook bins from the delay-scheduling paper [43].
+const std::array<JobSizeBin, 9>& facebook_job_size_bins();
+
+class FacebookWorkload {
+ public:
+  struct Params {
+    double min_mean_ms = 1.0;     ///< per-job mean task time, log-uniform low
+    double max_mean_ms = 1000.0;  ///< ... high
+    double target_fraction = 0.1; ///< fraction of jobs that are target jobs
+    std::uint32_t target_tasks = 100;   ///< fixed k of target jobs
+    double target_mean_ms = 50.0;       ///< fixed mean task time of target jobs
+    std::uint32_t max_tasks = 0;  ///< clamp background k (0 = no clamp)
+  };
+
+  explicit FacebookWorkload(Params params);
+
+  /// Sample a background job size from the bins (clamped to max_tasks).
+  std::uint32_t sample_background_tasks(util::Rng& rng) const;
+
+  /// Sample a background per-job mean task time (log-uniform).
+  double sample_background_mean(util::Rng& rng) const;
+
+  /// One job (target with probability target_fraction).
+  fjsim::JobSpec sample_job(util::Rng& rng) const;
+
+  /// Adapter for the consolidated simulator.
+  fjsim::JobGenerator generator() const;
+
+  /// Monte-Carlo estimate of E[tasks * E[task time]] per job (the quantity
+  /// the simulator needs to hit a load target), with the truncation floor
+  /// applied.  Deterministic for a fixed seed.
+  double estimate_mean_work(double service_floor, std::uint64_t samples = 200000,
+                            std::uint64_t seed = 12345) const;
+
+  /// Expected number of tasks of a background job (analytic, unclamped).
+  double mean_background_tasks() const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// Materialise `count` jobs into records with explicit arrival times
+/// (Poisson at `lambda`) and per-task times, reproducing the paper's trace
+/// file format.  Used by the trace I/O round-trip tests and by examples.
+std::vector<JobRecord> synthesize_trace(const FacebookWorkload& workload,
+                                        std::uint64_t count, double lambda,
+                                        double service_floor, std::uint64_t seed);
+
+/// Adapt a recorded trace into a consolidated-simulator job generator:
+/// jobs replay cyclically in record order (as background jobs, with their
+/// recorded task count and mean task time; per-task times are re-drawn
+/// from the Hawk model at replay, since the simulator drives its own
+/// arrival process).  Task counts above `max_tasks` are clamped (0 = no
+/// clamp).  The records are copied into the generator.
+fjsim::JobGenerator make_replay_generator(std::vector<JobRecord> records,
+                                          std::uint32_t max_tasks = 0);
+
+/// E[tasks * task time] per job of a recorded trace -- exact when records
+/// carry explicit task times, mean-based otherwise (with the truncation
+/// inflation factor of the Hawk model applied).  Needed to calibrate the
+/// consolidated simulator's load.
+double trace_mean_work(const std::vector<JobRecord>& records,
+                       double service_floor, std::uint32_t max_tasks = 0);
+
+}  // namespace forktail::trace

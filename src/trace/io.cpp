@@ -1,0 +1,78 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace forktail::trace {
+
+void write_trace(std::ostream& os, const std::vector<JobRecord>& records) {
+  os.precision(12);
+  for (const auto& rec : records) {
+    os << rec.arrival_time << ',' << rec.num_tasks << ',' << rec.mean_task_time
+       << ',';
+    for (std::size_t i = 0; i < rec.task_times.size(); ++i) {
+      if (i) os << ';';
+      os << rec.task_times[i];
+    }
+    os << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<JobRecord>& records) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_trace_file: cannot open " + path);
+  write_trace(os, records);
+  if (!os) throw std::runtime_error("write_trace_file: write failed for " + path);
+}
+
+std::vector<JobRecord> read_trace(std::istream& is) {
+  std::vector<JobRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    JobRecord rec;
+    std::string field;
+    auto next_field = [&](bool required) -> bool {
+      if (!std::getline(ls, field, ',')) {
+        if (required) {
+          throw std::runtime_error("read_trace: malformed line " +
+                                   std::to_string(line_no));
+        }
+        return false;
+      }
+      return true;
+    };
+    next_field(true);
+    rec.arrival_time = std::stod(field);
+    next_field(true);
+    rec.num_tasks = static_cast<std::uint32_t>(std::stoul(field));
+    next_field(true);
+    rec.mean_task_time = std::stod(field);
+    if (next_field(false) && !field.empty()) {
+      std::istringstream ts(field);
+      std::string item;
+      while (std::getline(ts, item, ';')) {
+        rec.task_times.push_back(std::stod(item));
+      }
+      if (rec.task_times.size() != rec.num_tasks) {
+        throw std::runtime_error("read_trace: task-time count mismatch at line " +
+                                 std::to_string(line_no));
+      }
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<JobRecord> read_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_trace_file: cannot open " + path);
+  return read_trace(is);
+}
+
+}  // namespace forktail::trace

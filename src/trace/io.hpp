@@ -1,0 +1,23 @@
+// CSV serialization of workload traces.
+//
+// Format (one job per line, matching the fields the paper lists):
+//   arrival_time,num_tasks,mean_task_time,t1;t2;...;tk
+// The per-task time list may be empty, in which case replay draws times
+// from the job's mean.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace forktail::trace {
+
+void write_trace(std::ostream& os, const std::vector<JobRecord>& records);
+void write_trace_file(const std::string& path, const std::vector<JobRecord>& records);
+
+std::vector<JobRecord> read_trace(std::istream& is);
+std::vector<JobRecord> read_trace_file(const std::string& path);
+
+}  // namespace forktail::trace

@@ -1,0 +1,183 @@
+// Deterministic, stream-splittable pseudo-random number generation.
+//
+// Simulation studies in this repository must be exactly reproducible from a
+// single 64-bit seed, and must support many statistically independent
+// streams (one per fork node / per replication) without coordination.  We
+// therefore implement xoshiro256++ (Blackman & Vigna) seeded via splitmix64,
+// rather than relying on the unspecified std::default_random_engine.
+//
+// All variate generators used by the simulators live here so that every
+// module draws randomness the same way.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace forktail::util {
+
+/// splitmix64: used to expand a single 64-bit seed into engine state and to
+/// derive independent child seeds.  Passes BigCrush when used as a generator.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ engine.  Satisfies UniformRandomBitGenerator so it can also
+/// be plugged into <random> distributions where convenient.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Jump ahead 2^128 steps: yields a stream independent of the original for
+  /// any realistic simulation length.
+  void jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+    for (std::uint64_t word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (word & (1ULL << b)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Rng: xoshiro engine plus the variate generators the simulators need.
+/// Not thread-safe; create one per thread / per stream via `split`.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xc0ffee1234abcdefULL) noexcept
+      : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Derive a deterministic child stream; children with distinct indices are
+  /// independent of the parent and of each other.
+  Rng split(std::uint64_t stream_index) const noexcept {
+    SplitMix64 sm(seed_ ^ (0x9e3779b97f4a7c15ULL * (stream_index + 1)));
+    return Rng(sm.next());
+  }
+
+  std::uint64_t next_u64() noexcept { return engine_(); }
+
+  /// Uniform in [0, 1).  53-bit mantissa resolution.
+  double uniform() noexcept {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [0, 1): never returns exactly 0 (safe for log()).
+  double uniform_pos() noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return u;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  Lemire's nearly-divisionless method.
+  std::uint64_t uniform_int(std::uint64_t n) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    if (n == 0) return 0;
+    u128 m = static_cast<u128>(engine_()) * static_cast<u128>(n);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0ULL - n) % n;
+      while (lo < threshold) {
+        m = static_cast<u128>(engine_()) * static_cast<u128>(n);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Exponential with the given mean (NOT rate).
+  double exponential(double mean) noexcept {
+    return -mean * std::log(uniform_pos());
+  }
+
+  /// Standard normal via Box-Muller with caching.
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform_pos();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  Xoshiro256pp engine_;
+  std::uint64_t seed_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace forktail::util

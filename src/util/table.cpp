@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace forktail::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table requires at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+Table::RowBuilder& Table::RowBuilder::str(std::string s) {
+  cells_.push_back(std::move(s));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::num(double v, int precision) {
+  cells_.push_back(format_fixed(v, precision));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::integer(long long v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "|" : "|") << std::string(widths[c] + 2, '-');
+    }
+    os << "|\n";
+  };
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_text(); }
+
+std::string format_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace forktail::util

@@ -1,0 +1,56 @@
+// Text-table and CSV formatting for benchmark output.
+//
+// Every bench binary prints the rows/series the paper's corresponding table
+// or figure reports; this module renders them as aligned text tables (human
+// consumption) or CSV (plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace forktail::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric/string rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+    RowBuilder& str(std::string s);
+    RowBuilder& num(double v, int precision = 2);
+    RowBuilder& integer(long long v);
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_columns() const noexcept { return headers_.size(); }
+
+  /// Render as an aligned text table.
+  std::string to_text() const;
+  /// Render as CSV (RFC-4180 quoting for cells containing commas/quotes).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared by bench binaries).
+std::string format_fixed(double v, int precision);
+
+}  // namespace forktail::util

@@ -1,0 +1,57 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// The simulators partition work across fork nodes or across experiment
+// configurations; both are embarrassingly parallel.  On a single-core host
+// the pool degenerates gracefully (0 workers => run inline).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace forktail::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects hardware_concurrency(); a pool of size 1 on
+  /// a single-core machine still uses one worker thread so that `submit`
+  /// never deadlocks when a task blocks on another task's completion.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task.  Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `fn(i)` for i in [begin, end) using the given pool, blocking until all
+/// iterations complete.  Iterations are chunked to limit queue overhead.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience: a process-wide pool sized to the hardware.
+ThreadPool& global_pool();
+
+}  // namespace forktail::util

@@ -1,0 +1,88 @@
+#include "stats/batch_means.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/percentile.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::stats {
+namespace {
+
+TEST(StudentT, MatchesKnownCriticalValues) {
+  // Two-sided 95% critical values.
+  EXPECT_NEAR(student_t_critical(5, 0.95), 2.571, 0.02);
+  EXPECT_NEAR(student_t_critical(9, 0.95), 2.262, 0.01);
+  EXPECT_NEAR(student_t_critical(30, 0.95), 2.042, 0.005);
+  EXPECT_NEAR(student_t_critical(1000, 0.95), 1.962, 0.003);
+  // 99%.
+  EXPECT_NEAR(student_t_critical(9, 0.99), 3.250, 0.03);
+}
+
+TEST(StudentT, Validation) {
+  EXPECT_THROW(student_t_critical(0, 0.95), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(5, 1.0), std::invalid_argument);
+}
+
+TEST(BatchMeans, MeanCiCoversIidTruth) {
+  util::Rng rng(1);
+  std::vector<double> v(50000);
+  for (auto& x : v) x = rng.exponential(3.0);
+  const auto ci = batch_means_mean_ci(v, 10, 0.95);
+  EXPECT_LT(ci.lo, 3.0);
+  EXPECT_GT(ci.hi, 3.0);
+  EXPECT_NEAR(ci.point, 3.0, 0.1);
+  EXPECT_EQ(ci.batches, 10u);
+}
+
+TEST(BatchMeans, PercentileCiCoversIidTruth) {
+  util::Rng rng(2);
+  std::vector<double> v(100000);
+  for (auto& x : v) x = rng.exponential(1.0);
+  const auto ci = batch_means_percentile_ci(v, 99.0, 10, 0.95);
+  const double truth = -std::log(0.01);
+  EXPECT_LT(ci.lo, truth);
+  EXPECT_GT(ci.hi, truth);
+}
+
+TEST(BatchMeans, WiderForCorrelatedSequences) {
+  // AR(1)-style correlated sequence vs iid with the same marginal
+  // variance: the batch-means CI must widen under correlation.
+  util::Rng rng(3);
+  const std::size_t n = 40000;
+  std::vector<double> iid(n);
+  std::vector<double> corr(n);
+  double state = 0.0;
+  const double rho = 0.98;
+  const double innovation = std::sqrt(1.0 - rho * rho);
+  for (std::size_t i = 0; i < n; ++i) {
+    iid[i] = rng.normal();
+    state = rho * state + innovation * rng.normal();
+    corr[i] = state;
+  }
+  const auto ci_iid = batch_means_mean_ci(iid, 10, 0.95);
+  const auto ci_corr = batch_means_mean_ci(corr, 10, 0.95);
+  EXPECT_GT(ci_corr.hi - ci_corr.lo, 3.0 * (ci_iid.hi - ci_iid.lo));
+}
+
+TEST(BatchMeans, CustomStatistic) {
+  util::Rng rng(4);
+  std::vector<double> v(20000);
+  for (auto& x : v) x = rng.uniform();
+  const auto ci = batch_means_ci(
+      v, [](std::span<const double> s) { return percentile(s, 50.0); }, 8,
+      0.95);
+  EXPECT_NEAR(ci.point, 0.5, 0.02);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+}
+
+TEST(BatchMeans, Validation) {
+  std::vector<double> v(10, 1.0);
+  EXPECT_THROW(batch_means_mean_ci(v, 1), std::invalid_argument);
+  EXPECT_THROW(batch_means_mean_ci(v, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace forktail::stats

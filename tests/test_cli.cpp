@@ -1,0 +1,80 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace forktail::util {
+namespace {
+
+CliFlags make_flags() {
+  CliFlags flags;
+  flags.declare("scale", "default", "bench scale");
+  flags.declare("seed", "1", "rng seed");
+  flags.declare("verbose", "false", "chatter");
+  flags.declare("load", "0.9", "utilization");
+  return flags;
+}
+
+TEST(CliFlags, DefaultsApply) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv));
+  EXPECT_EQ(flags.get_string("scale"), "default");
+  EXPECT_EQ(flags.get_int("seed"), 1);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+  EXPECT_DOUBLE_EQ(flags.get_double("load"), 0.9);
+}
+
+TEST(CliFlags, ParsesSpaceSeparated) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--seed", "42", "--verbose", "true"};
+  ASSERT_TRUE(flags.parse(5, argv));
+  EXPECT_EQ(flags.get_int("seed"), 42);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, ParsesEqualsForm) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--load=0.75", "--scale=full"};
+  ASSERT_TRUE(flags.parse(3, argv));
+  EXPECT_DOUBLE_EQ(flags.get_double("load"), 0.75);
+  EXPECT_EQ(flags.get_string("scale"), "full");
+}
+
+TEST(CliFlags, UnknownFlagThrows) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(flags.parse(3, argv), std::invalid_argument);
+}
+
+TEST(CliFlags, MissingValueThrows) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--seed"};
+  EXPECT_THROW(flags.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliFlags, HelpReturnsFalse) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, BadBooleanThrows) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--verbose", "maybe"};
+  ASSERT_TRUE(flags.parse(3, argv));
+  EXPECT_THROW(flags.get_bool("verbose"), std::invalid_argument);
+}
+
+TEST(BenchScale, ParseAndFactors) {
+  EXPECT_EQ(parse_scale("smoke"), BenchScale::kSmoke);
+  EXPECT_EQ(parse_scale("default"), BenchScale::kDefault);
+  EXPECT_EQ(parse_scale("full"), BenchScale::kFull);
+  EXPECT_THROW(parse_scale("huge"), std::invalid_argument);
+  EXPECT_LT(scale_factor(BenchScale::kSmoke), scale_factor(BenchScale::kDefault));
+  EXPECT_LT(scale_factor(BenchScale::kDefault), scale_factor(BenchScale::kFull));
+}
+
+}  // namespace
+}  // namespace forktail::util

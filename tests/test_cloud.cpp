@@ -1,0 +1,115 @@
+#include "cloud/spark_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "stats/percentile.hpp"
+
+namespace forktail::cloud {
+namespace {
+
+CloudConfig base(double lambda) {
+  CloudConfig c;
+  c.num_workers = 32;
+  c.lambda = lambda;
+  c.num_requests = 30000;
+  c.seed = 91;
+  return c;
+}
+
+TEST(Table1, ReproducesPaperLoadEstimates) {
+  // Table 1 of the paper, first/last columns for both cluster sizes.
+  EXPECT_NEAR(table1_load_percent(3.0, 32), 48.33, 0.01);
+  EXPECT_NEAR(table1_load_percent(5.5, 32), 88.61, 0.02);
+  EXPECT_NEAR(table1_load_percent(3.0, 64), 50.04, 0.01);
+  EXPECT_NEAR(table1_load_percent(5.5, 64), 91.74, 0.02);
+}
+
+TEST(CloudCaseStudy, ProducesExpectedShapes) {
+  const auto r = run_cloud_case_study(base(3.0));
+  EXPECT_EQ(r.responses.size(), 30000u);
+  EXPECT_EQ(r.worker_task_stats.size(), 32u);
+  EXPECT_EQ(r.worker_service_stats.size(), 32u);
+  EXPECT_NEAR(r.estimated_load, 3.0 * 0.1611, 1e-9);
+}
+
+TEST(CloudCaseStudy, MaxServiceMeanMatchesTable1Basis) {
+  const auto r = run_cloud_case_study(base(3.0));
+  double max_mean = 0.0;
+  for (const auto& w : r.worker_service_stats) {
+    max_mean = std::max(max_mean, w.mean());
+  }
+  // At low load (no locality misses) the max measured mean scan time must
+  // sit at the calibrated 161.1 ms.
+  EXPECT_NEAR(max_mean, 0.1611, 0.01);
+}
+
+TEST(CloudCaseStudy, LatencyGrowsWithArrivalRate) {
+  const auto lo = run_cloud_case_study(base(3.0));
+  const auto hi = run_cloud_case_study(base(5.5));
+  EXPECT_LT(stats::percentile(lo.responses, 99.0),
+            stats::percentile(hi.responses, 99.0));
+}
+
+TEST(CloudCaseStudy, InhomogeneityGrowsWithLoad) {
+  // The paper's key observation: worker response-time statistics diverge
+  // at high load (locality misses).  Measure the spread of worker means.
+  auto spread = [](const CloudResult& r) {
+    double lo = 1e300;
+    double hi = 0.0;
+    for (const auto& w : r.worker_task_stats) {
+      lo = std::min(lo, w.mean());
+      hi = std::max(hi, w.mean());
+    }
+    return hi / lo;
+  };
+  const auto low_load = run_cloud_case_study(base(3.0));
+  const auto high_load = run_cloud_case_study(base(5.5));
+  EXPECT_GT(spread(high_load), spread(low_load));
+}
+
+TEST(CloudCaseStudy, InhomogeneousModelTracksBetterAtHighLoad) {
+  // Fig. 9's conclusion: the inhomogeneous prediction (Eq. 4) stays
+  // accurate across the load range while the homogeneous one (Eq. 6)
+  // degrades as load grows (pooled statistics hide the slow workers).
+  auto signed_errors = [](double lambda) {
+    const auto r = run_cloud_case_study(base(lambda));
+    const double measured = stats::percentile(r.responses, 99.0);
+    std::vector<core::TaskStats> nodes;
+    for (const auto& w : r.worker_task_stats) {
+      nodes.push_back({w.mean(), w.variance()});
+    }
+    const double inhom = core::inhomogeneous_quantile(nodes, 99.0);
+    const double hom = core::homogeneous_quantile(
+        {r.pooled_task_stats.mean(), r.pooled_task_stats.variance()},
+        static_cast<double>(r.worker_task_stats.size()), 99.0);
+    return std::pair{(inhom - measured) / measured, (hom - measured) / measured};
+  };
+  const auto [inhom_low, hom_low] = signed_errors(3.5);
+  const auto [inhom_high, hom_high] = signed_errors(5.5);
+  // Inhomogeneous: bounded error at both load levels.
+  EXPECT_LT(std::fabs(inhom_low), 0.20);
+  EXPECT_LT(std::fabs(inhom_high), 0.20);
+  // Homogeneous: drifts downward (underestimates) as load rises.
+  EXPECT_LT(hom_high, hom_low - 0.02);
+  EXPECT_LT(hom_high, inhom_high);
+}
+
+TEST(CloudCaseStudy, DeterministicUnderSeed) {
+  const auto a = run_cloud_case_study(base(4.0));
+  const auto b = run_cloud_case_study(base(4.0));
+  EXPECT_DOUBLE_EQ(a.responses[17], b.responses[17]);
+}
+
+TEST(CloudCaseStudy, Validation) {
+  auto c = base(3.0);
+  c.num_workers = 0;
+  EXPECT_THROW(run_cloud_case_study(c), std::invalid_argument);
+  c = base(0.0);
+  EXPECT_THROW(run_cloud_case_study(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace forktail::cloud

@@ -1,0 +1,74 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace forktail::stats {
+namespace {
+
+TEST(Ecdf, StepFunctionValues) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  Ecdf e(v);
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.cdf(99.0), 1.0);
+}
+
+TEST(Ecdf, MomentsMatchSample) {
+  std::vector<double> v = {2.0, 4.0, 6.0};
+  Ecdf e(v);
+  EXPECT_DOUBLE_EQ(e.mean(), 4.0);
+  EXPECT_NEAR(e.variance(), 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(e.min(), 2.0);
+  EXPECT_DOUBLE_EQ(e.max(), 6.0);
+}
+
+TEST(Ecdf, QuantileInterpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  Ecdf e(v);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 10.0);
+}
+
+TEST(Ecdf, RejectsEmptyAndBadQuantile) {
+  std::vector<double> empty;
+  EXPECT_THROW(Ecdf{empty}, std::invalid_argument);
+  std::vector<double> v = {1.0};
+  Ecdf e(v);
+  EXPECT_THROW(e.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(e.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Ecdf, KsDistanceToTrueModelIsSmall) {
+  util::Rng rng(8);
+  std::vector<double> v(50000);
+  for (auto& x : v) x = rng.exponential(1.0);
+  Ecdf e(v);
+  const double ks = e.ks_distance(
+      [](double x) { return x <= 0 ? 0.0 : 1.0 - std::exp(-x); });
+  // DKW: with n = 5e4, KS distance ~ 1.36/sqrt(n) ~ 0.006 at 95%.
+  EXPECT_LT(ks, 0.012);
+}
+
+TEST(Ecdf, KsDistanceToWrongModelIsLarge) {
+  util::Rng rng(9);
+  std::vector<double> v(20000);
+  for (auto& x : v) x = rng.exponential(1.0);
+  Ecdf e(v);
+  // Compare against a uniform[0,1] CDF: grossly wrong.
+  const double ks = e.ks_distance([](double x) {
+    if (x <= 0) return 0.0;
+    if (x >= 1) return 1.0;
+    return x;
+  });
+  EXPECT_GT(ks, 0.2);
+}
+
+}  // namespace
+}  // namespace forktail::stats

@@ -1,0 +1,119 @@
+#include "fjsim/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/basic.hpp"
+
+namespace forktail::fjsim {
+namespace {
+
+struct Completion {
+  std::uint64_t id;
+  double arrival;
+  double done;
+};
+
+std::vector<Completion> drive(FastNode& node, const std::vector<double>& arrivals) {
+  std::vector<Completion> out;
+  auto cb = [&](std::uint64_t id, double arrival, double done) {
+    out.push_back({id, arrival, done});
+  };
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    node.submit_task(arrivals[i], i, cb);
+  }
+  node.flush(cb);
+  return out;
+}
+
+TEST(FastNode, SingleServerLindley) {
+  dist::Deterministic service(2.0);
+  FastNode node(&service, 1, Policy::kSingle, util::Rng(1));
+  const auto c = drive(node, {0.0, 1.0, 10.0});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[0].done, 2.0);
+  EXPECT_DOUBLE_EQ(c[1].done, 4.0);
+  EXPECT_DOUBLE_EQ(c[2].done, 12.0);
+}
+
+TEST(FastNode, RoundRobinUsesAllReplicas) {
+  dist::Deterministic service(3.0);
+  FastNode node(&service, 3, Policy::kRoundRobin, util::Rng(2));
+  const auto c = drive(node, {0.0, 0.0, 0.0, 0.0});
+  ASSERT_EQ(c.size(), 4u);
+  // First three land on distinct idle servers; the fourth queues on server 0.
+  EXPECT_DOUBLE_EQ(c[0].done, 3.0);
+  EXPECT_DOUBLE_EQ(c[1].done, 3.0);
+  EXPECT_DOUBLE_EQ(c[2].done, 3.0);
+  EXPECT_DOUBLE_EQ(c[3].done, 6.0);
+}
+
+TEST(FastNode, CompletionNeverBeforeArrival) {
+  dist::Exponential service(2.0);
+  FastNode node(&service, 3, Policy::kRoundRobin, util::Rng(7));
+  util::Rng arr(8);
+  double t = 0.0;
+  auto cb = [&](std::uint64_t, double arrival, double done) {
+    ASSERT_GE(done, arrival);
+  };
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    t += arr.exponential(1.0);
+    node.submit_task(t, i, cb);
+  }
+  node.flush(cb);
+}
+
+TEST(FastNode, EveryTaskCompletesExactlyOnce) {
+  dist::Exponential service(1.0);
+  FastNode node(&service, 3, Policy::kRoundRobin, util::Rng(5));
+  std::vector<int> seen(1000, 0);
+  auto cb = [&](std::uint64_t id, double, double) { ++seen[id]; };
+  util::Rng arr(6);
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    t += arr.exponential(0.5);
+    node.submit_task(t, i, cb);
+  }
+  node.flush(cb);
+  for (int s : seen) ASSERT_EQ(s, 1);
+}
+
+TEST(FastNode, ResetClearsState) {
+  dist::Deterministic service(5.0);
+  FastNode node(&service, 1, Policy::kSingle, util::Rng(9));
+  (void)drive(node, {0.0, 0.0});
+  node.reset();
+  const auto c = drive(node, {0.0});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0].done, 5.0);
+}
+
+TEST(FastNode, RedundantPolicyRejected) {
+  dist::Deterministic service(1.0);
+  EXPECT_THROW(FastNode(&service, 2, Policy::kRedundant, util::Rng(10)),
+               std::invalid_argument);
+}
+
+TEST(FastNode, SinglePolicyRequiresOneReplica) {
+  dist::Deterministic service(1.0);
+  EXPECT_THROW(FastNode(&service, 2, Policy::kSingle, util::Rng(11)),
+               std::invalid_argument);
+}
+
+TEST(FastNode, ExplicitServiceSubmission) {
+  FastNode node(nullptr, 2, Policy::kRoundRobin, util::Rng(11));
+  std::vector<Completion> out;
+  auto cb = [&](std::uint64_t id, double arrival, double done) {
+    out.push_back({id, arrival, done});
+  };
+  node.submit_task_explicit(0.0, 4.0, 0, cb);
+  node.submit_task_explicit(0.0, 2.0, 1, cb);
+  node.flush(cb);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].done, 4.0);
+  EXPECT_DOUBLE_EQ(out[1].done, 2.0);
+}
+
+}  // namespace
+}  // namespace forktail::fjsim

@@ -1,0 +1,154 @@
+#include "fjsim/redundant_node.hpp"
+
+#include "fjsim/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "dist/basic.hpp"
+
+namespace forktail::fjsim {
+namespace {
+
+/// Test distribution returning a scripted sequence of values.
+class Scripted final : public dist::Distribution {
+ public:
+  explicit Scripted(std::vector<double> values) : values_(std::move(values)) {}
+  double sample(util::Rng&) const override {
+    if (next_ >= values_.size()) throw std::logic_error("script exhausted");
+    return values_[next_++];
+  }
+  double moment(int k) const override {
+    check_moment_order(k);
+    return 1.0;
+  }
+  double cdf(double) const override { return 0.0; }
+  std::string name() const override { return "Scripted"; }
+
+ private:
+  std::vector<double> values_;
+  mutable std::size_t next_ = 0;
+};
+
+using Completions = std::map<std::uint64_t, double>;
+
+TEST(RedundantNode, ShortTaskNeedsNoReplica) {
+  dist::Deterministic service(1.0);
+  RedundantNode node(&service, 2, 5.0, util::Rng(1));
+  Completions done;
+  auto cb = [&](std::uint64_t id, double, double t) { done[id] = t; };
+  node.submit_task(0.0, 0, cb);
+  node.flush(cb);
+  EXPECT_EQ(node.redundant_issues(), 0u);
+  EXPECT_DOUBLE_EQ(done.at(0), 1.0);
+}
+
+TEST(RedundantNode, PrimaryWinsReplicaKilled) {
+  // Primary S = 30 triggers a replica at t = 5 on the idle second server
+  // with S = 40; the primary completes first at 30 and the replica is
+  // preempted there (server 1 is free again immediately).
+  Scripted service({30.0, 40.0, 1.0});
+  RedundantNode node(&service, 2, 5.0, util::Rng(2));
+  Completions done;
+  auto cb = [&](std::uint64_t id, double, double t) { done[id] = t; };
+  node.submit_task(0.0, 0, cb);
+  node.flush(cb);
+  EXPECT_EQ(node.redundant_issues(), 1u);
+  EXPECT_DOUBLE_EQ(done.at(0), 30.0);
+}
+
+TEST(RedundantNode, ReplicaWinsAndFreesTheStragglersServer) {
+  // Task 0: S = 30 on server 0, replica at t = 5 on server 1 with S = 2,
+  // so the task completes at 7 and the straggler is KILLED at 7 -- freeing
+  // server 0 for task 1 (arrives at 6, S = 4), which must finish at 11,
+  // not at 34.
+  Scripted service({30.0, 2.0, 4.0});
+  RedundantNode node(&service, 2, 5.0, util::Rng(3));
+  Completions done;
+  auto cb = [&](std::uint64_t id, double, double t) { done[id] = t; };
+  node.submit_task(0.0, 0, cb);
+  node.submit_task(6.0, 1, cb);
+  node.flush(cb);
+  EXPECT_EQ(node.redundant_issues(), 1u);
+  EXPECT_DOUBLE_EQ(done.at(0), 7.0);
+  EXPECT_DOUBLE_EQ(done.at(1), 11.0);
+}
+
+TEST(RedundantNode, QueuedReplicaLazilyCancelled) {
+  // Two stragglers keep both servers busy; each one's replica queues on
+  // the other server and must be dropped when its task finishes first.
+  Scripted service({10.0, 10.0, 99.0, 99.0});
+  RedundantNode node(&service, 2, 3.0, util::Rng(4));
+  Completions done;
+  auto cb = [&](std::uint64_t id, double, double t) { done[id] = t; };
+  node.submit_task(0.0, 0, cb);
+  node.submit_task(1.0, 1, cb);
+  node.flush(cb);
+  EXPECT_EQ(node.redundant_issues(), 2u);
+  EXPECT_DOUBLE_EQ(done.at(0), 10.0);
+  EXPECT_DOUBLE_EQ(done.at(1), 11.0);
+}
+
+TEST(RedundantNode, EveryTaskCompletesExactlyOnce) {
+  dist::Exponential service(1.0);
+  RedundantNode node(&service, 3, 0.5, util::Rng(5));
+  std::vector<int> seen(2000, 0);
+  auto cb = [&](std::uint64_t id, double, double) { ++seen[id]; };
+  util::Rng arr(6);
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    t += arr.exponential(0.6);
+    node.submit_task(t, i, cb);
+  }
+  node.flush(cb);
+  for (int s : seen) ASSERT_EQ(s, 1);
+}
+
+TEST(RedundantNode, CompletionsNeverBeforeArrivalAndReplicasCutTail) {
+  // Statistical sanity on a heavy-tailed service: completions are causal
+  // and the per-task response tail is shorter than without redundancy.
+  const auto heavy = dist::HyperExp2::from_mean_scv(1.0, 8.0);
+  RedundantNode red(&heavy, 3, 3.0, util::Rng(7));
+  FastNode rr(&heavy, 3, Policy::kRoundRobin, util::Rng(7));
+  util::Rng arr(8);
+  std::vector<double> red_resp;
+  std::vector<double> rr_resp;
+  auto cb_red = [&](std::uint64_t, double a, double d) {
+    ASSERT_GE(d, a);
+    red_resp.push_back(d - a);
+  };
+  auto cb_rr = [&](std::uint64_t, double a, double d) {
+    rr_resp.push_back(d - a);
+  };
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < 30000; ++i) {
+    t += arr.exponential(0.8);  // ~42% nominal load over 3 servers
+    red.submit_task(t, i, cb_red);
+    rr.submit_task(t, i, cb_rr);
+  }
+  red.flush(cb_red);
+  rr.flush(cb_rr);
+  ASSERT_EQ(red_resp.size(), rr_resp.size());
+  std::sort(red_resp.begin(), red_resp.end());
+  std::sort(rr_resp.begin(), rr_resp.end());
+  const auto p999 = [](const std::vector<double>& v) {
+    return v[v.size() * 999 / 1000];
+  };
+  EXPECT_LT(p999(red_resp), p999(rr_resp));
+  EXPECT_GT(red.redundant_issues(), 0u);
+}
+
+TEST(RedundantNode, Validation) {
+  dist::Deterministic service(1.0);
+  EXPECT_THROW(RedundantNode(nullptr, 2, 1.0, util::Rng(9)),
+               std::invalid_argument);
+  EXPECT_THROW(RedundantNode(&service, 1, 1.0, util::Rng(9)),
+               std::invalid_argument);
+  EXPECT_THROW(RedundantNode(&service, 2, 0.0, util::Rng(9)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace forktail::fjsim

@@ -1,0 +1,128 @@
+#include "fjsim/subset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dist/basic.hpp"
+#include "stats/percentile.hpp"
+
+namespace forktail::fjsim {
+namespace {
+
+SubsetConfig base() {
+  SubsetConfig c;
+  c.num_nodes = 32;
+  c.service = std::make_shared<dist::Exponential>(1.0);
+  c.load = 0.7;
+  c.k_mode = KMode::kFixed;
+  c.k_fixed = 8;
+  c.num_requests = 30000;
+  c.warmup_fraction = 0.25;
+  c.seed = 41;
+  return c;
+}
+
+TEST(Subset, LambdaCalibration) {
+  const auto r = run_subset(base());
+  // lambda = rho N / (E[k] E[S]) = 0.7 * 32 / 8.
+  EXPECT_NEAR(r.lambda, 0.7 * 32.0 / 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.mean_k, 8.0);
+}
+
+TEST(Subset, PerNodeUtilizationMatchesTarget) {
+  // Post-hoc check: tasks per node per unit time * E[S] ~ load.
+  auto c = base();
+  c.num_requests = 60000;
+  const auto r = run_subset(c);
+  // Total tasks over N nodes over total time T: rate per node ~ lambda k/N.
+  const double expected_rate = r.lambda * 8.0 / 32.0;
+  EXPECT_NEAR(expected_rate * c.service->mean(), 0.7, 1e-9);
+  // Mean task response must exceed E[S] (queueing) but stay finite/stable.
+  EXPECT_GT(r.task_stats.mean(), 1.0);
+  EXPECT_LT(r.task_stats.mean(), 1.0 / (1.0 - 0.7) * 1.6);
+}
+
+TEST(Subset, ResponseGrowsWithK) {
+  auto c = base();
+  c.k_fixed = 2;
+  const auto small = run_subset(c);
+  c.k_fixed = 30;
+  const auto large = run_subset(c);
+  EXPECT_LT(stats::percentile(small.responses, 99.0),
+            stats::percentile(large.responses, 99.0));
+}
+
+TEST(Subset, UniformKMeans) {
+  auto c = base();
+  c.k_mode = KMode::kUniformInt;
+  c.k_lo = 4;
+  c.k_hi = 12;
+  const auto r = run_subset(c);
+  EXPECT_DOUBLE_EQ(r.mean_k, 8.0);
+  const double tasks_per_request =
+      static_cast<double>(r.total_tasks) /
+      (static_cast<double>(c.num_requests) / (1.0 - c.warmup_fraction));
+  EXPECT_NEAR(tasks_per_request, 8.0, 0.2);
+}
+
+TEST(Subset, GroupByKBucketsResponses) {
+  auto c = base();
+  c.k_mode = KMode::kUniformInt;
+  c.k_lo = 2;
+  c.k_hi = 4;
+  c.group_by_k = true;
+  const auto r = run_subset(c);
+  ASSERT_EQ(r.responses_by_k.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& [k, v] : r.responses_by_k) {
+    EXPECT_GE(k, 2);
+    EXPECT_LE(k, 4);
+    total += v.size();
+  }
+  EXPECT_EQ(total, r.responses.size());
+  // Larger k gets stochastically larger medians.
+  EXPECT_LT(stats::percentile(r.responses_by_k.at(2), 50.0),
+            stats::percentile(r.responses_by_k.at(4), 50.0));
+}
+
+TEST(Subset, GroupingDisabledByDefault) {
+  const auto r = run_subset(base());
+  EXPECT_TRUE(r.responses_by_k.empty());
+}
+
+TEST(Subset, DeterministicUnderSeed) {
+  const auto a = run_subset(base());
+  const auto b = run_subset(base());
+  EXPECT_DOUBLE_EQ(a.responses[7], b.responses[7]);
+}
+
+TEST(Subset, Validation) {
+  auto c = base();
+  c.k_fixed = 0;
+  EXPECT_THROW(run_subset(c), std::invalid_argument);
+  c = base();
+  c.k_fixed = 33;
+  EXPECT_THROW(run_subset(c), std::invalid_argument);
+  c = base();
+  c.k_mode = KMode::kUniformInt;
+  c.k_lo = 5;
+  c.k_hi = 4;
+  EXPECT_THROW(run_subset(c), std::invalid_argument);
+  c = base();
+  c.load = 0.0;
+  EXPECT_THROW(run_subset(c), std::invalid_argument);
+}
+
+TEST(Subset, ThreeReplicaRoundRobin) {
+  auto c = base();
+  c.replicas = 3;
+  c.policy = Policy::kRoundRobin;
+  const auto r = run_subset(c);
+  // lambda scales with replicas.
+  EXPECT_NEAR(r.lambda, 3.0 * 0.7 * 32.0 / 8.0, 1e-12);
+  EXPECT_EQ(r.responses.size(), 30000u);
+}
+
+}  // namespace
+}  // namespace forktail::fjsim

@@ -1,0 +1,147 @@
+#include "core/genexp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/welford.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::core {
+namespace {
+
+TEST(GenExp, AlphaOneIsExponential) {
+  GenExp g(1.0, 4.22);
+  EXPECT_NEAR(g.mean(), 4.22, 1e-12);
+  EXPECT_NEAR(g.variance(), 4.22 * 4.22, 1e-9);
+  EXPECT_NEAR(g.cdf(4.22), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(g.quantile(0.99), -4.22 * std::log(0.01), 1e-9);
+}
+
+TEST(GenExp, RejectsBadParameters) {
+  EXPECT_THROW(GenExp(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GenExp(1.0, -1.0), std::invalid_argument);
+}
+
+// Fit round-trip: moments -> (alpha, beta) -> moments, across the whole
+// practical (mean, CV) plane.
+class GenExpFitRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GenExpFitRoundTrip, RecoversMoments) {
+  const auto [mean, cv] = GetParam();
+  const double variance = (cv * mean) * (cv * mean);
+  const GenExp g = GenExp::fit_moments(mean, variance);
+  EXPECT_NEAR(g.mean(), mean, 1e-8 * mean);
+  EXPECT_NEAR(g.variance(), variance, 1e-7 * variance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeanCvGrid, GenExpFitRoundTrip,
+    ::testing::Combine(::testing::Values(0.01, 1.0, 42.0, 5000.0),
+                       ::testing::Values(0.15, 0.5, 1.0, 1.5, 3.0, 8.0)));
+
+TEST(GenExpFit, CvOneGivesAlphaOne) {
+  const GenExp g = GenExp::fit_moments(10.0, 100.0);
+  EXPECT_NEAR(g.alpha(), 1.0, 1e-8);
+  EXPECT_NEAR(g.beta(), 10.0, 1e-7);
+}
+
+TEST(GenExpFit, LightTailGivesLargeAlpha) {
+  // CV < 1 (light tail) requires alpha > 1.
+  const GenExp g = GenExp::fit_moments(10.0, 25.0);
+  EXPECT_GT(g.alpha(), 1.0);
+}
+
+TEST(GenExpFit, HeavyTailGivesSmallAlpha) {
+  const GenExp g = GenExp::fit_moments(10.0, 400.0);
+  EXPECT_LT(g.alpha(), 1.0);
+}
+
+TEST(GenExpFit, DegenerateLowCvClampsInsteadOfThrowing) {
+  // Near-deterministic measurements (CV ~ 0.1%) exceed the fit's bracket;
+  // the fit must clamp to the boundary alpha and still honour the mean.
+  const GenExp g = GenExp::fit_moments(100.0, 0.01);  // CV = 0.1%
+  EXPECT_NEAR(g.mean(), 100.0, 1e-6 * 100.0);
+  EXPECT_GT(g.alpha(), 1e10);  // boundary fit
+  // Quantiles remain finite and tightly concentrated around the mean.
+  const double q99 = g.quantile(0.99);
+  EXPECT_TRUE(std::isfinite(q99));
+  EXPECT_NEAR(q99, 100.0, 25.0);
+}
+
+TEST(GenExpFit, DegenerateHighCvClampsInsteadOfThrowing) {
+  const GenExp g = GenExp::fit_moments(1.0, 1e30);  // absurd variance
+  EXPECT_TRUE(std::isfinite(g.quantile(0.99)));
+  EXPECT_LT(g.alpha(), 1e-12);
+  EXPECT_NEAR(g.mean(), 1.0, 1e-6);
+}
+
+TEST(GenExpFit, RejectsNonPositiveMoments) {
+  EXPECT_THROW(GenExp::fit_moments(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GenExp::fit_moments(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(GenExp, QuantileInvertsCdf) {
+  const GenExp g(2.5, 7.0);
+  for (double q : {0.001, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(g.cdf(g.quantile(q)), q, 1e-10) << "q=" << q;
+  }
+}
+
+TEST(GenExp, MaxQuantileInvertsMaxCdf) {
+  const GenExp g(0.8, 12.0);
+  for (double k : {1.0, 10.0, 100.0, 1000.0}) {
+    const double x = g.max_quantile(0.99, k);
+    EXPECT_NEAR(g.max_cdf(x, k), 0.99, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(GenExp, MaxQuantileGrowsLogarithmicallyInK) {
+  const GenExp g(1.0, 1.0);
+  const double x10 = g.max_quantile(0.99, 10.0);
+  const double x100 = g.max_quantile(0.99, 100.0);
+  const double x1000 = g.max_quantile(0.99, 1000.0);
+  EXPECT_LT(x10, x100);
+  EXPECT_LT(x100, x1000);
+  // Gumbel-like growth: roughly constant increments per decade of k.
+  EXPECT_NEAR(x1000 - x100, x100 - x10, 0.15 * (x100 - x10));
+}
+
+TEST(GenExp, PdfIntegratesToCdf) {
+  const GenExp g(3.0, 2.0);
+  double acc = 0.0;
+  const double dx = 1e-3;
+  for (double x = dx / 2; x < 10.0; x += dx) acc += g.pdf(x) * dx;
+  EXPECT_NEAR(acc, g.cdf(10.0), 1e-4);
+}
+
+TEST(GenExp, SamplingMatchesMoments) {
+  const GenExp g = GenExp::fit_moments(5.0, 30.0);
+  util::Rng rng(55);
+  stats::Welford w;
+  for (int i = 0; i < 300000; ++i) w.add(g.sample(rng));
+  EXPECT_NEAR(w.mean(), 5.0, 0.05);
+  EXPECT_NEAR(w.variance(), 30.0, 0.7);
+}
+
+TEST(GenExp, NumericallyStableAtHugeKAlpha) {
+  // k alpha ~ 1e6: naive 1 - q^{1/(k a)} underflows; expm1 path must hold.
+  const GenExp g(1.0, 1.0);
+  const double x = g.max_quantile(0.99, 1e6);
+  EXPECT_TRUE(std::isfinite(x));
+  EXPECT_NEAR(g.max_cdf(x, 1e6), 0.99, 1e-6);
+  // x ~ ln(k/ -ln q) for exponential: sanity of magnitude.
+  EXPECT_GT(x, std::log(1e6));
+  EXPECT_LT(x, std::log(1e6) + 10.0);
+}
+
+TEST(GenExp, ToStringContainsParameters) {
+  const GenExp g(2.0, 3.0);
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace forktail::core

@@ -1,0 +1,66 @@
+#include "dist/google_leaf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/welford.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::dist {
+namespace {
+
+TEST(GoogleLeaf, MatchesPublishedStatistics) {
+  const Empirical& d = google_leaf();
+  // The paper's published summary: mean 4.22 ms, CV 1.12, max 276.6 ms.
+  EXPECT_NEAR(d.mean(), kGoogleLeafMeanMs, 1e-9);
+  EXPECT_NEAR(d.cv(), kGoogleLeafCv, 0.02);
+  EXPECT_NEAR(d.max(), kGoogleLeafMaxMs, 0.5);
+}
+
+TEST(GoogleLeaf, P95NearRedundancyThreshold) {
+  // Section 4.1 uses a 10 ms redundant-issue delay, "around the 95th
+  // percentile of the empirical distribution".
+  const Empirical& d = google_leaf();
+  EXPECT_NEAR(d.quantile(0.95), 10.0, 1.0);
+}
+
+TEST(GoogleLeaf, IsHeavyTailed) {
+  const Empirical& d = google_leaf();
+  // Tail mass far beyond what an exponential with the same mean would have:
+  // P(X > 10 mean) for Exp is e^-10 ~ 4.5e-5; here it must be much larger.
+  const double tail = 1.0 - d.cdf(10.0 * d.mean());
+  EXPECT_GT(tail, 5e-4);
+}
+
+TEST(GoogleLeaf, SamplingIsConsistent) {
+  const Empirical& d = google_leaf();
+  util::Rng rng(40);
+  stats::Welford w;
+  for (int i = 0; i < 300000; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, kGoogleLeafMaxMs + 1e-9);
+    w.add(x);
+  }
+  EXPECT_NEAR(w.mean(), d.mean(), 0.05);
+  // The tail carries most of the variance; 300k draws leave ~10% noise.
+  EXPECT_NEAR(w.variance(), d.variance(), 0.15 * d.variance());
+}
+
+TEST(GoogleLeaf, SingletonIsStable) {
+  const Empirical& a = google_leaf();
+  const Empirical& b = google_leaf();
+  EXPECT_EQ(&a, &b);
+  const DistPtr p = google_leaf_ptr();
+  EXPECT_NEAR(p->mean(), a.mean(), 1e-12);
+}
+
+TEST(GoogleLeaf, ThirdMomentFinitePositive) {
+  const Empirical& d = google_leaf();
+  EXPECT_GT(d.moment(3), 0.0);
+  EXPECT_LT(d.moment(3), std::pow(kGoogleLeafMaxMs, 3));
+}
+
+}  // namespace
+}  // namespace forktail::dist

@@ -1,0 +1,88 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace forktail::stats {
+namespace {
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.99);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(1.0, 2.0, 4);
+  h.add(0.5);
+  h.add(2.5);
+  h.add(1.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(Histogram, BinEdgesLinear) {
+  Histogram h(0.0, 100.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 25.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(3), 75.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(3), 100.0);
+}
+
+TEST(Histogram, LogSpacingCoversDecades) {
+  Histogram h(1.0, 1000.0, 3, Histogram::Spacing::kLog);
+  EXPECT_NEAR(h.bin_upper(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_upper(1), 100.0, 1e-9);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+}
+
+TEST(Histogram, LogSpacingRequiresPositiveLow) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 4, Histogram::Spacing::kLog),
+               std::invalid_argument);
+}
+
+TEST(Histogram, QuantileApproximatesExact) {
+  Histogram h(0.0, 1.0, 1000);
+  util::Rng rng(6);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(50.0), 0.5, 0.01);
+  EXPECT_NEAR(h.quantile(99.0), 0.99, 0.01);
+}
+
+TEST(Histogram, CcdfDecreasesAcrossBins) {
+  Histogram h(0.0, 10.0, 10);
+  util::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) h.add(rng.exponential(2.0));
+  double prev = 1.1;
+  for (std::size_t b = 0; b < h.num_bins(); ++b) {
+    const double c = h.ccdf_at_bin(b);
+    EXPECT_LE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, TextRenderingNonEmpty) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {1.0, 1.5, 6.0}) h.add(x);
+  EXPECT_FALSE(h.to_text().empty());
+}
+
+}  // namespace
+}  // namespace forktail::stats

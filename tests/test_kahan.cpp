@@ -1,0 +1,53 @@
+#include "util/kahan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace forktail::util {
+namespace {
+
+TEST(KahanSum, SumsExactValues) {
+  KahanSum s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.value(), 5050.0);
+}
+
+TEST(KahanSum, RecoversSmallTermsNextToLargeOnes) {
+  // Naive summation of 1 + 1e-16 * 1e16 loses every small term.
+  KahanSum s;
+  s.add(1.0);
+  for (int i = 0; i < 10000000; ++i) s.add(1e-16);
+  EXPECT_NEAR(s.value(), 1.0 + 1e-9, 1e-12);
+}
+
+TEST(KahanSum, NeumaierHandlesLargeThenSmall) {
+  KahanSum s;
+  s.add(1e100);
+  s.add(1.0);
+  s.add(-1e100);
+  EXPECT_DOUBLE_EQ(s.value(), 1.0);
+}
+
+TEST(KahanSum, ResetClearsState) {
+  KahanSum s;
+  s.add(123.0);
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(KahanSum, OperatorPlusEquals) {
+  KahanSum s;
+  s += 2.5;
+  s += 2.5;
+  EXPECT_DOUBLE_EQ(s.value(), 5.0);
+}
+
+TEST(KahanSum, InitialValueConstructor) {
+  KahanSum s(10.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.value(), 15.0);
+}
+
+}  // namespace
+}  // namespace forktail::util

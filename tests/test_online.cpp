@@ -1,0 +1,116 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/welford.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::core {
+namespace {
+
+TEST(OnlineTailPredictor, RequiresMinSamples) {
+  OnlineTailPredictor p(2, 20.0, 10);
+  for (int i = 0; i < 9; ++i) {
+    p.record(0, i * 0.1, 1.0 + 0.01 * i);
+    p.record(1, i * 0.1, 1.0 + 0.01 * i);
+  }
+  EXPECT_FALSE(p.node_stats(0).has_value());
+  EXPECT_FALSE(p.predict_homogeneous(99.0).has_value());
+  p.record(0, 1.0, 1.5);
+  p.record(1, 1.0, 1.5);
+  EXPECT_TRUE(p.node_stats(0).has_value());
+  EXPECT_TRUE(p.predict_homogeneous(99.0).has_value());
+}
+
+TEST(OnlineTailPredictor, HomogeneousMatchesOfflineFit) {
+  util::Rng rng(60);
+  OnlineTailPredictor p(4, 1e9, 10);
+  stats::Welford all;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.exponential(5.0);
+    p.record(static_cast<std::size_t>(i % 4), i * 0.01, x);
+    all.add(x);
+  }
+  const auto predicted = p.predict_homogeneous(99.0);
+  ASSERT_TRUE(predicted.has_value());
+  const double offline =
+      homogeneous_quantile({all.mean(), all.variance()}, 4.0, 99.0);
+  EXPECT_NEAR(*predicted, offline, 1e-6 * offline);
+}
+
+TEST(OnlineTailPredictor, WindowForgetsOldRegime) {
+  OnlineTailPredictor p(1, 10.0, 5);
+  // Old regime: slow responses.
+  for (int i = 0; i < 100; ++i) p.record(0, i * 0.05, 100.0 + i % 3);
+  const auto before = p.node_stats(0);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_GT(before->mean, 50.0);
+  // New regime 30 s later: fast responses; the window must have rolled.
+  for (int i = 0; i < 100; ++i) p.record(0, 35.0 + i * 0.05, 1.0 + (i % 3) * 0.1);
+  const auto after = p.node_stats(0);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_LT(after->mean, 2.0);
+}
+
+TEST(OnlineTailPredictor, InhomogeneousSeesSlowNode) {
+  util::Rng rng(61);
+  OnlineTailPredictor p(3, 1e9, 20);
+  for (int i = 0; i < 600; ++i) {
+    p.record(0, i * 0.01, rng.exponential(1.0));
+    p.record(1, i * 0.01, rng.exponential(1.0));
+    p.record(2, i * 0.01, rng.exponential(20.0));  // slow node
+  }
+  const auto inhom = p.predict_inhomogeneous(99.0);
+  ASSERT_TRUE(inhom.has_value());
+  // The slow node alone needs ~ 20 ln(100) ~ 92 at p99.
+  EXPECT_GT(*inhom, 80.0);
+}
+
+TEST(OnlineTailPredictor, SubsetUsesOnlyChosenNodes) {
+  util::Rng rng(62);
+  OnlineTailPredictor p(3, 1e9, 20);
+  for (int i = 0; i < 600; ++i) {
+    p.record(0, i * 0.01, rng.exponential(1.0));
+    p.record(1, i * 0.01, rng.exponential(1.0));
+    p.record(2, i * 0.01, rng.exponential(50.0));
+  }
+  const std::size_t fast[] = {0, 1};
+  const auto fast_pred = p.predict_subset(fast, 99.0);
+  ASSERT_TRUE(fast_pred.has_value());
+  EXPECT_LT(*fast_pred, 10.0);
+  const std::size_t with_slow[] = {0, 2};
+  const auto slow_pred = p.predict_subset(with_slow, 99.0);
+  ASSERT_TRUE(slow_pred.has_value());
+  EXPECT_GT(*slow_pred, 10.0 * *fast_pred);
+}
+
+TEST(OnlineTailPredictor, SubsetValidation) {
+  OnlineTailPredictor p(2, 10.0, 5);
+  std::vector<std::size_t> empty;
+  EXPECT_THROW(p.predict_subset(empty, 99.0), std::invalid_argument);
+  const std::size_t bad[] = {5};
+  EXPECT_THROW(p.predict_subset(bad, 99.0), std::out_of_range);
+}
+
+TEST(OnlineTailPredictor, MixturePrediction) {
+  util::Rng rng(63);
+  OnlineTailPredictor p(2, 1e9, 20);
+  for (int i = 0; i < 1000; ++i) {
+    p.record(static_cast<std::size_t>(i % 2), i * 0.01, rng.exponential(3.0));
+  }
+  const auto m = TaskCountMixture::uniform_int(10, 100);
+  const auto pred = p.predict_mixture(m, 99.0);
+  ASSERT_TRUE(pred.has_value());
+  const auto lo = p.predict_homogeneous(99.0, 10.0);
+  const auto hi = p.predict_homogeneous(99.0, 100.0);
+  ASSERT_TRUE(lo && hi);
+  EXPECT_GT(*pred, *lo);
+  EXPECT_LT(*pred, *hi);
+}
+
+TEST(OnlineTailPredictor, ZeroNodesRejected) {
+  EXPECT_THROW(OnlineTailPredictor(0, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace forktail::core

@@ -1,0 +1,117 @@
+#include "stats/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace forktail::stats {
+namespace {
+
+TEST(Percentile, MedianOfOddSample) {
+  std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStats) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v = {4.0, 2.0, 9.0, 7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 42.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  std::vector<double> v;
+  EXPECT_THROW(percentile(v, 50.0), std::invalid_argument);
+  v.push_back(1.0);
+  EXPECT_THROW(percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(Percentiles, BatchMatchesSingle) {
+  util::Rng rng(1);
+  std::vector<double> v(10001);
+  for (auto& x : v) x = rng.uniform();
+  const double ps[] = {50.0, 90.0, 99.0};
+  const auto batch = percentiles(v, ps);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile(v, ps[i]));
+  }
+}
+
+TEST(PercentileInplace, MatchesSorting) {
+  util::Rng rng(2);
+  std::vector<double> v(5000);
+  for (auto& x : v) x = rng.exponential(1.0);
+  std::vector<double> copy = v;
+  const double expected = percentile(v, 99.0);
+  EXPECT_DOUBLE_EQ(percentile_inplace(copy, 99.0), expected);
+}
+
+TEST(Percentile, UniformQuantilesConverge) {
+  util::Rng rng(3);
+  std::vector<double> v(200000);
+  for (auto& x : v) x = rng.uniform();
+  EXPECT_NEAR(percentile(v, 99.0), 0.99, 0.002);
+  EXPECT_NEAR(percentile(v, 50.0), 0.50, 0.005);
+}
+
+TEST(P2Quantile, ExactForFirstFive) {
+  P2Quantile q(50.0);
+  for (double x : {5.0, 1.0, 4.0, 2.0, 3.0}) q.add(x);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+}
+
+TEST(P2Quantile, FewerThanFiveUsesSorting) {
+  P2Quantile q(50.0);
+  q.add(10.0);
+  q.add(20.0);
+  EXPECT_DOUBLE_EQ(q.value(), 15.0);
+}
+
+TEST(P2Quantile, NoSamplesThrows) {
+  P2Quantile q(90.0);
+  EXPECT_THROW(q.value(), std::logic_error);
+}
+
+TEST(P2Quantile, RejectsDegenerateLevels) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(100.0), std::invalid_argument);
+}
+
+TEST(P2Quantile, TracksExponentialP99) {
+  P2Quantile q(99.0);
+  util::Rng rng(4);
+  std::vector<double> all;
+  const int n = 200000;
+  all.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(1.0);
+    q.add(x);
+    all.push_back(x);
+  }
+  const double exact = percentile(all, 99.0);
+  EXPECT_NEAR(q.value(), exact, exact * 0.05);
+}
+
+TEST(P2Quantile, TracksMedianOfNormal) {
+  P2Quantile q(50.0);
+  util::Rng rng(5);
+  for (int i = 0; i < 100000; ++i) q.add(rng.normal(7.0, 2.0));
+  EXPECT_NEAR(q.value(), 7.0, 0.05);
+}
+
+}  // namespace
+}  // namespace forktail::stats

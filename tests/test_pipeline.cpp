@@ -1,0 +1,178 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "dist/factory.hpp"
+#include "fjsim/homogeneous.hpp"
+#include "fjsim/pipeline.hpp"
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+
+namespace forktail {
+namespace {
+
+core::StageSpec stage(const char* name, double mean, double var, double k) {
+  return {name, {mean, var}, k};
+}
+
+TEST(PipelinePredictor, SingleStageMatchesHomogeneousPredictor) {
+  const core::TaskStats stats{10.0, 120.0};
+  const core::PipelinePredictor pipeline({stage("only", 10.0, 120.0, 64.0)});
+  for (double p : {90.0, 99.0, 99.9}) {
+    EXPECT_NEAR(pipeline.quantile(p),
+                core::homogeneous_quantile(stats, 64.0, p), 1e-9)
+        << "p=" << p;
+  }
+}
+
+TEST(PipelinePredictor, StageLatencyLawIsGeOfScaledShape) {
+  // Max of k iid GE(a, b) is GE(k a, b): the stage model must carry exactly
+  // that shape.
+  const core::PipelinePredictor pipeline({stage("s", 5.0, 25.0, 100.0)});
+  const core::GenExp task = core::GenExp::fit_moments(5.0, 25.0);
+  const auto& lat = pipeline.stage_latencies().front();
+  EXPECT_NEAR(lat.model.alpha(), 100.0 * task.alpha(), 1e-9);
+  EXPECT_NEAR(lat.model.beta(), task.beta(), 1e-12);
+}
+
+TEST(PipelinePredictor, TotalsAreSumsOfStageMoments) {
+  const core::PipelinePredictor pipeline(
+      {stage("a", 5.0, 25.0, 32.0), stage("b", 2.0, 8.0, 8.0),
+       stage("c", 1.0, 1.0, 1.0)});
+  double mean = 0.0;
+  double var = 0.0;
+  for (const auto& lat : pipeline.stage_latencies()) {
+    mean += lat.mean;
+    var += lat.variance;
+  }
+  EXPECT_NEAR(pipeline.total_mean(), mean, 1e-12);
+  EXPECT_NEAR(pipeline.total_variance(), var, 1e-12);
+}
+
+TEST(PipelinePredictor, QuantileInvertsCdfAndOrdersInP) {
+  const core::PipelinePredictor pipeline(
+      {stage("a", 5.0, 60.0, 50.0), stage("b", 3.0, 9.0, 10.0)});
+  double prev = 0.0;
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double x = pipeline.quantile(p);
+    EXPECT_GT(x, prev);
+    prev = x;
+    EXPECT_NEAR(pipeline.cdf(x), p / 100.0, 1e-6);
+  }
+}
+
+TEST(PipelinePredictor, BottleneckIdentifiesTheSlowStage) {
+  const core::PipelinePredictor pipeline(
+      {stage("fast", 1.0, 1.0, 8.0), stage("slow", 50.0, 5000.0, 64.0),
+       stage("mid", 5.0, 25.0, 16.0)});
+  EXPECT_EQ(pipeline.bottleneck_stage(99.0), 1u);
+  const auto breakdown = pipeline.mean_breakdown();
+  EXPECT_EQ(breakdown.size(), 3u);
+  EXPECT_NEAR(std::accumulate(breakdown.begin(), breakdown.end(), 0.0), 1.0,
+              1e-12);
+  EXPECT_GT(breakdown[1], 0.5);  // the slow stage dominates the mean
+}
+
+TEST(PipelinePredictor, Validation) {
+  EXPECT_THROW(core::PipelinePredictor({}), std::invalid_argument);
+  EXPECT_THROW(core::PipelinePredictor({stage("x", 1.0, 1.0, 0.5)}),
+               std::invalid_argument);
+  const core::PipelinePredictor ok({stage("x", 1.0, 1.0, 2.0)});
+  EXPECT_THROW(ok.quantile(0.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- simulator
+
+fjsim::PipelineConfig sim_config(double load) {
+  fjsim::PipelineConfig cfg;
+  cfg.stages = {{32, dist::make_named("Empirical")},
+                {8, dist::make_named("Exponential")}};
+  cfg.load = load;
+  cfg.num_requests = 40000;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(PipelineSim, ShapesAndCausality) {
+  const auto r = fjsim::run_pipeline(sim_config(0.7));
+  EXPECT_EQ(r.responses.size(), 40000u);
+  EXPECT_EQ(r.stage_task_stats.size(), 2u);
+  EXPECT_EQ(r.stage_latency_stats.size(), 2u);
+  // End-to-end latency is at least the sum of per-stage minima; every
+  // response is positive and finite.
+  for (double x : r.responses) {
+    ASSERT_TRUE(std::isfinite(x));
+    ASSERT_GT(x, 0.0);
+  }
+  // The mean end-to-end latency equals the sum of mean stage latencies
+  // (exactly, by construction of the decomposition).
+  stats::Welford total;
+  for (double x : r.responses) total.add(x);
+  EXPECT_NEAR(total.mean(),
+              r.stage_latency_stats[0].mean() + r.stage_latency_stats[1].mean(),
+              1e-6 * total.mean());
+}
+
+TEST(PipelineSim, SingleStageMatchesHomogeneousRunner) {
+  fjsim::PipelineConfig cfg;
+  cfg.stages = {{8, dist::make_named("Exponential")}};
+  cfg.load = 0.8;
+  cfg.num_requests = 30000;
+  cfg.seed = 7;
+  const auto pipe = fjsim::run_pipeline(cfg);
+  // Statistical match against the homogeneous runner (different stream
+  // layout, so compare distributions, not bits).
+  fjsim::HomogeneousConfig hom;
+  hom.num_nodes = 8;
+  hom.service = cfg.stages[0].service;
+  hom.load = 0.8;
+  hom.num_requests = 30000;
+  hom.seed = 8;
+  const auto ref = fjsim::run_homogeneous(hom);
+  EXPECT_NEAR(stats::percentile(pipe.responses, 99.0),
+              stats::percentile(ref.responses, 99.0),
+              0.1 * stats::percentile(ref.responses, 99.0));
+}
+
+TEST(PipelineSim, DeterministicUnderSeed) {
+  const auto a = fjsim::run_pipeline(sim_config(0.6));
+  const auto b = fjsim::run_pipeline(sim_config(0.6));
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  EXPECT_DOUBLE_EQ(a.responses[11], b.responses[11]);
+}
+
+TEST(PipelineSim, Validation) {
+  fjsim::PipelineConfig cfg;
+  EXPECT_THROW(fjsim::run_pipeline(cfg), std::invalid_argument);
+  cfg = sim_config(1.2);
+  EXPECT_THROW(fjsim::run_pipeline(cfg), std::invalid_argument);
+  cfg = sim_config(0.5);
+  cfg.stages[0].service = nullptr;
+  EXPECT_THROW(fjsim::run_pipeline(cfg), std::invalid_argument);
+}
+
+// End-to-end: the paper-style claim lifted to workflows -- prediction from
+// measured stage statistics tracks the simulated end-to-end p99 at high
+// load within the single-stage error bands.
+TEST(PipelineIntegration, PredictionTracksSimulationAtHighLoad) {
+  const auto sim = fjsim::run_pipeline(sim_config(0.9));
+  std::vector<core::StageSpec> specs;
+  specs.push_back({"retrieval",
+                   {sim.stage_task_stats[0].mean(),
+                    sim.stage_task_stats[0].variance()},
+                   32.0});
+  specs.push_back({"ranking",
+                   {sim.stage_task_stats[1].mean(),
+                    sim.stage_task_stats[1].variance()},
+                   8.0});
+  const core::PipelinePredictor predictor(specs);
+  const double measured = stats::percentile(sim.responses, 99.0);
+  const double predicted = predictor.quantile(99.0);
+  EXPECT_LE(std::fabs(stats::relative_error_pct(predicted, measured)), 20.0);
+}
+
+}  // namespace
+}  // namespace forktail

@@ -1,0 +1,189 @@
+#include "core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/basic.hpp"
+#include "dist/factory.hpp"
+
+namespace forktail::core {
+namespace {
+
+constexpr double kLn100 = 4.605170185988091;
+
+TEST(TaskCountMixture, FixedDegenerates) {
+  const auto m = TaskCountMixture::fixed(100.0);
+  EXPECT_EQ(m.groups().size(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean_tasks(), 100.0);
+}
+
+TEST(TaskCountMixture, UniformIntExact) {
+  const auto m = TaskCountMixture::uniform_int(3, 7);
+  EXPECT_EQ(m.groups().size(), 5u);
+  EXPECT_DOUBLE_EQ(m.mean_tasks(), 5.0);
+  for (const auto& g : m.groups()) EXPECT_DOUBLE_EQ(g.probability, 0.2);
+}
+
+TEST(TaskCountMixture, UniformIntBinnedKeepsMean) {
+  const auto m = TaskCountMixture::uniform_int(10, 990, 64);
+  EXPECT_EQ(m.groups().size(), 64u);
+  EXPECT_NEAR(m.mean_tasks(), 500.0, 1e-9);
+}
+
+TEST(TaskCountMixture, Validation) {
+  EXPECT_THROW(TaskCountMixture({}), std::invalid_argument);
+  EXPECT_THROW(TaskCountMixture({{10.0, 0.5}}), std::invalid_argument);
+  EXPECT_THROW(TaskCountMixture({{0.5, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(TaskCountMixture::uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(HomogeneousQuantile, ExponentialClosedForm) {
+  // Exponential task stats: x_p = -mean ln(1 - 0.99^{1/k}).
+  const TaskStats stats{10.0, 100.0};
+  const double k = 100.0;
+  const double expected = -10.0 * std::log(1.0 - std::pow(0.99, 1.0 / k));
+  EXPECT_NEAR(homogeneous_quantile(stats, k, 99.0), expected, 1e-6);
+}
+
+TEST(HomogeneousQuantile, MonotoneInPercentile) {
+  const TaskStats stats{5.0, 40.0};
+  double prev = 0.0;
+  for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double x = homogeneous_quantile(stats, 64.0, p);
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(HomogeneousQuantile, MonotoneInK) {
+  const TaskStats stats{5.0, 40.0};
+  double prev = 0.0;
+  for (double k : {1.0, 10.0, 100.0, 1000.0}) {
+    const double x = homogeneous_quantile(stats, k, 99.0);
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(HomogeneousQuantile, RejectsBadPercentile) {
+  const TaskStats stats{1.0, 1.0};
+  EXPECT_THROW(homogeneous_quantile(stats, 10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(homogeneous_quantile(stats, 10.0, 100.0), std::invalid_argument);
+}
+
+TEST(InhomogeneousQuantile, IdenticalNodesMatchHomogeneous) {
+  const TaskStats stats{8.0, 50.0};
+  std::vector<TaskStats> nodes(32, stats);
+  const double inhom = inhomogeneous_quantile(nodes, 99.0);
+  const double hom = homogeneous_quantile(stats, 32.0, 99.0);
+  EXPECT_NEAR(inhom, hom, 1e-6 * hom);
+}
+
+TEST(InhomogeneousQuantile, DominatedByTheSlowNode) {
+  std::vector<TaskStats> nodes(9, TaskStats{1.0, 1.0});
+  nodes.push_back({100.0, 10000.0});  // one node 100x slower
+  const double x = inhomogeneous_quantile(nodes, 99.0);
+  // Must land near the slow node's own 99th percentile (exp: mean*ln 100).
+  EXPECT_GT(x, 0.9 * 100.0 * kLn100);
+}
+
+TEST(InhomogeneousQuantile, AtLeastMaxOfSingles) {
+  std::vector<TaskStats> nodes = {{2.0, 4.0}, {5.0, 30.0}, {3.0, 10.0}};
+  double max_single = 0.0;
+  for (const auto& n : nodes) {
+    max_single = std::max(max_single, homogeneous_quantile(n, 1.0, 99.0));
+  }
+  EXPECT_GE(inhomogeneous_quantile(nodes, 99.0), max_single - 1e-9);
+}
+
+TEST(InhomogeneousCdf, ProductForm) {
+  std::vector<TaskStats> nodes = {{2.0, 4.0}, {6.0, 36.0}};
+  const double x = 10.0;
+  const double f1 = homogeneous_cdf(nodes[0], 1.0, x);
+  const double f2 = homogeneous_cdf(nodes[1], 1.0, x);
+  EXPECT_NEAR(inhomogeneous_cdf(nodes, x), f1 * f2, 1e-12);
+}
+
+TEST(MixtureQuantile, DegenerateMatchesFixedK) {
+  const TaskStats stats{4.0, 20.0};
+  const auto m = TaskCountMixture::fixed(50.0);
+  EXPECT_NEAR(mixture_quantile(stats, m, 99.0),
+              homogeneous_quantile(stats, 50.0, 99.0), 1e-7);
+}
+
+TEST(MixtureQuantile, BetweenExtremeKs) {
+  const TaskStats stats{4.0, 20.0};
+  const auto m = TaskCountMixture::uniform_int(10, 990);
+  const double x = mixture_quantile(stats, m, 99.0);
+  EXPECT_GT(x, homogeneous_quantile(stats, 10.0, 99.0));
+  EXPECT_LT(x, homogeneous_quantile(stats, 990.0, 99.0));
+}
+
+TEST(MixtureCdf, IsConvexCombination) {
+  const TaskStats stats{4.0, 20.0};
+  const TaskCountMixture m({{10.0, 0.5}, {100.0, 0.5}});
+  const double x = 30.0;
+  const double expected = 0.5 * homogeneous_cdf(stats, 10.0, x) +
+                          0.5 * homogeneous_cdf(stats, 100.0, x);
+  EXPECT_NEAR(mixture_cdf(stats, m, x), expected, 1e-12);
+}
+
+TEST(WhiteboxMg1, Table2ExponentialColumn) {
+  // Table 2 of the paper: N = 1000, load 90%, exponential service with
+  // mean 4.22 ms.  These five numbers are analytic and must match exactly.
+  const auto service = dist::make_named("Exponential");
+  const double lambda = 0.9 / 4.22;
+  const struct {
+    double k;
+    double expected;
+  } rows[] = {{10, 291.32}, {400, 446.97}, {500, 456.38},
+              {600, 464.08}, {900, 481.19}};
+  for (const auto& row : rows) {
+    EXPECT_NEAR(whitebox_mg1_quantile(lambda, *service, row.k, 99.0),
+                row.expected, 0.01)
+        << "k=" << row.k;
+  }
+}
+
+TEST(WhiteboxMg1, TaskStatsMatchTakacs) {
+  const dist::Exponential service(1.0);
+  const auto s = whitebox_mg1_task_stats(0.9, service);
+  EXPECT_NEAR(s.mean, 10.0, 1e-9);
+  EXPECT_NEAR(s.variance, 100.0, 1e-6);
+}
+
+TEST(ForkTailPredictor, HomogeneousQuantileAndCdfAgree) {
+  const ForkTailPredictor p(TaskStats{3.0, 12.0});
+  const double x = p.quantile(99.0, 128.0);
+  EXPECT_NEAR(p.cdf(x, 128.0), 0.99, 1e-9);
+}
+
+TEST(ForkTailPredictor, InhomogeneousQuantileAndCdfAgree) {
+  std::vector<TaskStats> nodes = {{2.0, 4.0}, {3.0, 12.0}, {5.0, 50.0}};
+  const ForkTailPredictor p(nodes);
+  const double x = p.quantile(95.0);
+  EXPECT_NEAR(p.cdf(x), 0.95, 1e-9);
+}
+
+TEST(ForkTailPredictor, InhomogeneousRejectsMismatchedK) {
+  std::vector<TaskStats> nodes = {{2.0, 4.0}, {3.0, 12.0}};
+  const ForkTailPredictor p(nodes);
+  EXPECT_THROW(p.quantile(99.0, 5.0), std::invalid_argument);
+}
+
+TEST(ForkTailPredictor, MixtureRequiresHomogeneous) {
+  std::vector<TaskStats> nodes = {{2.0, 4.0}, {3.0, 12.0}};
+  const ForkTailPredictor p(nodes);
+  EXPECT_THROW(p.quantile(99.0, TaskCountMixture::fixed(2.0)),
+               std::invalid_argument);
+}
+
+TEST(ForkTailPredictor, EmptyNodeListRejected) {
+  std::vector<TaskStats> none;
+  EXPECT_THROW(ForkTailPredictor{std::span<const TaskStats>(none)},
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace forktail::core

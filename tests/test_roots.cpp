@@ -1,0 +1,78 @@
+#include "stats/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace forktail::stats {
+namespace {
+
+TEST(Bisect, FindsLinearRoot) {
+  const double r = bisect([](double x) { return x - 3.0; }, 0.0, 10.0);
+  EXPECT_NEAR(r, 3.0, 1e-10);
+}
+
+TEST(Bisect, ThrowsWhenNotBracketed) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Bisect, EndpointRoot) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(Brent, FindsTranscendentalRoot) {
+  // x = cos(x) has root ~0.7390851332151607.
+  const double r = brent([](double x) { return x - std::cos(x); }, 0.0, 1.0);
+  EXPECT_NEAR(r, 0.7390851332151607, 1e-10);
+}
+
+TEST(Brent, HandlesSteepFunctions) {
+  const double r =
+      brent([](double x) { return std::exp(20.0 * x) - 5.0; }, -1.0, 1.0);
+  EXPECT_NEAR(r, std::log(5.0) / 20.0, 1e-10);
+}
+
+TEST(Brent, HandlesFlatTails) {
+  // CDF-like function: flat near 0 and 1.
+  auto f = [](double x) { return std::tanh(5.0 * (x - 2.0)) + 0.5; };
+  const double r = brent(f, 0.0, 4.0);
+  EXPECT_NEAR(f(r), 0.0, 1e-9);
+}
+
+TEST(Brent, ThrowsWhenNotBracketed) {
+  EXPECT_THROW(brent([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Brent, ConvergesWithinIterationBudget) {
+  RootOptions opts;
+  opts.max_iterations = 60;
+  const double r = brent([](double x) { return std::pow(x, 9) - 0.5; }, 0.0,
+                         1.0, opts);
+  EXPECT_NEAR(r, std::pow(0.5, 1.0 / 9.0), 1e-8);
+}
+
+TEST(BrentExpandUpper, FindsDistantRoot) {
+  // Root at x = 1e6, initial bracket far below it.
+  const double r = brent_expand_upper(
+      [](double x) { return x - 1e6; }, 0.0, 1.0);
+  EXPECT_NEAR(r, 1e6, 1e-3);
+}
+
+TEST(BrentExpandUpper, ThrowsWhenNoRootExists) {
+  EXPECT_THROW(
+      brent_expand_upper([](double) { return -1.0; }, 0.0, 1.0),
+      std::runtime_error);
+}
+
+TEST(Brent, QuantileInversionShape) {
+  // Invert F(x) = 1 - e^{-x} at q = 0.99 -> x = ln(100).
+  const double q = 0.99;
+  const double r = brent_expand_upper(
+      [&](double x) { return (1.0 - std::exp(-x)) - q; }, 0.0, 1.0);
+  EXPECT_NEAR(r, std::log(100.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace forktail::stats

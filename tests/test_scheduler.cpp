@@ -1,0 +1,118 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace forktail::core {
+namespace {
+
+TEST(NodeStatsRegistry, ReportAndFetch) {
+  NodeStatsRegistry reg(4, 60.0);
+  reg.report(2, 10.0, {5.0, 25.0});
+  const auto s = reg.fresh_stats(2, 20.0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(s->mean, 5.0);
+  EXPECT_FALSE(reg.fresh_stats(0, 20.0).has_value());
+}
+
+TEST(NodeStatsRegistry, StalenessExpires) {
+  NodeStatsRegistry reg(2, 30.0);
+  reg.report(0, 0.0, {1.0, 1.0});
+  EXPECT_TRUE(reg.fresh_stats(0, 29.0).has_value());
+  EXPECT_FALSE(reg.fresh_stats(0, 31.0).has_value());
+}
+
+TEST(NodeStatsRegistry, FreshCount) {
+  NodeStatsRegistry reg(3, 10.0);
+  reg.report(0, 0.0, {1.0, 1.0});
+  reg.report(1, 8.0, {1.0, 1.0});
+  EXPECT_EQ(reg.fresh_count(9.0), 2u);
+  EXPECT_EQ(reg.fresh_count(15.0), 1u);
+}
+
+TEST(NodeStatsRegistry, Validation) {
+  EXPECT_THROW(NodeStatsRegistry(0), std::invalid_argument);
+  NodeStatsRegistry reg(2);
+  EXPECT_THROW(reg.report(0, 0.0, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(reg.report(5, 0.0, {1.0, 1.0}), std::out_of_range);
+}
+
+NodeStatsRegistry make_cluster(double slow_mean = 0.0) {
+  NodeStatsRegistry reg(8, 100.0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    reg.report(i, 0.0, {2.0 + 0.1 * static_cast<double>(i),
+                        4.0 + 0.1 * static_cast<double>(i)});
+  }
+  if (slow_mean > 0.0) reg.report(7, 0.0, {slow_mean, slow_mean * slow_mean});
+  return reg;
+}
+
+TEST(AdmissionController, AdmitsFeasibleRequest) {
+  const auto reg = make_cluster();
+  AdmissionController ctl(reg);
+  const auto d = ctl.admit(4, {99.0, 100.0}, 1.0);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.chosen_nodes.size(), 4u);
+  EXPECT_LE(d.predicted_latency, 100.0);
+}
+
+TEST(AdmissionController, RejectsInfeasibleSlo) {
+  const auto reg = make_cluster();
+  AdmissionController ctl(reg);
+  const auto d = ctl.admit(4, {99.0, 0.5}, 1.0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_TRUE(d.chosen_nodes.empty());
+  EXPECT_GT(d.predicted_latency, 0.5);
+}
+
+TEST(AdmissionController, AvoidsTheSlowNode) {
+  const auto reg = make_cluster(/*slow_mean=*/50.0);
+  AdmissionController ctl(reg);
+  const auto d = ctl.admit(7, {99.0, 1000.0}, 1.0);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_EQ(std::count(d.chosen_nodes.begin(), d.chosen_nodes.end(), 7u), 0);
+}
+
+TEST(AdmissionController, PredictionMatchesChosenSubset) {
+  const auto reg = make_cluster();
+  AdmissionController ctl(reg);
+  const auto d = ctl.admit(3, {99.0, 500.0}, 1.0);
+  ASSERT_TRUE(d.admitted);
+  std::vector<TaskStats> chosen;
+  for (std::size_t n : d.chosen_nodes) {
+    chosen.push_back(*reg.fresh_stats(n, 1.0));
+  }
+  EXPECT_NEAR(d.predicted_latency, inhomogeneous_quantile(chosen, 99.0),
+              1e-9);
+}
+
+TEST(AdmissionController, NotEnoughFreshNodes) {
+  NodeStatsRegistry reg(4, 10.0);
+  reg.report(0, 0.0, {1.0, 1.0});
+  AdmissionController ctl(reg);
+  const auto d = ctl.admit(2, {99.0, 100.0}, 1.0);
+  EXPECT_FALSE(d.admitted);
+}
+
+TEST(AdmissionController, BadKRejected) {
+  const auto reg = make_cluster();
+  AdmissionController ctl(reg);
+  EXPECT_THROW(ctl.admit(0, {99.0, 1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(ctl.admit(9, {99.0, 1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(AdmissionController, GreedyBeatsWorstSubset) {
+  // The controller's k-best subset must predict no worse than the k-worst.
+  const auto reg = make_cluster(/*slow_mean=*/40.0);
+  AdmissionController ctl(reg);
+  const auto d = ctl.admit(3, {99.0, 1e9}, 1.0);
+  ASSERT_TRUE(d.admitted);
+  std::vector<TaskStats> worst = {{40.0, 1600.0},
+                                  {2.6, 4.6},
+                                  {2.5, 4.5}};
+  EXPECT_LT(d.predicted_latency, inhomogeneous_quantile(worst, 99.0));
+}
+
+}  // namespace
+}  // namespace forktail::core

@@ -1,0 +1,142 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/welford.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::core {
+namespace {
+
+TEST(GeCentralMoment, ExponentialClosedForms) {
+  // GE with alpha = 1 is Exp(beta): mu2 = b^2, mu3 = 2 b^3, mu4 = 9 b^4.
+  const GenExp ge(1.0, 3.0);
+  EXPECT_NEAR(ge_central_moment(ge, 2), 9.0, 1e-6);
+  EXPECT_NEAR(ge_central_moment(ge, 3), 2.0 * 27.0, 1e-5);
+  EXPECT_NEAR(ge_central_moment(ge, 4), 9.0 * 81.0, 1e-3);
+}
+
+TEST(GeCentralMoment, MatchesAnalyticVariance) {
+  for (double alpha : {0.3, 1.0, 2.5, 8.0}) {
+    const GenExp ge(alpha, 2.0);
+    EXPECT_NEAR(ge_central_moment(ge, 2), ge.variance(),
+                1e-6 * ge.variance())
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(GeCentralMoment, MatchesMonteCarlo) {
+  const GenExp ge = GenExp::fit_moments(10.0, 250.0);
+  util::Rng rng(5);
+  const double mean = ge.mean();
+  double m3 = 0.0;
+  double m4 = 0.0;
+  const int n = 2000000;
+  for (int i = 0; i < n; ++i) {
+    const double d = ge.sample(rng) - mean;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m3 /= n;
+  m4 /= n;
+  EXPECT_NEAR(ge_central_moment(ge, 3), m3, 0.05 * std::fabs(m3));
+  EXPECT_NEAR(ge_central_moment(ge, 4), m4, 0.10 * m4);
+}
+
+TEST(GeCentralMoment, RejectsBadOrder) {
+  const GenExp ge(1.0, 1.0);
+  EXPECT_THROW(ge_central_moment(ge, 1), std::out_of_range);
+  EXPECT_THROW(ge_central_moment(ge, 5), std::out_of_range);
+}
+
+TEST(QuantileSensitivity, DerivativeSigns) {
+  // The predicted tail always grows in the measured variance.  Its
+  // derivative in the mean AT FIXED VARIANCE can be negative at deep
+  // percentiles: raising the mean lowers the CV, lightening the fitted
+  // tail faster than the scale grows -- a real (and useful) property of
+  // the two-moment fit.  The positive-growth direction is the fixed-CV
+  // ray, checked via Euler's relation in ScaleInvariance below.
+  const QuantileSensitivity s =
+      quantile_sensitivity({10.0, 150.0}, 100.0, 99.0);
+  EXPECT_GT(s.value, 0.0);
+  EXPECT_GT(s.d_variance, 0.0);
+  // At the median of a single task the mean derivative IS positive.
+  const QuantileSensitivity median =
+      quantile_sensitivity({10.0, 150.0}, 1.0, 50.0);
+  EXPECT_GT(median.d_mean, 0.0);
+}
+
+TEST(QuantileSensitivity, ScaleInvariance) {
+  // x_p is homogeneous of degree 1 in (mean, sqrt(var)): Euler's relation
+  // gives mean * dx/dmean + 2 var * dx/dvar = x_p.
+  const TaskStats stats{7.0, 120.0};
+  const QuantileSensitivity s = quantile_sensitivity(stats, 64.0, 99.0);
+  EXPECT_NEAR(stats.mean * s.d_mean + 2.0 * stats.variance * s.d_variance,
+              s.value, 1e-3 * s.value);
+}
+
+TEST(PredictionUncertainty, ShrinksAsSqrtN) {
+  const TaskStats stats{10.0, 100.0};
+  const auto u1k = prediction_uncertainty(stats, 100.0, 99.0, 1000);
+  const auto u4k = prediction_uncertainty(stats, 100.0, 99.0, 4000);
+  EXPECT_NEAR(u4k.stderr_rel, 0.5 * u1k.stderr_rel, 0.02 * u1k.stderr_rel);
+}
+
+TEST(PredictionUncertainty, PaperThousandSamplesClaim) {
+  // Section 3: "1000 task samples ... allow a reasonably accurate
+  // estimation".  For an exponential-like service the delta-method
+  // relative standard error at n = 1000 must be in the single digits.
+  const TaskStats stats{42.0, 42.0 * 42.0};
+  const auto u = prediction_uncertainty(stats, 1000.0, 99.0, 1000);
+  EXPECT_LT(u.stderr_rel, 0.10);
+  EXPECT_GT(u.stderr_rel, 0.005);  // and not trivially zero
+}
+
+TEST(PredictionUncertainty, HeavierTailsNeedMoreSamples) {
+  const TaskStats light{10.0, 50.0};   // CV ~ 0.7
+  const TaskStats heavy{10.0, 400.0};  // CV = 2
+  const auto ul = prediction_uncertainty(light, 100.0, 99.0, 1000);
+  const auto uh = prediction_uncertainty(heavy, 100.0, 99.0, 1000);
+  EXPECT_GT(uh.stderr_rel, ul.stderr_rel);
+}
+
+TEST(PredictionUncertainty, DeltaMethodMatchesResampling) {
+  // Empirical check of the delta method: draw many n-sample moment
+  // estimates from the fitted GE, re-predict, and compare the spread.
+  const TaskStats stats{10.0, 100.0};
+  const double k = 100.0;
+  const std::uint64_t n = 2000;
+  const auto u = prediction_uncertainty(stats, k, 99.0, n);
+  const GenExp ge = GenExp::fit_moments(stats.mean, stats.variance);
+  util::Rng rng(6);
+  stats::Welford spread;
+  for (int rep = 0; rep < 300; ++rep) {
+    stats::Welford w;
+    for (std::uint64_t i = 0; i < n; ++i) w.add(ge.sample(rng));
+    spread.add(homogeneous_quantile({w.mean(), w.variance()}, k, 99.0));
+  }
+  EXPECT_NEAR(std::sqrt(spread.variance()), u.stderr_abs, 0.2 * u.stderr_abs);
+}
+
+TEST(SamplesForPrecision, InverseOfUncertainty) {
+  const TaskStats stats{10.0, 150.0};
+  const std::uint64_t n = samples_for_precision(stats, 100.0, 99.0, 0.05);
+  const auto u = prediction_uncertainty(stats, 100.0, 99.0, n);
+  EXPECT_LE(u.stderr_rel, 0.0505);
+  // One fewer order of magnitude of samples must not suffice.
+  const auto u10 = prediction_uncertainty(stats, 100.0, 99.0,
+                                          std::max<std::uint64_t>(2, n / 10));
+  EXPECT_GT(u10.stderr_rel, 0.05);
+}
+
+TEST(SamplesForPrecision, Validation) {
+  EXPECT_THROW(samples_for_precision({1.0, 1.0}, 10.0, 99.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(prediction_uncertainty({1.0, 1.0}, 10.0, 99.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace forktail::core

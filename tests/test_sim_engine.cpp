@@ -1,0 +1,87 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace forktail::sim {
+namespace {
+
+TEST(Engine, ProcessesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&] { order.push_back(3); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(Engine, FifoAtEqualTimes) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(1.0, [&] { order.push_back(0); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(1.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, HandlersCanScheduleMore) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) e.schedule_in(1.0, chain);
+  };
+  e.schedule(0.0, chain);
+  e.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(e.now(), 4.0);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine e;
+  e.schedule(5.0, [&] {
+    EXPECT_THROW(e.schedule(1.0, [] {}), std::invalid_argument);
+  });
+  e.run();
+}
+
+TEST(Engine, StopTerminatesEarly) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1.0, [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule(2.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.empty());
+}
+
+TEST(Engine, RunUntilLeavesLaterEventsQueued) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1.0, [&] { ++fired; });
+  e.schedule(10.0, [&] { ++fired; });
+  e.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule(2.0, [&] { e.schedule_in(3.0, [&] { seen = e.now(); }); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+}  // namespace
+}  // namespace forktail::sim

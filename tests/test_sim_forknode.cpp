@@ -1,0 +1,131 @@
+#include "sim/forknode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dist/basic.hpp"
+
+namespace forktail::sim {
+namespace {
+
+TEST(FifoServer, LindleyRecursion) {
+  FifoServer s;
+  EXPECT_DOUBLE_EQ(s.submit(0.0, 2.0), 2.0);   // idle start
+  EXPECT_DOUBLE_EQ(s.submit(1.0, 2.0), 4.0);   // queues behind first
+  EXPECT_DOUBLE_EQ(s.submit(10.0, 1.0), 11.0); // idle again
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.next_free(), 0.0);
+}
+
+TEST(ForkNode, SingleServerCompletesInOrder) {
+  Engine e;
+  auto service = std::make_shared<dist::Deterministic>(1.0);
+  ForkNode node(e, service, 1, DispatchPolicy::kSingle, 10.0, util::Rng(1));
+  std::vector<double> completions;
+  auto submit_at = [&](double t) {
+    e.schedule(t, [&] {
+      node.submit([&](double, double done) { completions.push_back(done); });
+    });
+  };
+  submit_at(0.0);
+  submit_at(0.5);  // queues: starts at 1.0, done 2.0
+  submit_at(5.0);  // idle: done 6.0
+  e.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 2.0);
+  EXPECT_DOUBLE_EQ(completions[2], 6.0);
+}
+
+TEST(ForkNode, RoundRobinSpreadsAcrossReplicas) {
+  Engine e;
+  auto service = std::make_shared<dist::Deterministic>(2.0);
+  ForkNode node(e, service, 3, DispatchPolicy::kRoundRobin, 10.0, util::Rng(2));
+  std::vector<double> completions;
+  e.schedule(0.0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      node.submit([&](double, double done) { completions.push_back(done); });
+    }
+  });
+  e.run();
+  // Three tasks, three replicas: all finish at 2.0 (no queueing).
+  ASSERT_EQ(completions.size(), 3u);
+  for (double c : completions) EXPECT_DOUBLE_EQ(c, 2.0);
+}
+
+TEST(ForkNode, RedundantIssueDoesNotDelayTheStraggler) {
+  Engine e;
+  // Deterministic 30 time-unit task, delay 5: the replica fires at t = 5 on
+  // the idle second server and would finish at 35, so the primary wins at
+  // 30 and the replica is killed there.
+  auto service = std::make_shared<dist::Deterministic>(30.0);
+  ForkNode node(e, service, 2, DispatchPolicy::kRedundant, 5.0, util::Rng(3));
+  double completion = -1.0;
+  e.schedule(0.0, [&] {
+    node.submit([&](double, double done) { completion = done; });
+  });
+  e.run();
+  node.flush();
+  EXPECT_DOUBLE_EQ(completion, 30.0);
+  EXPECT_EQ(node.redundant_issues(), 1u);
+}
+
+TEST(ForkNode, RedundantQueuedReplicasAreDropped) {
+  Engine e;
+  auto service = std::make_shared<dist::Deterministic>(10.0);
+  ForkNode node(e, service, 2, DispatchPolicy::kRedundant, 3.0, util::Rng(4));
+  std::vector<double> completions;
+  auto cb = [&](double, double done) { completions.push_back(done); };
+  // Task 0 (t=0) runs on server 0 until 10; its replica (t=3) queues on
+  // server 1 behind task 1's primary and is dropped when task 0 finishes.
+  // Symmetrically for task 1 (t=1, done 11).
+  e.schedule(0.0, [&] { node.submit(cb); });
+  e.schedule(1.0, [&] { node.submit(cb); });
+  e.run();
+  node.flush();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 10.0);
+  EXPECT_DOUBLE_EQ(completions[1], 11.0);
+  EXPECT_EQ(node.redundant_issues(), 2u);
+}
+
+TEST(ForkNode, RedundantKillFreesTheStragglersServer) {
+  Engine e;
+  // Hyperexponential-free deterministic check of kill-on-win through the
+  // event-driven wrapper: task 0 is a straggler (S=30) whose replica (S=30
+  // as well) starts at t=5 on the idle server 1 and loses; but a SECOND
+  // task arriving at t=40 on server 0 must start immediately (server idle
+  // again after 30), completing at 70.
+  auto service = std::make_shared<dist::Deterministic>(30.0);
+  ForkNode node(e, service, 2, DispatchPolicy::kRedundant, 5.0, util::Rng(5));
+  std::vector<double> completions;
+  auto cb = [&](double, double done) { completions.push_back(done); };
+  e.schedule(0.0, [&] { node.submit(cb); });
+  e.schedule(40.0, [&] { node.submit(cb); });
+  e.run();
+  node.flush();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 30.0);
+  EXPECT_DOUBLE_EQ(completions[1], 70.0);
+}
+
+TEST(ForkNode, ValidatesConfiguration) {
+  Engine e;
+  auto service = std::make_shared<dist::Deterministic>(1.0);
+  EXPECT_THROW(ForkNode(e, nullptr, 1, DispatchPolicy::kSingle, 1.0, util::Rng(5)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ForkNode(e, service, 0, DispatchPolicy::kSingle, 1.0, util::Rng(5)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ForkNode(e, service, 2, DispatchPolicy::kSingle, 1.0, util::Rng(5)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ForkNode(e, service, 2, DispatchPolicy::kRedundant, 0.0, util::Rng(5)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace forktail::sim

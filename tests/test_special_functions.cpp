@@ -1,0 +1,107 @@
+#include "stats/special_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace forktail::stats {
+namespace {
+
+// Reference values computed with mpmath at 50 digits.
+TEST(Digamma, KnownValues) {
+  EXPECT_NEAR(digamma(1.0), -0.5772156649015328606, 1e-13);
+  EXPECT_NEAR(digamma(2.0), 0.4227843350984671394, 1e-13);
+  EXPECT_NEAR(digamma(0.5), -1.9635100260214234794, 1e-12);
+  EXPECT_NEAR(digamma(10.0), 2.2517525890667211076, 1e-13);
+  // psi(100.5) = psi(0.5) + sum_{k=0}^{99} 1/(k + 0.5), exact by recurrence.
+  double psi_100_5 = -1.9635100260214234794;
+  for (int k = 0; k < 100; ++k) psi_100_5 += 1.0 / (k + 0.5);
+  EXPECT_NEAR(digamma(100.5), psi_100_5, 1e-11);
+}
+
+TEST(Digamma, RecurrenceHolds) {
+  // psi(x+1) = psi(x) + 1/x for arbitrary x.
+  for (double x : {0.1, 0.7, 1.3, 5.9, 33.3}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Digamma, LargeArgumentMatchesLog) {
+  // psi(x) ~ ln x - 1/(2x) for large x.
+  const double x = 1e8;
+  EXPECT_NEAR(digamma(x), std::log(x) - 0.5 / x, 1e-12);
+}
+
+TEST(Digamma, RejectsNonPositive) {
+  EXPECT_THROW(digamma(0.0), std::domain_error);
+  EXPECT_THROW(digamma(-1.0), std::domain_error);
+}
+
+TEST(Trigamma, KnownValues) {
+  EXPECT_NEAR(trigamma(1.0), 1.6449340668482264365, 1e-13);  // pi^2/6
+  EXPECT_NEAR(trigamma(2.0), 0.6449340668482264365, 1e-13);
+  EXPECT_NEAR(trigamma(0.5), 4.9348022005446793094, 1e-11);  // pi^2/2
+  EXPECT_NEAR(trigamma(10.0), 0.1051663356816857461, 1e-13);
+}
+
+TEST(Trigamma, RecurrenceHolds) {
+  for (double x : {0.2, 0.9, 3.4, 7.7}) {
+    EXPECT_NEAR(trigamma(x + 1.0), trigamma(x) - 1.0 / (x * x), 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(Trigamma, PositiveAndDecreasing) {
+  double prev = trigamma(0.5);
+  for (double x = 1.0; x < 50.0; x += 0.5) {
+    const double t = trigamma(x);
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Tetragamma, KnownValues) {
+  EXPECT_NEAR(tetragamma(1.0), -2.4041138063191885708, 1e-10);  // -2 zeta(3)
+  EXPECT_NEAR(tetragamma(2.0), -0.4041138063191885708, 1e-10);
+}
+
+TEST(Tetragamma, RecurrenceHolds) {
+  for (double x : {0.6, 1.5, 4.2}) {
+    EXPECT_NEAR(tetragamma(x + 1.0), tetragamma(x) + 2.0 / (x * x * x), 1e-10)
+        << "x=" << x;
+  }
+}
+
+TEST(GeUnitMoments, AlphaOneIsExponential) {
+  // GE with alpha = 1 is Exp(1/beta): unit mean 1, unit variance 1.
+  EXPECT_NEAR(ge_unit_mean(1.0), 1.0, 1e-13);
+  EXPECT_NEAR(ge_unit_variance(1.0), 1.0, 1e-13);
+}
+
+TEST(GeUnitMoments, MonotoneInAlpha) {
+  double prev_mean = 0.0;
+  double prev_ratio = 0.0;
+  for (double a = 0.1; a < 100.0; a *= 1.7) {
+    const double m = ge_unit_mean(a);
+    const double v = ge_unit_variance(a);
+    EXPECT_GT(m, prev_mean);
+    EXPECT_GT(v, 0.0);
+    const double ratio = m * m / v;  // the fit target; must increase
+    EXPECT_GT(ratio, prev_ratio);
+    prev_mean = m;
+    prev_ratio = ratio;
+  }
+}
+
+TEST(GeUnitMoments, SmallAlphaLimits) {
+  // As alpha -> 0: mean -> alpha * pi^2/6, variance -> alpha * 2 zeta(3)
+  // to first order.
+  const double a = 1e-6;
+  EXPECT_NEAR(ge_unit_mean(a) / a, kTrigammaAtOne, 1e-4);
+  EXPECT_NEAR(ge_unit_variance(a) / a, 2.4041138063191886, 1e-4);
+}
+
+}  // namespace
+}  // namespace forktail::stats

@@ -1,0 +1,131 @@
+// Stress and failure-injection tests: randomized schedules, extreme loads,
+// and degenerate inputs that production use will eventually hit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/forktail.hpp"
+#include "dist/basic.hpp"
+#include "dist/factory.hpp"
+#include "fjsim/homogeneous.hpp"
+#include "sim/engine.hpp"
+#include "stats/percentile.hpp"
+#include "util/rng.hpp"
+
+namespace forktail {
+namespace {
+
+TEST(EngineStress, RandomizedScheduleProcessesInOrder) {
+  sim::Engine engine;
+  util::Rng rng(123);
+  std::vector<double> fired;
+  fired.reserve(20000);
+  // Seed events at random times; each handler occasionally schedules more
+  // events in its own future.
+  std::function<void()> handler = [&] {
+    fired.push_back(engine.now());
+    if (fired.size() < 20000 && rng.bernoulli(0.4)) {
+      engine.schedule_in(rng.exponential(1.0), handler);
+      engine.schedule_in(rng.exponential(2.0), handler);
+    }
+  };
+  for (int i = 0; i < 2000; ++i) {
+    engine.schedule(rng.uniform(0.0, 100.0), handler);
+  }
+  engine.run();
+  ASSERT_GE(fired.size(), 2000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_GE(fired[i], fired[i - 1]) << "out-of-order at " << i;
+  }
+  EXPECT_EQ(engine.events_processed(), fired.size());
+}
+
+TEST(SimStress, NearSaturationStaysFiniteAndOrdered) {
+  // rho = 0.99: the run is legal (stable), just extremely slow to mix;
+  // every computed response must be finite and positive.
+  fjsim::HomogeneousConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.service = dist::make_named("Empirical");
+  cfg.load = 0.99;
+  cfg.num_requests = 20000;
+  cfg.warmup_fraction = 0.2;
+  cfg.seed = 3;
+  const auto r = fjsim::run_homogeneous(cfg);
+  for (double x : r.responses) {
+    ASSERT_TRUE(std::isfinite(x));
+    ASSERT_GT(x, 0.0);
+  }
+  // Sanity: at rho = 0.99 the mean response dwarfs the service time.
+  EXPECT_GT(r.task_stats.mean(), 10.0 * cfg.service->mean());
+}
+
+TEST(PredictorStress, RandomMomentFuzzRoundTrips) {
+  // Fuzz the (mean, variance, k, p) space: the quantile must always invert
+  // the CDF, stay positive and finite.
+  util::Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const double mean = std::exp(rng.uniform(-6.0, 8.0));
+    const double cv = std::exp(rng.uniform(-2.0, 1.5));
+    const double variance = (cv * mean) * (cv * mean);
+    const double k = std::exp(rng.uniform(0.0, 8.0));
+    const double p = rng.uniform(1.0, 99.99);
+    const double x = core::homogeneous_quantile({mean, variance}, k, p);
+    ASSERT_TRUE(std::isfinite(x)) << mean << " " << variance << " " << k;
+    ASSERT_GT(x, 0.0);
+    ASSERT_NEAR(core::homogeneous_cdf({mean, variance}, k, x), p / 100.0, 1e-6);
+  }
+}
+
+TEST(PredictorStress, InhomogeneousFuzzWithWildNodeMixtures) {
+  util::Rng rng(78);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 40));
+    std::vector<core::TaskStats> nodes;
+    for (int i = 0; i < n; ++i) {
+      const double mean = std::exp(rng.uniform(-3.0, 6.0));
+      const double cv = std::exp(rng.uniform(-1.5, 1.2));
+      nodes.push_back({mean, (cv * mean) * (cv * mean)});
+    }
+    const double x = core::inhomogeneous_quantile(nodes, 99.0);
+    ASSERT_TRUE(std::isfinite(x));
+    ASSERT_NEAR(core::inhomogeneous_cdf(nodes, x), 0.99, 1e-6);
+    // Dominance: at least the largest single-node p99.
+    double max_single = 0.0;
+    for (const auto& s : nodes) {
+      max_single =
+          std::max(max_single, core::homogeneous_quantile(s, 1.0, 99.0));
+    }
+    ASSERT_GE(x, max_single - 1e-9 * max_single);
+  }
+}
+
+TEST(OnlineStress, InterleavedRecordingAcrossManyNodes) {
+  // Hammer the online predictor with interleaved, bursty per-node streams
+  // and assert it never produces a non-finite prediction once warmed up.
+  core::OnlineTailPredictor online(16, 50.0, 20);
+  util::Rng rng(79);
+  std::vector<double> clocks(16, 0.0);
+  for (int step = 0; step < 50000; ++step) {
+    const auto node = static_cast<std::size_t>(rng.uniform_int(16ULL));
+    clocks[node] += rng.exponential(0.3);
+    online.record(node, clocks[node], rng.exponential(5.0) + 0.1);
+    if (step > 2000 && step % 1000 == 0) {
+      const auto p = online.predict_homogeneous(99.0);
+      ASSERT_TRUE(p.has_value());
+      ASSERT_TRUE(std::isfinite(*p));
+    }
+  }
+}
+
+TEST(MixtureStress, ManyGroupQuantileStable) {
+  // 256 binned groups spanning nearly the whole cluster.
+  const auto mixture = core::TaskCountMixture::uniform_int(1, 100000);
+  const double x = core::mixture_quantile({5.0, 50.0}, mixture, 99.9);
+  ASSERT_TRUE(std::isfinite(x));
+  EXPECT_GT(x, core::homogeneous_quantile({5.0, 50.0}, 1.0, 99.9));
+  EXPECT_LT(x, core::homogeneous_quantile({5.0, 50.0}, 100000.0, 99.9));
+}
+
+}  // namespace
+}  // namespace forktail

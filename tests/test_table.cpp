@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace forktail::util {
+namespace {
+
+TEST(Table, RendersAlignedText) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta-long", "12345"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("beta-long"), std::string::npos);
+  // All lines must have equal width (aligned table).
+  std::istringstream is(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"x"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RowBuilderFormatsNumbers) {
+  Table t({"s", "n", "i"});
+  t.row().str("x").num(3.14159, 2).integer(42);
+  EXPECT_EQ(t.num_rows(), 1u);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("3.14"), std::string::npos);
+  EXPECT_NE(csv.find("42"), std::string::npos);
+}
+
+TEST(FormatFixed, RoundsToPrecision) {
+  EXPECT_EQ(format_fixed(1.005, 1), "1.0");
+  EXPECT_EQ(format_fixed(-2.5, 0), "-2");  // round-half-even via printf is ok
+  EXPECT_EQ(format_fixed(123.456, 2), "123.46");
+}
+
+}  // namespace
+}  // namespace forktail::util

@@ -1,0 +1,72 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace forktail::util {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, PartialSumsMatchSequential) {
+  ThreadPool pool(4);
+  std::vector<double> data(10000);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::vector<double> out(data.size());
+  parallel_for(pool, 0, data.size(), [&](std::size_t i) { out[i] = data[i] * 2.0; });
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], 2.0 * static_cast<double>(i));
+  }
+}
+
+TEST(ParallelFor, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    parallel_for(pool, 0, 50, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 250);
+}
+
+}  // namespace
+}  // namespace forktail::util

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/facebook.hpp"
+#include "trace/io.hpp"
+#include "fjsim/consolidated.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::trace {
+namespace {
+
+TEST(FacebookBins, ProbabilitiesSumToOne) {
+  double total = 0.0;
+  for (const auto& bin : facebook_job_size_bins()) {
+    EXPECT_LE(bin.lo, bin.hi);
+    EXPECT_GT(bin.probability, 0.0);
+    total += bin.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(FacebookBins, MostJobsAreSmall) {
+  // The defining property of the Facebook histogram: > 50% of jobs have
+  // <= 2 tasks while the tail reaches thousands.
+  const auto& bins = facebook_job_size_bins();
+  EXPECT_GE(bins[0].probability + bins[1].probability, 0.5);
+  EXPECT_GE(bins.back().hi, 1500u);
+}
+
+FacebookWorkload::Params default_params() {
+  FacebookWorkload::Params p;
+  p.target_tasks = 100;
+  p.target_mean_ms = 50.0;
+  return p;
+}
+
+TEST(FacebookWorkload, TargetFractionRespected) {
+  FacebookWorkload w(default_params());
+  util::Rng rng(80);
+  int targets = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (w.sample_job(rng).target) ++targets;
+  }
+  EXPECT_NEAR(static_cast<double>(targets) / n, 0.1, 0.01);
+}
+
+TEST(FacebookWorkload, TargetJobsAreUniform) {
+  FacebookWorkload w(default_params());
+  util::Rng rng(81);
+  for (int i = 0; i < 1000; ++i) {
+    const auto job = w.sample_job(rng);
+    if (job.target) {
+      EXPECT_EQ(job.tasks, 100u);
+      EXPECT_DOUBLE_EQ(job.mean_task_time, 50.0);
+    }
+  }
+}
+
+TEST(FacebookWorkload, BackgroundSizesMatchBins) {
+  FacebookWorkload w(default_params());
+  util::Rng rng(82);
+  int small = 0;
+  const int n = 50000;
+  double mean_acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto k = w.sample_background_tasks(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 3000u);
+    if (k <= 2) ++small;
+    mean_acc += k;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / n, 0.54, 0.02);
+  EXPECT_NEAR(mean_acc / n, w.mean_background_tasks(),
+              0.05 * w.mean_background_tasks());
+}
+
+TEST(FacebookWorkload, MaxTasksClampApplied) {
+  auto p = default_params();
+  p.max_tasks = 64;
+  FacebookWorkload w(p);
+  util::Rng rng(83);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_LE(w.sample_background_tasks(rng), 64u);
+  }
+}
+
+TEST(FacebookWorkload, MeanTimesLogUniform) {
+  FacebookWorkload w(default_params());
+  util::Rng rng(84);
+  for (int i = 0; i < 10000; ++i) {
+    const double m = w.sample_background_mean(rng);
+    ASSERT_GE(m, 1.0);
+    ASSERT_LE(m, 1000.0);
+  }
+}
+
+TEST(FacebookWorkload, MeanWorkEstimateIsDeterministicAndSane) {
+  FacebookWorkload w(default_params());
+  const double a = w.estimate_mean_work(0.05, 50000, 1);
+  const double b = w.estimate_mean_work(0.05, 50000, 1);
+  EXPECT_DOUBLE_EQ(a, b);
+  // E[k] * E[S_trunc] rough magnitude: E[k] ~ 120+, E[S] ~ 2 * ~150 ms.
+  EXPECT_GT(a, 1000.0);
+  EXPECT_LT(a, 2e6);
+}
+
+TEST(FacebookWorkload, ParamValidation) {
+  auto p = default_params();
+  p.min_mean_ms = 0.0;
+  EXPECT_THROW(FacebookWorkload{p}, std::invalid_argument);
+  p = default_params();
+  p.target_fraction = 1.5;
+  EXPECT_THROW(FacebookWorkload{p}, std::invalid_argument);
+  p = default_params();
+  p.target_tasks = 0;
+  EXPECT_THROW(FacebookWorkload{p}, std::invalid_argument);
+}
+
+TEST(TraceSynthesis, RecordsHaveExpectedShape) {
+  FacebookWorkload w(default_params());
+  const auto records = synthesize_trace(w, 500, 10.0, 0.05, 7);
+  ASSERT_EQ(records.size(), 500u);
+  double prev = 0.0;
+  for (const auto& rec : records) {
+    EXPECT_GT(rec.arrival_time, prev);
+    prev = rec.arrival_time;
+    EXPECT_EQ(rec.task_times.size(), rec.num_tasks);
+    for (double t : rec.task_times) EXPECT_GE(t, 0.05);
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesRecords) {
+  FacebookWorkload w(default_params());
+  const auto records = synthesize_trace(w, 100, 5.0, 0.05, 8);
+  std::stringstream ss;
+  write_trace(ss, records);
+  const auto loaded = read_trace(ss);
+  ASSERT_EQ(loaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_NEAR(loaded[i].arrival_time, records[i].arrival_time, 1e-9);
+    EXPECT_EQ(loaded[i].num_tasks, records[i].num_tasks);
+    EXPECT_NEAR(loaded[i].mean_task_time, records[i].mean_task_time, 1e-9);
+    ASSERT_EQ(loaded[i].task_times.size(), records[i].task_times.size());
+    for (std::size_t t = 0; t < records[i].task_times.size(); ++t) {
+      EXPECT_NEAR(loaded[i].task_times[t], records[i].task_times[t], 1e-6);
+    }
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  FacebookWorkload w(default_params());
+  const auto records = synthesize_trace(w, 20, 5.0, 0.05, 9);
+  const std::string path = "/tmp/forktail_trace_test.csv";
+  write_trace_file(path, records);
+  const auto loaded = read_trace_file(path);
+  EXPECT_EQ(loaded.size(), records.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MalformedLineRejected) {
+  std::stringstream ss("not,a,valid\n");
+  EXPECT_THROW(read_trace(ss), std::exception);
+}
+
+TEST(TraceIo, TaskCountMismatchRejected) {
+  std::stringstream ss("1.0,3,2.0,1.0;2.0\n");  // claims 3 tasks, lists 2
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileRejected) {
+  EXPECT_THROW(read_trace_file("/nonexistent/forktail.csv"), std::runtime_error);
+}
+
+TEST(TraceReplay, CyclesRecordsInOrder) {
+  std::vector<JobRecord> records(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    records[i].num_tasks = i + 1;
+    records[i].mean_task_time = 10.0 * (i + 1);
+  }
+  auto gen = make_replay_generator(records);
+  util::Rng rng(1);
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const auto job = gen(rng);
+      EXPECT_EQ(job.tasks, i + 1);
+      EXPECT_DOUBLE_EQ(job.mean_task_time, 10.0 * (i + 1));
+      EXPECT_FALSE(job.target);
+    }
+  }
+}
+
+TEST(TraceReplay, ClampsTaskCounts) {
+  std::vector<JobRecord> records(1);
+  records[0].num_tasks = 500;
+  records[0].mean_task_time = 1.0;
+  auto gen = make_replay_generator(records, /*max_tasks=*/64);
+  util::Rng rng(2);
+  EXPECT_EQ(gen(rng).tasks, 64u);
+}
+
+TEST(TraceReplay, EmptyTraceRejected) {
+  EXPECT_THROW(make_replay_generator({}), std::invalid_argument);
+}
+
+TEST(TraceMeanWork, ExactFromRecordedTimes) {
+  std::vector<JobRecord> records(2);
+  records[0].num_tasks = 2;
+  records[0].mean_task_time = 5.0;
+  records[0].task_times = {4.0, 6.0};
+  records[1].num_tasks = 1;
+  records[1].mean_task_time = 10.0;
+  records[1].task_times = {12.0};
+  EXPECT_NEAR(trace_mean_work(records, 0.05), (10.0 + 12.0) / 2.0, 1e-12);
+}
+
+TEST(TraceMeanWork, MeanBasedAppliesTruncationInflation) {
+  // Without recorded times, the Hawk model Normal(m, (2m)^2) truncated at
+  // ~0 inflates the mean to ~2x the nominal value.
+  std::vector<JobRecord> records(1);
+  records[0].num_tasks = 10;
+  records[0].mean_task_time = 1.0;
+  const double w = trace_mean_work(records, 0.001);
+  EXPECT_GT(w, 10.0 * 1.9);
+  EXPECT_LT(w, 10.0 * 2.2);
+}
+
+TEST(TraceReplay, DrivesConsolidatedSimulator) {
+  // End-to-end: synthesize a trace, write/read it, replay it through the
+  // consolidated simulator at a fixed load.
+  FacebookWorkload::Params params = default_params();
+  params.max_tasks = 16;
+  params.target_fraction = 0.0;  // pure background trace
+  FacebookWorkload workload(params);
+  auto records = synthesize_trace(workload, 2000, 5.0, 0.05, 11);
+  std::stringstream ss;
+  write_trace(ss, records);
+  const auto loaded = read_trace(ss);
+
+  fjsim::ConsolidatedConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.replicas = 3;
+  cfg.load = 0.6;
+  cfg.generator = make_replay_generator(loaded, 16);
+  cfg.mean_work_per_job = trace_mean_work(loaded, 0.05, 16);
+  cfg.num_jobs = 20000;
+  cfg.seed = 12;
+  const auto r = fjsim::run_consolidated(cfg);
+  EXPECT_GT(r.background_task_stats.count(), 0u);
+  // All jobs are background; no target jobs tracked.
+  EXPECT_TRUE(r.target_responses.empty());
+  // Load calibration sanity: mean background task response must exceed the
+  // mean service but stay finite (stable at 60% load).
+  EXPECT_GT(r.background_task_stats.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace forktail::trace

@@ -1,0 +1,97 @@
+#include "stats/welford.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace forktail::stats {
+namespace {
+
+TEST(Welford, ExactSmallSample) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, SampleVarianceUsesNMinusOne) {
+  Welford w;
+  for (double x : {1.0, 2.0, 3.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.sample_variance(), 1.0);
+  EXPECT_NEAR(w.variance(), 2.0 / 3.0, 1e-15);
+}
+
+TEST(Welford, SampleVarianceRequiresTwo) {
+  Welford w;
+  w.add(1.0);
+  EXPECT_THROW(w.sample_variance(), std::logic_error);
+}
+
+TEST(Welford, MergeMatchesSequential) {
+  util::Rng rng(9);
+  Welford all;
+  Welford a;
+  Welford b;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.exponential(3.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmptyIsIdentity) {
+  Welford a;
+  a.add(5.0);
+  a.add(7.0);
+  Welford empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+  Welford b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 6.0);
+}
+
+TEST(Welford, ScvOfExponentialIsOne) {
+  util::Rng rng(10);
+  Welford w;
+  for (int i = 0; i < 300000; ++i) w.add(rng.exponential(4.22));
+  EXPECT_NEAR(w.scv(), 1.0, 0.02);
+}
+
+TEST(Welford, NumericallyStableForLargeOffsets) {
+  Welford w;
+  // Values near 1e9 with variance 1: naive sum-of-squares would lose it.
+  for (double x : {1e9 + 1.0, 1e9 - 1.0, 1e9 + 1.0, 1e9 - 1.0}) w.add(x);
+  EXPECT_NEAR(w.variance(), 1.0, 1e-6);
+}
+
+TEST(RawMoments, MatchesAnalyticExponential) {
+  util::Rng rng(11);
+  RawMoments m;
+  const double mean = 2.0;
+  for (int i = 0; i < 500000; ++i) m.add(rng.exponential(mean));
+  EXPECT_NEAR(m.moment(1), mean, 0.02);
+  EXPECT_NEAR(m.moment(2), 2 * mean * mean, 0.15);
+  EXPECT_NEAR(m.moment(3), 6 * mean * mean * mean, 1.5);
+}
+
+TEST(RawMoments, RejectsOutOfRangeOrder) {
+  RawMoments m;
+  m.add(1.0);
+  EXPECT_THROW(m.moment(0), std::out_of_range);
+  EXPECT_THROW(m.moment(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace forktail::stats

@@ -1,0 +1,97 @@
+#include "stats/windowed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace forktail::stats {
+namespace {
+
+TEST(WindowedMoments, EvictsOldSamples) {
+  WindowedMoments w(10.0);
+  w.add(0.0, 100.0);
+  w.add(5.0, 200.0);
+  EXPECT_EQ(w.count(), 2u);
+  w.add(11.0, 300.0);  // evicts the t=0 sample (cutoff = 1.0)
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_DOUBLE_EQ(w.mean(), 250.0);
+}
+
+TEST(WindowedMoments, AdvanceEvictsWithoutAdding) {
+  WindowedMoments w(5.0);
+  w.add(0.0, 1.0);
+  w.add(1.0, 2.0);
+  w.advance(10.0);
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(WindowedMoments, MatchesBatchStatistics) {
+  WindowedMoments w(1e9);  // effectively unbounded
+  util::Rng rng(3);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.0);
+    w.add(static_cast<double>(i), x);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(w.mean(), mean, 1e-9);
+  EXPECT_NEAR(w.variance(), sum_sq / n - mean * mean, 1e-6);
+}
+
+TEST(WindowedMoments, RejectsTimeTravel) {
+  WindowedMoments w(10.0);
+  w.add(5.0, 1.0);
+  EXPECT_THROW(w.add(4.0, 1.0), std::invalid_argument);
+}
+
+TEST(WindowedMoments, RejectsNonPositiveWindow) {
+  EXPECT_THROW(WindowedMoments(0.0), std::invalid_argument);
+}
+
+TEST(WindowedMoments, VarianceNonNegativeUnderChurn) {
+  WindowedMoments w(2.0);
+  util::Rng rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    w.add(static_cast<double>(i) * 0.01, 10.0 + rng.uniform());
+    ASSERT_GE(w.variance(), 0.0);
+  }
+}
+
+TEST(RollingMoments, KeepsExactlyCapacity) {
+  RollingMoments r(3);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) r.add(x);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_DOUBLE_EQ(r.mean(), 3.0);  // window is {2,3,4}
+  EXPECT_TRUE(r.full());
+}
+
+TEST(RollingMoments, PartiallyFilled) {
+  RollingMoments r(10);
+  r.add(4.0);
+  r.add(6.0);
+  EXPECT_FALSE(r.full());
+  EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(r.variance(), 1.0);
+}
+
+TEST(RollingMoments, RejectsZeroCapacity) {
+  EXPECT_THROW(RollingMoments(0), std::invalid_argument);
+}
+
+TEST(RollingMoments, LongChurnStaysAccurate) {
+  RollingMoments r(100);
+  util::Rng rng(5);
+  for (int i = 0; i < 200000; ++i) r.add(rng.uniform());
+  // Uniform window: mean 0.5, var 1/12, estimated from 100 points.
+  EXPECT_NEAR(r.mean(), 0.5, 0.15);
+  EXPECT_NEAR(r.variance(), 1.0 / 12.0, 0.05);
+  ASSERT_GE(r.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace forktail::stats

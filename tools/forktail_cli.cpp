@@ -1,0 +1,243 @@
+// forktail — command-line tail-latency prediction.
+//
+// The operational surface of the library for people who just have numbers:
+// feed measured task moments in, get percentiles out.
+//
+//   forktail predict  --mean 42 --variance 1764 --k 100 [--p 95,99,99.9]
+//   forktail predict  --nodes stats.csv [--p 99]       # CSV: mean,variance
+//   forktail mixture  --mean 42 --variance 1764 --k-lo 80 --k-hi 120 [--p 99]
+//   forktail pipeline --stage retrieval:4.1:80:64 --stage rank:2.2:9:16
+//   forktail budget   --slo-latency 200 --slo-p 99 --k 100 [--scv 1.0]
+//   forktail samples  --mean 42 --variance 1764 --k 100 --precision 0.05
+//
+// All times are in whatever unit the inputs use; the tool is unit-agnostic.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/forktail.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace forktail;
+
+std::vector<double> parse_percentiles(const std::string& text) {
+  std::vector<double> ps;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    ps.push_back(std::stod(item));
+  }
+  if (ps.empty()) throw std::invalid_argument("no percentiles given");
+  return ps;
+}
+
+std::vector<core::TaskStats> read_node_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::vector<core::TaskStats> nodes;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string mean_s;
+    std::string var_s;
+    if (!std::getline(ls, mean_s, ',') || !std::getline(ls, var_s, ',')) {
+      throw std::runtime_error("malformed line " + std::to_string(line_no) +
+                               " in " + path + " (want: mean,variance)");
+    }
+    nodes.push_back({std::stod(mean_s), std::stod(var_s)});
+  }
+  if (nodes.empty()) throw std::runtime_error("no node rows in " + path);
+  return nodes;
+}
+
+int cmd_predict(int argc, const char* const* argv) {
+  util::CliFlags flags;
+  flags.declare("mean", "0", "measured task response mean");
+  flags.declare("variance", "0", "measured task response variance");
+  flags.declare("k", "1", "tasks forked per request");
+  flags.declare("nodes", "", "CSV of per-node mean,variance (inhomogeneous)");
+  flags.declare("p", "99", "comma-separated percentiles");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto ps = parse_percentiles(flags.get_string("p"));
+
+  if (!flags.get_string("nodes").empty()) {
+    const auto nodes = read_node_csv(flags.get_string("nodes"));
+    std::printf("inhomogeneous prediction over %zu nodes (Eq. 4)\n",
+                nodes.size());
+    for (double p : ps) {
+      std::printf("  p%-6g %12.4g\n", p,
+                  core::inhomogeneous_quantile(nodes, p));
+    }
+    return 0;
+  }
+  const core::TaskStats stats{flags.get_double("mean"),
+                              flags.get_double("variance")};
+  const double k = flags.get_double("k");
+  const core::GenExp ge = core::GenExp::fit_moments(stats.mean, stats.variance);
+  std::printf("fitted %s for k = %g tasks (Eq. 13)\n", ge.to_string().c_str(), k);
+  for (double p : ps) {
+    std::printf("  p%-6g %12.4g\n", p, core::homogeneous_quantile(stats, k, p));
+  }
+  return 0;
+}
+
+int cmd_mixture(int argc, const char* const* argv) {
+  util::CliFlags flags;
+  flags.declare("mean", "0", "measured task response mean");
+  flags.declare("variance", "0", "measured task response variance");
+  flags.declare("k-lo", "1", "lower bound of the uniform task-count range");
+  flags.declare("k-hi", "1", "upper bound of the uniform task-count range");
+  flags.declare("p", "99", "comma-separated percentiles");
+  if (!flags.parse(argc, argv)) return 0;
+  const core::TaskStats stats{flags.get_double("mean"),
+                              flags.get_double("variance")};
+  const auto mixture = core::TaskCountMixture::uniform_int(
+      static_cast<int>(flags.get_int("k-lo")),
+      static_cast<int>(flags.get_int("k-hi")));
+  std::printf("K ~ U[%lld, %lld], mean fan-out %.1f (Eqs. 8-9)\n",
+              static_cast<long long>(flags.get_int("k-lo")),
+              static_cast<long long>(flags.get_int("k-hi")),
+              mixture.mean_tasks());
+  for (double p : parse_percentiles(flags.get_string("p"))) {
+    std::printf("  p%-6g %12.4g\n", p,
+                core::mixture_quantile(stats, mixture, p));
+  }
+  return 0;
+}
+
+int cmd_pipeline(int argc, const char* const* argv) {
+  // --stage takes name:mean:variance:k and may repeat; CliFlags keeps only
+  // the last value, so parse stages manually and forward the rest.
+  std::vector<core::StageSpec> stages;
+  std::vector<const char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--stage" && i + 1 < argc) {
+      std::istringstream is(argv[++i]);
+      std::string name;
+      std::string mean_s;
+      std::string var_s;
+      std::string k_s;
+      if (!std::getline(is, name, ':') || !std::getline(is, mean_s, ':') ||
+          !std::getline(is, var_s, ':') || !std::getline(is, k_s, ':')) {
+        throw std::invalid_argument(
+            "--stage wants name:mean:variance:k, got: " + std::string(argv[i]));
+      }
+      stages.push_back(
+          {name, {std::stod(mean_s), std::stod(var_s)}, std::stod(k_s)});
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  util::CliFlags flags;
+  flags.declare("p", "99", "comma-separated percentiles");
+  if (!flags.parse(static_cast<int>(rest.size()), rest.data())) return 0;
+  if (stages.empty()) {
+    throw std::invalid_argument("pipeline: need at least one --stage");
+  }
+  const core::PipelinePredictor predictor(stages);
+  std::printf("%zu-stage workflow: total mean %.4g, stddev %.4g\n",
+              predictor.num_stages(), predictor.total_mean(),
+              std::sqrt(predictor.total_variance()));
+  const auto breakdown = predictor.mean_breakdown();
+  for (std::size_t s = 0; s < predictor.num_stages(); ++s) {
+    const auto& lat = predictor.stage_latencies()[s];
+    std::printf("  stage %-12s mean %10.4g  (%4.1f%% of total)\n",
+                lat.name.c_str(), lat.mean, 100.0 * breakdown[s]);
+  }
+  std::printf("bottleneck stage at p99: %s\n",
+              predictor.stage_latencies()[predictor.bottleneck_stage(99.0)]
+                  .name.c_str());
+  for (double p : parse_percentiles(flags.get_string("p"))) {
+    std::printf("  end-to-end p%-6g %12.4g\n", p, predictor.quantile(p));
+  }
+  return 0;
+}
+
+int cmd_budget(int argc, const char* const* argv) {
+  util::CliFlags flags;
+  flags.declare("slo-latency", "0", "tail-latency bound");
+  flags.declare("slo-p", "99", "SLO percentile");
+  flags.declare("k", "1", "tasks forked per request");
+  flags.declare("scv", "1.0", "assumed task squared CV (1 = exponential)");
+  if (!flags.parse(argc, argv)) return 0;
+  const core::TailSlo slo{flags.get_double("slo-p"),
+                          flags.get_double("slo-latency")};
+  const auto budget = core::derive_task_budget(slo, flags.get_double("k"),
+                                               flags.get_double("scv"));
+  std::printf(
+      "task budget for p%g <= %g at k = %g (SCV hint %g):\n"
+      "  mean     <= %.6g\n  variance <= %.6g\n"
+      "(shape caveat: see docs/model.md section 5 -- prefer the SLO-based\n"
+      " search when the measured CV differs from the hint)\n",
+      slo.percentile, slo.latency, flags.get_double("k"),
+      flags.get_double("scv"), budget.mean, budget.variance);
+  return 0;
+}
+
+int cmd_samples(int argc, const char* const* argv) {
+  util::CliFlags flags;
+  flags.declare("mean", "0", "measured task response mean");
+  flags.declare("variance", "0", "measured task response variance");
+  flags.declare("k", "1", "tasks forked per request");
+  flags.declare("p", "99", "target percentile");
+  flags.declare("precision", "0.05", "relative 1-sigma precision target");
+  if (!flags.parse(argc, argv)) return 0;
+  const core::TaskStats stats{flags.get_double("mean"),
+                              flags.get_double("variance")};
+  const double k = flags.get_double("k");
+  const double p = flags.get_double("p");
+  const auto n = core::samples_for_precision(stats, k, p,
+                                             flags.get_double("precision"));
+  const auto u = core::prediction_uncertainty(stats, k, p, n);
+  std::printf(
+      "samples for %.1f%% precision on p%g at k = %g: %llu\n"
+      "(prediction %.6g +- %.2f%% at that window size)\n",
+      100.0 * flags.get_double("precision"), p, k,
+      static_cast<unsigned long long>(n), u.value, 100.0 * u.stderr_rel);
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: forktail <command> [flags]\n"
+      "commands:\n"
+      "  predict   homogeneous (--mean/--variance/--k) or per-node CSV\n"
+      "            (--nodes) tail prediction\n"
+      "  mixture   random fan-out K ~ U[k-lo, k-hi]\n"
+      "  pipeline  multi-stage workflow (--stage name:mean:var:k, repeat)\n"
+      "  budget    SLO -> per-task performance budget (Section 6)\n"
+      "  samples   measurement window size for a precision target\n"
+      "run `forktail <command> --help` for the command's flags\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "predict") return cmd_predict(argc - 1, argv + 1);
+    if (command == "mixture") return cmd_mixture(argc - 1, argv + 1);
+    if (command == "pipeline") return cmd_pipeline(argc - 1, argv + 1);
+    if (command == "budget") return cmd_budget(argc - 1, argv + 1);
+    if (command == "samples") return cmd_samples(argc - 1, argv + 1);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
