@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 
 namespace forktail::bench {
 
@@ -11,10 +12,15 @@ bool parse_options(int argc, const char* const* argv, util::CliFlags& flags,
   flags.declare("scale", "default", "sample-count scale: smoke|default|full");
   flags.declare("seed", "1", "master RNG seed");
   flags.declare("csv", "false", "emit CSV instead of text tables");
+  flags.declare("threads", "0",
+                "worker threads for parallel sweeps (0 = hardware)");
   if (!flags.parse(argc, argv)) return false;
   options.scale = util::scale_factor(util::parse_scale(flags.get_string("scale")));
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   options.csv = flags.get_bool("csv");
+  const auto threads = flags.get_int("threads");
+  if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
+  options.threads = static_cast<std::size_t>(threads);
   return true;
 }
 

@@ -4,9 +4,11 @@
 //   --scale smoke|default|full   sample-count multiplier (0.1 / 1 / 5)
 //   --seed <n>                   master seed
 //   --csv true                   emit CSV instead of aligned text tables
+//   --threads <n>                sweep worker threads (0 = hardware)
 // and prints the same rows/series the corresponding paper exhibit reports.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -19,6 +21,10 @@ struct BenchOptions {
   double scale = 1.0;
   std::uint64_t seed = 1;
   bool csv = false;
+  /// Worker threads for grid-cell parallel sweeps (ParallelSweepRunner);
+  /// 0 = hardware_concurrency, 1 = fully serial.  Output tables are
+  /// byte-identical for every value.
+  std::size_t threads = 0;
 };
 
 /// Parse the standard flags; returns false (after printing usage) on

@@ -5,10 +5,13 @@
 // Paper shape: errors within 10% at 90% load and 20% at 80% for all cases;
 // the exponential service case accurate (within ~6%) across the whole
 // load range.
+#include <array>
+
 #include "common.hpp"
 #include "core/predictor.hpp"
 #include "dist/factory.hpp"
 #include "fjsim/subset.hpp"
+#include "parallel_runner.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
 
@@ -32,34 +35,55 @@ int main(int argc, char** argv) {
                       "Fixed k <= N on 1000 nodes: 99th percentile errors",
                       options);
 
-  util::Table table({"distribution", "k", "load%", "sim_p99_ms", "pred_p99_ms",
-                     "error%"});
-  for (const char* name : {"Exponential", "TruncPareto", "Empirical"}) {
-    const dist::DistPtr service = dist::make_named(name);
-    for (int k : {100, 500, 900}) {
-      for (double load : {0.50, 0.75, 0.80, 0.90}) {
+  const std::array<const char*, 3> dists = {"Exponential", "TruncPareto",
+                                            "Empirical"};
+  const std::array<int, 3> ks = {100, 500, 900};
+  const std::array<double, 4> loads = {0.50, 0.75, 0.80, 0.90};
+
+  struct Cell {
+    double measured;
+    double predicted;
+  };
+  const bench::ParallelSweepRunner runner(options.threads);
+  const auto cells = runner.map<Cell>(
+      dists.size() * ks.size() * loads.size(), options.seed,
+      [&](std::size_t i, util::Rng& rng) -> Cell {
+        const double load = loads[i % loads.size()];
+        const int k = ks[(i / loads.size()) % ks.size()];
+        const char* name = dists[i / (loads.size() * ks.size())];
+
         fjsim::SubsetConfig cfg;
         cfg.num_nodes = 1000;
-        cfg.service = service;
+        cfg.service = dist::make_named(name);
         cfg.load = load;
         cfg.k_mode = fjsim::KMode::kFixed;
         cfg.k_fixed = k;
         cfg.num_requests = samples_for(k, load, options.scale);
         cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
-        cfg.seed = options.seed;
+        cfg.seed = rng.next_u64();
         const auto sim = fjsim::run_subset(cfg);
         const double measured = stats::percentile(sim.responses, 99.0);
         // Eq. 13 with the black-box measured task moments.
         const double predicted = core::homogeneous_quantile(
             {sim.task_stats.mean(), sim.task_stats.variance()},
             static_cast<double>(k), 99.0);
+        return {measured, predicted};
+      });
+
+  util::Table table({"distribution", "k", "load%", "sim_p99_ms", "pred_p99_ms",
+                     "error%"});
+  std::size_t i = 0;
+  for (const char* name : dists) {
+    for (int k : ks) {
+      for (double load : loads) {
+        const Cell& cell = cells[i++];
         table.row()
             .str(name)
             .integer(k)
             .num(load * 100.0, 0)
-            .num(measured, 2)
-            .num(predicted, 2)
-            .num(stats::relative_error_pct(predicted, measured), 1);
+            .num(cell.measured, 2)
+            .num(cell.predicted, 2)
+            .num(stats::relative_error_pct(cell.predicted, cell.measured), 1);
       }
     }
   }

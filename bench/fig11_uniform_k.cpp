@@ -5,10 +5,13 @@
 // Prediction uses the mixture model (Eqs. 8-9 / 14) with the black-box
 // measured task moments.  Paper shape: good approximations at >= 80% load;
 // exponential accurate across the whole range.
+#include <array>
+
 #include "common.hpp"
 #include "core/predictor.hpp"
 #include "dist/factory.hpp"
 #include "fjsim/subset.hpp"
+#include "parallel_runner.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
 
@@ -24,18 +27,29 @@ int main(int argc, char** argv) {
     int lo;
     int hi;
   };
-  const Range ranges[] = {{80, 120}, {400, 600}, {800, 1000}, {10, 990}};
+  const std::array<const char*, 3> dists = {"Exponential", "TruncPareto",
+                                            "Empirical"};
+  const std::array<Range, 4> ranges = {
+      Range{80, 120}, Range{400, 600}, Range{800, 1000}, Range{10, 990}};
+  const std::array<double, 4> loads = {0.50, 0.75, 0.80, 0.90};
 
-  util::Table table({"distribution", "k_range", "load%", "sim_p99_ms",
-                     "pred_p99_ms", "error%"});
-  for (const char* name : {"Exponential", "TruncPareto", "Empirical"}) {
-    const dist::DistPtr service = dist::make_named(name);
-    for (const Range& range : ranges) {
-      const auto mixture = core::TaskCountMixture::uniform_int(range.lo, range.hi);
-      for (double load : {0.50, 0.75, 0.80, 0.90}) {
+  struct Cell {
+    double measured;
+    double predicted;
+  };
+  const bench::ParallelSweepRunner runner(options.threads);
+  const auto cells = runner.map<Cell>(
+      dists.size() * ranges.size() * loads.size(), options.seed,
+      [&](std::size_t i, util::Rng& rng) -> Cell {
+        const double load = loads[i % loads.size()];
+        const Range& range = ranges[(i / loads.size()) % ranges.size()];
+        const char* name = dists[i / (loads.size() * ranges.size())];
+        const auto mixture =
+            core::TaskCountMixture::uniform_int(range.lo, range.hi);
+
         fjsim::SubsetConfig cfg;
         cfg.num_nodes = 1000;
-        cfg.service = service;
+        cfg.service = dist::make_named(name);
         cfg.load = load;
         cfg.k_mode = fjsim::KMode::kUniformInt;
         cfg.k_lo = range.lo;
@@ -43,19 +57,29 @@ int main(int argc, char** argv) {
         cfg.num_requests =
             bench::scaled(15000, options.scale * bench::load_boost(load));
         cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
-        cfg.seed = options.seed;
+        cfg.seed = rng.next_u64();
         const auto sim = fjsim::run_subset(cfg);
         const double measured = stats::percentile(sim.responses, 99.0);
         const double predicted = core::mixture_quantile(
             {sim.task_stats.mean(), sim.task_stats.variance()}, mixture, 99.0);
+        return {measured, predicted};
+      });
+
+  util::Table table({"distribution", "k_range", "load%", "sim_p99_ms",
+                     "pred_p99_ms", "error%"});
+  std::size_t i = 0;
+  for (const char* name : dists) {
+    for (const Range& range : ranges) {
+      for (double load : loads) {
+        const Cell& cell = cells[i++];
         table.row()
             .str(name)
             .str("U[" + std::to_string(range.lo) + "," +
                  std::to_string(range.hi) + "]")
             .num(load * 100.0, 0)
-            .num(measured, 2)
-            .num(predicted, 2)
-            .num(stats::relative_error_pct(predicted, measured), 1);
+            .num(cell.measured, 2)
+            .num(cell.predicted, 2)
+            .num(stats::relative_error_pct(cell.predicted, cell.measured), 1);
       }
     }
   }

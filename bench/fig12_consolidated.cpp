@@ -6,9 +6,12 @@
 // target jobs whose tasks reach all N nodes (left plot) or a random half
 // of them (right plot).  Clusters of 100 / 500 / 1000 / 5000 three-server
 // nodes, loads 50-90%.  Paper shape: errors within 15% everywhere.
+#include <array>
+
 #include "common.hpp"
 #include "core/predictor.hpp"
 #include "fjsim/consolidated.hpp"
+#include "parallel_runner.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
 #include "trace/facebook.hpp"
@@ -37,32 +40,47 @@ int main(int argc, char** argv) {
       "Consolidated trace-driven workload: target-job 99th percentile errors",
       options);
 
-  util::Table table({"target_k", "nodes", "load%", "targets", "sim_p99_ms",
-                     "pred_p99_ms", "error%"});
-  for (const char* mode : {"k=N", "k=N/2"}) {
-    const bool full = std::string(mode) == "k=N";
-    for (std::size_t nodes : {100, 500, 1000, 5000}) {
-      const auto target_k =
-          static_cast<std::uint32_t>(full ? nodes : nodes / 2);
-      trace::FacebookWorkload::Params params;
-      params.target_tasks = target_k;
-      params.target_mean_ms = 50.0;
-      params.max_tasks = static_cast<std::uint32_t>(nodes);
-      const trace::FacebookWorkload workload(params);
-      const double service_floor = 0.05;
-      const double mean_work = workload.estimate_mean_work(service_floor);
+  const std::array<const char*, 2> modes = {"k=N", "k=N/2"};
+  const std::array<std::size_t, 4> node_counts = {100, 500, 1000, 5000};
+  const std::array<double, 4> loads = {0.50, 0.75, 0.80, 0.90};
 
-      for (double load : {0.50, 0.75, 0.80, 0.90}) {
+  struct Cell {
+    std::uint64_t targets;
+    double measured;
+    double predicted;
+  };
+  const bench::ParallelSweepRunner runner(options.threads);
+  const auto cells = runner.map<Cell>(
+      modes.size() * node_counts.size() * loads.size(), options.seed,
+      [&](std::size_t i, util::Rng& rng) -> Cell {
+        const double load = loads[i % loads.size()];
+        const std::size_t nodes =
+            node_counts[(i / loads.size()) % node_counts.size()];
+        const bool full =
+            std::string(modes[i / (loads.size() * node_counts.size())]) ==
+            "k=N";
+        const auto target_k =
+            static_cast<std::uint32_t>(full ? nodes : nodes / 2);
+
+        // Each cell builds its own workload so cells stay self-contained
+        // (the generator snapshots the workload by value anyway).
+        trace::FacebookWorkload::Params params;
+        params.target_tasks = target_k;
+        params.target_mean_ms = 50.0;
+        params.max_tasks = static_cast<std::uint32_t>(nodes);
+        const trace::FacebookWorkload workload(params);
+        const double service_floor = 0.05;
+        const double mean_work = workload.estimate_mean_work(service_floor);
+
         fjsim::ConsolidatedConfig cfg;
         cfg.num_nodes = nodes;
         cfg.replicas = 3;
         cfg.load = load;
         cfg.generator = workload.generator();
         cfg.mean_work_per_job = mean_work;
-        cfg.num_jobs =
-            jobs_for(nodes, options.scale * bench::load_boost(load));
+        cfg.num_jobs = jobs_for(nodes, options.scale * bench::load_boost(load));
         cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.2;
-        cfg.seed = options.seed;
+        cfg.seed = rng.next_u64();
         cfg.service_floor = service_floor;
         const auto sim = fjsim::run_consolidated(cfg);
         const double measured = stats::percentile(sim.target_responses, 99.0);
@@ -71,14 +89,24 @@ int main(int argc, char** argv) {
         const double predicted = core::homogeneous_quantile(
             {sim.target_task_stats.mean(), sim.target_task_stats.variance()},
             static_cast<double>(target_k), 99.0);
+        return {sim.target_responses.size(), measured, predicted};
+      });
+
+  util::Table table({"target_k", "nodes", "load%", "targets", "sim_p99_ms",
+                     "pred_p99_ms", "error%"});
+  std::size_t i = 0;
+  for (const char* mode : modes) {
+    for (std::size_t nodes : node_counts) {
+      for (double load : loads) {
+        const Cell& cell = cells[i++];
         table.row()
             .str(mode)
             .integer(static_cast<long long>(nodes))
             .num(load * 100.0, 0)
-            .integer(static_cast<long long>(sim.target_responses.size()))
-            .num(measured, 2)
-            .num(predicted, 2)
-            .num(stats::relative_error_pct(predicted, measured), 1);
+            .integer(static_cast<long long>(cell.targets))
+            .num(cell.measured, 2)
+            .num(cell.predicted, 2)
+            .num(stats::relative_error_pct(cell.predicted, cell.measured), 1);
       }
     }
   }

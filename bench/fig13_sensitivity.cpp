@@ -7,6 +7,7 @@
 // margin the prediction error translates into.  Paper shape: exponential /
 // Weibull overestimate slightly (<= 1% overprovisioning); truncated-Pareto
 // / empirical underestimate by up to ~4% at 80% load and ~2% at 90%.
+#include <array>
 #include <vector>
 
 #include "common.hpp"
@@ -14,6 +15,7 @@
 #include "core/provisioning.hpp"
 #include "dist/factory.hpp"
 #include "fjsim/homogeneous.hpp"
+#include "parallel_runner.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
 
@@ -26,30 +28,50 @@ int main(int argc, char** argv) {
       "Sensitivity: simulated vs predicted p99 across 78-95% load, N = 1000",
       options);
 
-  const double loads[] = {0.78, 0.80, 0.82, 0.84, 0.86, 0.88,
-                          0.90, 0.92, 0.94, 0.95};
+  const std::array<const char*, 4> dists = {"Exponential", "Weibull",
+                                            "TruncPareto", "Empirical"};
+  const std::array<double, 10> loads = {0.78, 0.80, 0.82, 0.84, 0.86,
+                                        0.88, 0.90, 0.92, 0.94, 0.95};
+
+  struct Cell {
+    double measured;
+    double predicted;
+  };
+  const bench::ParallelSweepRunner runner(options.threads);
+  const auto cells = runner.map<Cell>(
+      dists.size() * loads.size(), options.seed,
+      [&](std::size_t i, util::Rng& rng) -> Cell {
+        const double load = loads[i % loads.size()];
+        const char* name = dists[i / loads.size()];
+
+        fjsim::HomogeneousConfig cfg;
+        cfg.num_nodes = 1000;
+        cfg.service = dist::make_named(name);
+        cfg.load = load;
+        cfg.num_requests =
+            bench::scaled(15000, options.scale * bench::load_boost(load));
+        cfg.warmup_fraction = load >= 0.92 ? 0.35 : 0.3;
+        cfg.seed = rng.next_u64();
+        cfg.max_parallelism = 1;
+        const auto sim = fjsim::run_homogeneous(cfg);
+        return {stats::percentile(sim.responses, 99.0),
+                core::homogeneous_quantile(
+                    {sim.task_stats.mean(), sim.task_stats.variance()}, 1000.0,
+                    99.0)};
+      });
 
   util::Table table({"distribution", "load%", "sim_p99_ms", "pred_p99_ms",
                      "error%", "equiv_load%", "margin_pp"});
-  for (const char* name : {"Exponential", "Weibull", "TruncPareto", "Empirical"}) {
-    const dist::DistPtr service = dist::make_named(name);
+  for (std::size_t d = 0; d < dists.size(); ++d) {
+    const char* name = dists[d];
     std::vector<double> load_axis;
     std::vector<double> sim_curve;
     std::vector<double> pred_curve;
-    for (double load : loads) {
-      fjsim::HomogeneousConfig cfg;
-      cfg.num_nodes = 1000;
-      cfg.service = service;
-      cfg.load = load;
-      cfg.num_requests =
-          bench::scaled(15000, options.scale * bench::load_boost(load));
-      cfg.warmup_fraction = load >= 0.92 ? 0.35 : 0.3;
-      cfg.seed = options.seed;
-      const auto sim = fjsim::run_homogeneous(cfg);
-      load_axis.push_back(load * 100.0);
-      sim_curve.push_back(stats::percentile(sim.responses, 99.0));
-      pred_curve.push_back(core::homogeneous_quantile(
-          {sim.task_stats.mean(), sim.task_stats.variance()}, 1000.0, 99.0));
+    for (std::size_t l = 0; l < loads.size(); ++l) {
+      const Cell& cell = cells[d * loads.size() + l];
+      load_axis.push_back(loads[l] * 100.0);
+      sim_curve.push_back(cell.measured);
+      pred_curve.push_back(cell.predicted);
     }
     for (std::size_t i = 0; i < load_axis.size(); ++i) {
       // The load at which the simulated curve reaches the predicted value:

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
       options);
 
   bench::SweepSpec spec;
-  spec.replicas = 3;
+  spec.servers_per_node = 3;
   spec.policy = fjsim::Policy::kRoundRobin;
   bench::run_error_sweep(
       spec,

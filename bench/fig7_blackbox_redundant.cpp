@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       options);
 
   bench::SweepSpec spec;
-  spec.replicas = 3;
+  spec.servers_per_node = 3;
   spec.policy = fjsim::Policy::kRedundant;
   spec.redundant_delay = 10.0;
   bench::run_error_sweep(

@@ -1,8 +1,14 @@
 // Shared error-sweep runner for the Figure 4-7 family: homogeneous k = N
 // fork-join systems over (distribution x N x load), comparing a ForkTail
 // prediction against the simulated 99th percentile.
+//
+// Cells are executed by bench::ParallelSweepRunner: enumerated up front,
+// dispatched onto a thread pool with a deterministic per-cell RNG stream,
+// and emitted in grid order -- the table is byte-identical for every
+// `--threads` value.
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <string>
 #include <vector>
@@ -11,8 +17,10 @@
 #include "core/predictor.hpp"
 #include "dist/factory.hpp"
 #include "fjsim/homogeneous.hpp"
+#include "parallel_runner.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
+#include "stats/welford.hpp"
 
 namespace forktail::bench {
 
@@ -20,7 +28,13 @@ struct SweepSpec {
   std::vector<std::string> distributions = {"Empirical", "TruncPareto", "Weibull"};
   std::vector<std::size_t> node_counts = {10, 100, 500, 1000};
   std::vector<double> loads = {0.50, 0.75, 0.80, 0.90};
+  /// Independent simulation replications per grid cell (distinct RNG
+  /// streams).  With replicas > 1 the table reports the across-replica mean
+  /// of each quantity plus spread (sample stddev) columns.
   int replicas = 1;
+  /// Servers per fork node (1 = the paper's single-server case; 3 with
+  /// round-robin or redundant-issue policies for Figs. 6-7).
+  int servers_per_node = 1;
   fjsim::Policy policy = fjsim::Policy::kSingle;
   double redundant_delay = 10.0;
   double percentile = 99.0;
@@ -46,43 +60,104 @@ inline std::uint64_t sweep_samples(std::size_t nodes, double load,
   return scaled(base, scale * load_boost(load));
 }
 
-inline void run_error_sweep(const SweepSpec& spec, const Predictor& predictor,
-                            const BenchOptions& options) {
-  util::Table table({"distribution", "nodes", "load%", "sim_p99_ms",
-                     "pred_p99_ms", "error%"});
-  for (const auto& name : spec.distributions) {
-    const dist::DistPtr service = dist::make_named(name);
-    for (std::size_t nodes : spec.node_counts) {
-      for (double load : spec.loads) {
+/// Build the error-sweep table.  Grid cells (and their replicas) run in
+/// parallel on `options.threads` workers; rows appear in
+/// distribution-major, node, load order regardless of schedule.
+inline util::Table error_sweep_table(const SweepSpec& spec,
+                                     const Predictor& predictor,
+                                     const BenchOptions& options) {
+  struct CellOutcome {
+    double measured = 0.0;
+    double predicted = 0.0;
+    double error_pct = 0.0;
+  };
+
+  const std::size_t replicas =
+      spec.replicas > 0 ? static_cast<std::size_t>(spec.replicas) : 1;
+  const std::size_t base_cells =
+      spec.distributions.size() * spec.node_counts.size() * spec.loads.size();
+  const std::size_t total_cells = base_cells * replicas;
+
+  ParallelSweepRunner runner(options.threads);
+  const auto outcomes = runner.map<CellOutcome>(
+      total_cells, options.seed,
+      [&](std::size_t cell, util::Rng& rng) -> CellOutcome {
+        const std::size_t base = cell / replicas;
+        const std::size_t load_i = base % spec.loads.size();
+        const std::size_t node_i =
+            (base / spec.loads.size()) % spec.node_counts.size();
+        const std::size_t dist_i =
+            base / (spec.loads.size() * spec.node_counts.size());
+
+        // Each cell owns its distribution instance: no shared state between
+        // workers, and a bad name throws here -- the runner surfaces it.
+        const dist::DistPtr service =
+            dist::make_named(spec.distributions[dist_i]);
+        const std::size_t nodes = spec.node_counts[node_i];
+        const double load = spec.loads[load_i];
+
         fjsim::HomogeneousConfig cfg;
         cfg.num_nodes = nodes;
-        cfg.replicas = spec.replicas;
+        cfg.replicas = spec.servers_per_node;
         cfg.policy = spec.policy;
         cfg.redundant_delay = spec.redundant_delay;
         cfg.service = service;
         cfg.load = load;
         cfg.num_requests = sweep_samples(nodes, load, options.scale);
         cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
-        cfg.seed = options.seed;
+        cfg.seed = rng.next_u64();
+        cfg.max_parallelism = 1;  // cell-level parallelism only
         const auto sim = fjsim::run_homogeneous(cfg);
-        const double measured =
-            stats::percentile(sim.responses, spec.percentile);
+
+        CellOutcome out;
+        out.measured = stats::percentile(sim.responses, spec.percentile);
         const core::TaskStats task_stats{sim.task_stats.mean(),
                                          sim.task_stats.variance()};
-        const double predicted =
+        out.predicted =
             predictor(*service, sim.lambda, task_stats,
                       static_cast<double>(nodes), spec.percentile);
-        table.row()
-            .str(name)
-            .integer(static_cast<long long>(nodes))
-            .num(load * 100.0, 0)
-            .num(measured, 2)
-            .num(predicted, 2)
-            .num(stats::relative_error_pct(predicted, measured), 1);
-      }
-    }
+        out.error_pct = stats::relative_error_pct(out.predicted, out.measured);
+        return out;
+      });
+
+  std::vector<std::string> columns = {"distribution", "nodes", "load%",
+                                      "sim_p99_ms", "pred_p99_ms", "error%"};
+  if (replicas > 1) {
+    columns = {"distribution", "nodes",       "load%",  "sim_p99_ms",
+               "sim_sd",       "pred_p99_ms", "error%", "err_sd"};
   }
-  emit(table, options);
+  util::Table table(columns);
+  for (std::size_t base = 0; base < base_cells; ++base) {
+    const std::size_t load_i = base % spec.loads.size();
+    const std::size_t node_i =
+        (base / spec.loads.size()) % spec.node_counts.size();
+    const std::size_t dist_i =
+        base / (spec.loads.size() * spec.node_counts.size());
+
+    stats::Welford measured;
+    stats::Welford predicted;
+    stats::Welford error;
+    for (std::size_t r = 0; r < replicas; ++r) {
+      const auto& out = outcomes[base * replicas + r];
+      measured.add(out.measured);
+      predicted.add(out.predicted);
+      error.add(out.error_pct);
+    }
+    auto row = table.row();
+    row.str(spec.distributions[dist_i])
+        .integer(static_cast<long long>(spec.node_counts[node_i]))
+        .num(spec.loads[load_i] * 100.0, 0)
+        .num(measured.mean(), 2);
+    if (replicas > 1) row.num(std::sqrt(measured.sample_variance()), 2);
+    row.num(predicted.mean(), 2).num(error.mean(), 1);
+    if (replicas > 1) row.num(std::sqrt(error.sample_variance()), 1);
+  }
+  return table;
+}
+
+inline void run_error_sweep(const SweepSpec& spec, const Predictor& predictor,
+                            const BenchOptions& options) {
+  emit(error_sweep_table(spec, predictor, options), options);
 }
 
 }  // namespace forktail::bench

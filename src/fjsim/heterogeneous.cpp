@@ -55,9 +55,13 @@ HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
     }
   }
 
-  auto& pool = util::global_pool();
-  const std::size_t num_blocks =
-      std::min<std::size_t>(n, std::max<std::size_t>(1, pool.size()));
+  // Per-node stats plus exact per-request maxima make the replay
+  // bit-identical for any block count (see run_homogeneous).
+  const std::size_t parallelism =
+      config.max_parallelism > 0
+          ? config.max_parallelism
+          : std::max<std::size_t>(1, util::global_pool().size());
+  const std::size_t num_blocks = std::min<std::size_t>(n, parallelism);
   std::vector<std::vector<double>> block_max(num_blocks,
                                              std::vector<double>(total, 0.0));
   HeterogeneousResult result;
@@ -65,7 +69,7 @@ HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
   result.max_utilization = max_rho;
   result.node_stats.resize(n);
 
-  util::parallel_for(pool, 0, num_blocks, [&](std::size_t b) {
+  const auto replay_block = [&](std::size_t b) {
     auto& local_max = block_max[b];
     const std::size_t lo = n * b / num_blocks;
     const std::size_t hi = n * (b + 1) / num_blocks;
@@ -82,7 +86,12 @@ HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
       }
       node.flush(on_done);
     }
-  });
+  };
+  if (num_blocks == 1) {
+    replay_block(0);
+  } else {
+    util::parallel_for(util::global_pool(), 0, num_blocks, replay_block);
+  }
 
   result.responses.reserve(config.num_requests);
   for (std::uint64_t j = warmup; j < total; ++j) {

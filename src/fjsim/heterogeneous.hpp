@@ -27,6 +27,10 @@ struct HeterogeneousConfig {
   std::uint64_t num_requests = 10000;  ///< measured (post warm-up)
   double warmup_fraction = 0.25;
   std::uint64_t seed = 1;
+  /// Upper bound on worker parallelism for the node replay; 0 = pool width,
+  /// 1 = inline on the calling thread (safe inside a pool task).  Results
+  /// are bit-identical for every value (see HomogeneousConfig).
+  std::size_t max_parallelism = 0;
 };
 
 struct HeterogeneousResult {

@@ -64,32 +64,44 @@ HomogeneousResult run_homogeneous(const HomogeneousConfig& config) {
   }
 
   // Node-major replay, parallel across node blocks; each worker keeps a
-  // local per-request completion max and a local moment accumulator.
-  auto& pool = util::global_pool();
+  // local per-request completion max, while moment accumulators are kept
+  // PER NODE and merged in node order afterwards.  Per-request maxima are
+  // exact under any grouping and the node-order Welford merge fixes the
+  // floating-point reduction order, so the result is bit-identical for any
+  // block count / pool width / schedule.
+  const std::size_t parallelism =
+      config.max_parallelism > 0
+          ? config.max_parallelism
+          : std::max<std::size_t>(1, util::global_pool().size());
   const std::size_t num_blocks =
-      std::min<std::size_t>(config.num_nodes, std::max<std::size_t>(1, pool.size()));
+      std::min<std::size_t>(config.num_nodes, parallelism);
   std::vector<std::vector<double>> block_max(
       num_blocks, std::vector<double>(total, 0.0));
-  std::vector<stats::Welford> block_stats(num_blocks);
-  std::vector<std::uint64_t> block_redundant(num_blocks, 0);
+  std::vector<stats::Welford> node_stats(config.num_nodes);
+  std::vector<std::uint64_t> node_redundant(config.num_nodes, 0);
 
-  util::parallel_for(pool, 0, num_blocks, [&](std::size_t b) {
+  const auto replay_block = [&](std::size_t b) {
     const std::size_t lo = config.num_nodes * b / num_blocks;
     const std::size_t hi = config.num_nodes * (b + 1) / num_blocks;
     for (std::size_t n = lo; n < hi; ++n) {
       if (config.policy == Policy::kRedundant) {
         RedundantNode node(config.service.get(), config.replicas,
                            config.redundant_delay, master.split(100 + n));
-        block_redundant[b] +=
-            replay_node(node, arrivals, warmup, block_max[b], block_stats[b]);
+        node_redundant[n] =
+            replay_node(node, arrivals, warmup, block_max[b], node_stats[n]);
       } else {
         FastNode node(config.service.get(), config.replicas, config.policy,
                       master.split(100 + n));
-        block_redundant[b] +=
-            replay_node(node, arrivals, warmup, block_max[b], block_stats[b]);
+        node_redundant[n] =
+            replay_node(node, arrivals, warmup, block_max[b], node_stats[n]);
       }
     }
-  });
+  };
+  if (num_blocks == 1) {
+    replay_block(0);
+  } else {
+    util::parallel_for(util::global_pool(), 0, num_blocks, replay_block);
+  }
 
   HomogeneousResult result;
   result.lambda = lambda;
@@ -102,9 +114,9 @@ HomogeneousResult run_homogeneous(const HomogeneousConfig& config) {
     }
     result.responses.push_back(m - arrivals[j]);
   }
-  for (std::size_t b = 0; b < num_blocks; ++b) {
-    result.task_stats.merge(block_stats[b]);
-    result.redundant_issues += block_redundant[b];
+  for (std::size_t n = 0; n < config.num_nodes; ++n) {
+    result.task_stats.merge(node_stats[n]);
+    result.redundant_issues += node_redundant[n];
   }
   return result;
 }

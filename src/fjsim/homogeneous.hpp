@@ -32,6 +32,13 @@ struct HomogeneousConfig {
   std::uint64_t num_requests = 10000;  ///< measured (post warm-up)
   double warmup_fraction = 0.25;
   std::uint64_t seed = 1;
+  /// Upper bound on worker parallelism for the node replay.  0 uses the
+  /// global pool's full width; 1 runs inline on the calling thread without
+  /// touching the pool at all — required when the simulation itself executes
+  /// as a task on that pool (e.g. one cell of a parallel sweep), since
+  /// nested `wait_idle` from inside a pool task would deadlock.
+  /// Results are bit-identical for every value of this knob.
+  std::size_t max_parallelism = 0;
 };
 
 struct HomogeneousResult {

@@ -19,32 +19,63 @@ void WindowedMoments::add(double timestamp, double value) {
   if (!samples_.empty() && timestamp < samples_.back().t) {
     throw std::invalid_argument("timestamps must be non-decreasing");
   }
+  if (samples_.empty()) {
+    // Pin the shift at the first value of a fresh window so the shifted
+    // sums stay near zero whenever the data is tightly clustered.
+    shift_ = value;
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+  }
   samples_.push_back({timestamp, value});
-  sum_ += value;
-  sum_sq_ += value * value;
+  const double c = value - shift_;
+  sum_ += c;
+  sum_sq_ += c * c;
   evict(timestamp);
-  if (++ops_since_resync_ >= kResyncInterval) resync();
+  ++ops_since_resync_;
+  maybe_resync();
 }
 
-void WindowedMoments::advance(double now) { evict(now); }
+void WindowedMoments::advance(double now) {
+  evict(now);
+  // Eviction churn drifts the incremental sums exactly like insertion does;
+  // an advance()-heavy idle node must hit the resync threshold too.
+  maybe_resync();
+}
 
 void WindowedMoments::evict(double now) {
   const double cutoff = now - window_;
   while (!samples_.empty() && samples_.front().t < cutoff) {
-    const double v = samples_.front().v;
-    sum_ -= v;
-    sum_sq_ -= v * v;
+    const double c = samples_.front().v - shift_;
+    sum_ -= c;
+    sum_sq_ -= c * c;
     samples_.pop_front();
     ++ops_since_resync_;
   }
+  if (samples_.empty()) {
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+  }
+}
+
+void WindowedMoments::maybe_resync() {
+  if (ops_since_resync_ >= kResyncInterval) resync();
 }
 
 void WindowedMoments::resync() {
+  // Re-pin the shift at the current window mean, then re-sum the shifted
+  // values exactly (Kahan): the subsequent incremental updates start from
+  // the best-conditioned representation possible.
+  util::KahanSum raw;
+  for (const auto& sample : samples_) raw.add(sample.v);
+  shift_ = samples_.empty()
+               ? 0.0
+               : raw.value() / static_cast<double>(samples_.size());
   util::KahanSum s;
   util::KahanSum s2;
   for (const auto& sample : samples_) {
-    s.add(sample.v);
-    s2.add(sample.v * sample.v);
+    const double c = sample.v - shift_;
+    s.add(c);
+    s2.add(c * c);
   }
   sum_ = s.value();
   sum_sq_ = s2.value();
@@ -52,7 +83,9 @@ void WindowedMoments::resync() {
 }
 
 double WindowedMoments::mean() const noexcept {
-  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  return samples_.empty()
+             ? 0.0
+             : shift_ + sum_ / static_cast<double>(samples_.size());
 }
 
 double WindowedMoments::variance() const noexcept {
@@ -68,11 +101,17 @@ RollingMoments::RollingMoments(std::size_t capacity) : capacity_(capacity) {
 }
 
 void RollingMoments::add(double value) {
+  if (window_.empty()) {
+    shift_ = value;
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+  }
   window_.push_back(value);
-  sum_ += value;
-  sum_sq_ += value * value;
+  const double c = value - shift_;
+  sum_ += c;
+  sum_sq_ += c * c;
   if (buffer_size_ == capacity_) {
-    const double old = window_.front();
+    const double old = window_.front() - shift_;
     window_.pop_front();
     sum_ -= old;
     sum_sq_ -= old * old;
@@ -83,11 +122,16 @@ void RollingMoments::add(double value) {
 }
 
 void RollingMoments::resync() {
+  util::KahanSum raw;
+  for (double v : window_) raw.add(v);
+  shift_ =
+      window_.empty() ? 0.0 : raw.value() / static_cast<double>(window_.size());
   util::KahanSum s;
   util::KahanSum s2;
   for (double v : window_) {
-    s.add(v);
-    s2.add(v * v);
+    const double c = v - shift_;
+    s.add(c);
+    s2.add(c * c);
   }
   sum_ = s.value();
   sum_sq_ = s2.value();
@@ -95,7 +139,8 @@ void RollingMoments::resync() {
 }
 
 double RollingMoments::mean() const noexcept {
-  return buffer_size_ == 0 ? 0.0 : sum_ / static_cast<double>(buffer_size_);
+  return buffer_size_ == 0 ? 0.0
+                           : shift_ + sum_ / static_cast<double>(buffer_size_);
 }
 
 double RollingMoments::variance() const noexcept {

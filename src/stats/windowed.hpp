@@ -6,6 +6,14 @@
 // variances and hence, the tail latency prediction, can be updated every
 // tens of milliseconds."  This module provides exactly that primitive:
 // count/mean/variance over the trailing time window, updatable per sample.
+//
+// Variance is computed on SHIFTED data: incremental sums are kept of
+// (v - shift) and (v - shift)^2 where `shift` is pinned near the window
+// mean at each resync.  The naive E[X^2] - E[X]^2 form cancels
+// catastrophically when mean >> stddev (millisecond-scale responses with
+// microsecond jitter silently clamp to zero variance, corrupting the GE
+// moment fit downstream); shifting makes the subtraction operate on
+// same-magnitude quantities.
 #pragma once
 
 #include <cstdint>
@@ -38,11 +46,15 @@ class WindowedMoments {
   };
 
   void evict(double now);
+  void maybe_resync();
 
   double window_;
   std::deque<Sample> samples_;
-  // Running sums maintained incrementally; re-synced periodically to bound
-  // floating point drift from the add/subtract pattern.
+  // Incremental sums of the shifted values (v - shift_) and their squares;
+  // re-synced periodically (and on every resync the shift is re-pinned to
+  // the current window mean) to bound floating point drift from the
+  // add/subtract pattern.
+  double shift_ = 0.0;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
   std::uint64_t ops_since_resync_ = 0;
@@ -66,6 +78,8 @@ class RollingMoments {
   std::size_t capacity_;
   std::deque<double> window_;
   std::size_t buffer_size_ = 0;
+  // Shifted-data sums, as in WindowedMoments.
+  double shift_ = 0.0;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
   std::uint64_t ops_since_resync_ = 0;

@@ -99,9 +99,17 @@ class Rng {
 
   /// Derive a deterministic child stream; children with distinct indices are
   /// independent of the parent and of each other.
+  ///
+  /// The child seed is a two-step SplitMix64 hash of the (seed, index) pair:
+  /// the first step avalanches the stream index, the second absorbs the
+  /// parent seed.  Each step is a bijection, so all children of one parent
+  /// are distinct, and — unlike the previous `seed ^ const*(index+1)`
+  /// derivation — no linear relation lets two different (seed, index) pairs
+  /// collide or a child coincide with its parent's raw seed.
   Rng split(std::uint64_t stream_index) const noexcept {
-    SplitMix64 sm(seed_ ^ (0x9e3779b97f4a7c15ULL * (stream_index + 1)));
-    return Rng(sm.next());
+    SplitMix64 index_mix(stream_index);
+    SplitMix64 pair_mix(seed_ ^ index_mix.next());
+    return Rng(pair_mix.next());
   }
 
   std::uint64_t next_u64() noexcept { return engine_(); }

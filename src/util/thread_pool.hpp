@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,10 +29,15 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task.  Tasks must not throw; exceptions terminate.
+  /// Enqueue a task.  A task that throws does not terminate the process:
+  /// the first exception is captured and rethrown from the next
+  /// `wait_idle()` call; subsequent exceptions (until that rethrow) are
+  /// swallowed.
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have finished.
+  /// Block until all submitted tasks have finished.  If any task threw
+  /// since the last wait, rethrows the first captured exception (after the
+  /// pool has drained, so no submitted work is left running).
   void wait_idle();
 
  private:
@@ -44,10 +50,14 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 /// Run `fn(i)` for i in [begin, end) using the given pool, blocking until all
 /// iterations complete.  Iterations are chunked to limit queue overhead.
+/// If any iteration throws, the first exception is rethrown here once every
+/// chunk has finished (remaining iterations of the throwing chunk are
+/// skipped; other chunks still run to completion).
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
 

@@ -1,0 +1,140 @@
+// ParallelSweepRunner: determinism across thread counts, exception
+// surfacing, and slot-ordered collection.
+#include "sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "parallel_runner.hpp"
+
+namespace forktail::bench {
+namespace {
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.distributions = {"Exponential"};
+  spec.node_counts = {4, 8};
+  spec.loads = {0.5, 0.8};
+  return spec;
+}
+
+BenchOptions tiny_options(std::size_t threads) {
+  BenchOptions options;
+  options.scale = 0.01;  // floors at 2000 requests per cell
+  options.seed = 42;
+  options.threads = threads;
+  return options;
+}
+
+Predictor blackbox_predictor() {
+  return [](const dist::Distribution& /*service*/, double /*lambda*/,
+            const core::TaskStats& measured, double k, double percentile) {
+    return core::homogeneous_quantile(measured, k, percentile);
+  };
+}
+
+TEST(ParallelSweepRunner, MapPreservesIndexOrder) {
+  ParallelSweepRunner runner(4);
+  const auto out = runner.map<std::size_t>(
+      100, 1, [](std::size_t i, util::Rng&) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelSweepRunner, CellSeedsAreScheduleIndependent) {
+  // cell_seed is a pure function of (master seed, index) ...
+  EXPECT_EQ(ParallelSweepRunner::cell_seed(7, 3),
+            ParallelSweepRunner::cell_seed(7, 3));
+  // ... and distinct across indices and master seeds.
+  EXPECT_NE(ParallelSweepRunner::cell_seed(7, 3),
+            ParallelSweepRunner::cell_seed(7, 4));
+  EXPECT_NE(ParallelSweepRunner::cell_seed(7, 3),
+            ParallelSweepRunner::cell_seed(8, 3));
+}
+
+TEST(ParallelSweepRunner, ForEachRunsEveryCellOnce) {
+  ParallelSweepRunner runner(3);
+  std::vector<std::atomic<int>> hits(257);
+  runner.for_each(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelSweepRunner, ThrowingCellSurfacesException) {
+  ParallelSweepRunner runner(4);
+  EXPECT_THROW(
+      runner.for_each(16,
+                      [&](std::size_t i) {
+                        if (i == 7) throw std::runtime_error("cell 7 bad");
+                      }),
+      std::runtime_error);
+  // The runner stays usable after a failed sweep.
+  std::atomic<int> ok{0};
+  runner.for_each(8, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ErrorSweep, TableIsByteIdenticalAcrossThreadCounts) {
+  const SweepSpec spec = tiny_spec();
+  const auto serial =
+      error_sweep_table(spec, blackbox_predictor(), tiny_options(1));
+  const auto parallel =
+      error_sweep_table(spec, blackbox_predictor(), tiny_options(4));
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+  EXPECT_EQ(serial.to_text(), parallel.to_text());
+}
+
+TEST(ErrorSweep, ReplicatedTableIsByteIdenticalAcrossThreadCounts) {
+  SweepSpec spec = tiny_spec();
+  spec.node_counts = {4};
+  spec.replicas = 3;
+  const auto serial =
+      error_sweep_table(spec, blackbox_predictor(), tiny_options(1));
+  const auto parallel =
+      error_sweep_table(spec, blackbox_predictor(), tiny_options(3));
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+  // replicas > 1 adds mean/spread columns.
+  EXPECT_EQ(serial.num_columns(), 8u);
+  EXPECT_EQ(serial.num_rows(), spec.loads.size());
+}
+
+TEST(ErrorSweep, ReplicasUseDistinctStreams) {
+  SweepSpec spec = tiny_spec();
+  spec.distributions = {"Exponential"};
+  spec.node_counts = {4};
+  spec.loads = {0.5};
+  spec.replicas = 2;
+  // With two replicas the spread column must be positive: the replicas ran
+  // with different RNG streams, so their measured p99s differ.
+  const auto table =
+      error_sweep_table(spec, blackbox_predictor(), tiny_options(2));
+  const std::string csv = table.to_csv();
+  // Row format: dist,nodes,load%,sim,sim_sd,pred,err,err_sd -- grab sim_sd.
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream row(csv.substr(csv.find('\n') + 1));
+  while (std::getline(row, cell, ',')) cells.push_back(cell);
+  ASSERT_EQ(cells.size(), 8u);
+  EXPECT_GT(std::stod(cells[4]), 0.0);
+}
+
+TEST(ErrorSweep, UnknownDistributionFailsTheSweepWithoutAborting) {
+  SweepSpec spec = tiny_spec();
+  spec.distributions = {"NoSuchDistribution"};
+  EXPECT_THROW(
+      error_sweep_table(spec, blackbox_predictor(), tiny_options(4)),
+      std::exception);
+  EXPECT_THROW(
+      error_sweep_table(spec, blackbox_predictor(), tiny_options(1)),
+      std::exception);
+}
+
+}  // namespace
+}  // namespace forktail::bench

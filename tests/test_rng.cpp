@@ -4,7 +4,9 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 namespace forktail::util {
 namespace {
@@ -42,6 +44,59 @@ TEST(Rng, SplitStreamsDiffer) {
   Rng parent(99);
   Rng a = parent.split(0);
   Rng b = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SiblingStreamsHaveDistinctPrefixes) {
+  Rng parent(0xdeadbeefULL);
+  // Every pair of siblings over a block of indices must diverge immediately.
+  constexpr int kStreams = 16;
+  constexpr int kPrefix = 32;
+  std::vector<std::array<std::uint64_t, kPrefix>> prefixes(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    Rng child = parent.split(static_cast<std::uint64_t>(s));
+    for (auto& word : prefixes[static_cast<std::size_t>(s)]) word = child.next_u64();
+  }
+  for (int a = 0; a < kStreams; ++a) {
+    for (int b = a + 1; b < kStreams; ++b) {
+      int equal = 0;
+      for (int i = 0; i < kPrefix; ++i) {
+        if (prefixes[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)] ==
+            prefixes[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)]) {
+          ++equal;
+        }
+      }
+      EXPECT_EQ(equal, 0) << "streams " << a << " and " << b << " overlap";
+    }
+  }
+}
+
+TEST(Rng, ParentAndChildStreamsHaveDistinctPrefixes) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 0x9e3779b97f4a7c15ULL}) {
+    Rng parent(seed);
+    Rng child = parent.split(0);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (parent.next_u64() == child.next_u64()) ++equal;
+    }
+    EXPECT_EQ(equal, 0) << "parent/child overlap for seed " << seed;
+  }
+}
+
+TEST(Rng, SplitResistsCrossSeedCollisions) {
+  // Under the old `seed ^ const*(index+1)` derivation these (seed, index)
+  // pairs produced the SAME child seed; the two-step hash must not.
+  constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t seed1 = 123;
+  const std::uint64_t i1 = 4;
+  const std::uint64_t i2 = 9;
+  const std::uint64_t seed2 = seed1 ^ (kGamma * (i1 + 1)) ^ (kGamma * (i2 + 1));
+  Rng a = Rng(seed1).split(i1);
+  Rng b = Rng(seed2).split(i2);
   int equal = 0;
   for (int i = 0; i < 64; ++i) {
     if (a.next_u64() == b.next_u64()) ++equal;

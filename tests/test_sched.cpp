@@ -39,12 +39,14 @@ TEST(ClosedLoop, AchievableSloAdmitsMostAndRarelyViolates) {
   // construction sit where half the instantaneous predictions cross it, so
   // heavy rejection there is correct controller behaviour, not a bug.)
   ClosedLoopConfig probe = base_config();
+  probe.num_requests = 150000;  // the 1% bound needs a tight p99 calibration
   probe.slo = {99.0, 1e9};
   probe.admission_enabled = false;
   const auto baseline = run_closed_loop(probe);
   const double p99 = stats::percentile(baseline.admitted_responses, 99.0);
 
   ClosedLoopConfig cfg = base_config();
+  cfg.num_requests = 150000;
   cfg.slo = {99.0, 1.5 * p99};
   const auto r = run_closed_loop(cfg);
   EXPECT_GT(r.admit_rate, 0.9);

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace forktail::util {
@@ -28,6 +30,51 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
 TEST(ThreadPool, SizeMatchesRequest) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ThrowingTaskIsRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "task failed");
+  }
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndOtherTasksStillRun) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.submit([] { throw std::logic_error("boom"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, UsableAfterRethrow) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("once"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool keeps working and the next wait is clean.
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesIterationException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 1000,
+                            [](std::size_t i) {
+                              if (i == 500) throw std::runtime_error("bad i");
+                            }),
+               std::runtime_error);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {

@@ -62,6 +62,71 @@ TEST(WindowedMoments, VarianceNonNegativeUnderChurn) {
   }
 }
 
+TEST(WindowedMoments, LargeOffsetVarianceSurvivesCancellation) {
+  // mean ~ 1e9, stddev ~ 1: the naive E[X^2] - E[X]^2 form loses all 16
+  // significant digits and clamps to zero; the shifted-data form is exact.
+  WindowedMoments w(1e12);
+  const double offset = 1e9;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    w.add(static_cast<double>(i), offset + ((i % 2 == 0) ? -1.0 : 1.0));
+  }
+  EXPECT_NEAR(w.mean(), offset, 1e-3);
+  EXPECT_NEAR(w.variance(), 1.0, 1e-9);
+}
+
+TEST(WindowedMoments, LargeOffsetVarianceAfterEvictionChurn) {
+  WindowedMoments w(100.0);
+  const double offset = 1e9;
+  util::Rng rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    w.add(static_cast<double>(i), offset + rng.normal(0.0, 1.0));
+  }
+  // Window holds the trailing 100 samples of N(offset, 1).
+  EXPECT_NEAR(w.mean(), offset, 1.0);
+  EXPECT_GT(w.variance(), 0.3);
+  EXPECT_LT(w.variance(), 3.0);
+}
+
+TEST(WindowedMoments, AdvanceHeavyChurnStaysAccurate) {
+  // An advance()-heavy idle phase must hit the resync threshold too: every
+  // eviction counts as an incremental op even when no sample is added.
+  WindowedMoments w(10.0);
+  const double offset = 1e9;
+  util::Rng rng(12);
+  double t = 0.0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      t += 0.001;
+      w.add(t, offset + rng.normal(0.0, 1.0));
+    }
+    // Idle: drain the whole window one advance at a time.
+    for (int i = 0; i < 2200; ++i) {
+      t += 0.01;
+      w.advance(t);
+      ASSERT_GE(w.variance(), 0.0);
+    }
+    EXPECT_EQ(w.count(), 0u);
+  }
+  for (int i = 0; i < 500; ++i) {
+    t += 0.001;
+    w.add(t, offset + rng.normal(0.0, 1.0));
+  }
+  EXPECT_NEAR(w.mean(), offset, 1.0);
+  EXPECT_GT(w.variance(), 0.3);
+  EXPECT_LT(w.variance(), 3.0);
+}
+
+TEST(RollingMoments, LargeOffsetVarianceSurvivesCancellation) {
+  RollingMoments r(1024);
+  const double offset = 1e9;
+  for (int i = 0; i < 4096; ++i) {
+    r.add(offset + ((i % 2 == 0) ? -1.0 : 1.0));
+  }
+  EXPECT_NEAR(r.mean(), offset, 1e-3);
+  EXPECT_NEAR(r.variance(), 1.0, 1e-9);
+}
+
 TEST(RollingMoments, KeepsExactlyCapacity) {
   RollingMoments r(3);
   for (double x : {1.0, 2.0, 3.0, 4.0}) r.add(x);

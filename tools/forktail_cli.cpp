@@ -9,6 +9,8 @@
 //   forktail pipeline --stage retrieval:4.1:80:64 --stage rank:2.2:9:16
 //   forktail budget   --slo-latency 200 --slo-p 99 --k 100 [--scv 1.0]
 //   forktail samples  --mean 42 --variance 1764 --k 100 --precision 0.05
+//   forktail sweep    --dists Exponential,Weibull --node-counts 10,100
+//                     --loads 0.5,0.9 --replicas 3 --threads 4
 //
 // All times are in whatever unit the inputs use; the tool is unit-agnostic.
 #include <cstdio>
@@ -18,19 +20,26 @@
 #include <vector>
 
 #include "core/forktail.hpp"
+#include "sweep.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
 using namespace forktail;
 
-std::vector<double> parse_percentiles(const std::string& text) {
-  std::vector<double> ps;
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> items;
   std::istringstream is(text);
   std::string item;
   while (std::getline(is, item, ',')) {
-    ps.push_back(std::stod(item));
+    if (!item.empty()) items.push_back(item);
   }
+  return items;
+}
+
+std::vector<double> parse_percentiles(const std::string& text) {
+  std::vector<double> ps;
+  for (const auto& item : split_list(text)) ps.push_back(std::stod(item));
   if (ps.empty()) throw std::invalid_argument("no percentiles given");
   return ps;
 }
@@ -205,6 +214,51 @@ int cmd_samples(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_sweep(int argc, const char* const* argv) {
+  // Simulation-backed error sweep (the Figure 5 black-box pipeline) over a
+  // user-chosen (distribution x N x load) grid, parallelized across grid
+  // cells; `--threads` changes wall-clock only, never the table.
+  util::CliFlags flags;
+  flags.declare("dists", "Exponential,Weibull",
+                "comma-separated service distributions");
+  flags.declare("node-counts", "10,100",
+                "comma-separated fork-node counts (k = N)");
+  flags.declare("loads", "0.5,0.8", "comma-separated per-server loads in (0,1)");
+  flags.declare("replicas", "1", "independent sim replications per cell");
+  flags.declare("percentile", "99", "target percentile");
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, flags, options)) return 0;
+
+  bench::SweepSpec spec;
+  spec.distributions = split_list(flags.get_string("dists"));
+  spec.node_counts.clear();
+  for (const auto& n : split_list(flags.get_string("node-counts"))) {
+    spec.node_counts.push_back(static_cast<std::size_t>(std::stoull(n)));
+  }
+  spec.loads.clear();
+  for (const auto& l : split_list(flags.get_string("loads"))) {
+    spec.loads.push_back(std::stod(l));
+  }
+  if (spec.distributions.empty() || spec.node_counts.empty() ||
+      spec.loads.empty()) {
+    throw std::invalid_argument("sweep: empty --dists/--node-counts/--loads");
+  }
+  spec.replicas = static_cast<int>(flags.get_int("replicas"));
+  spec.percentile = flags.get_double("percentile");
+
+  bench::print_banner("sweep",
+                      "Black-box k = N error sweep (Eq. 13 predictor)",
+                      options);
+  bench::run_error_sweep(
+      spec,
+      [](const dist::Distribution& /*service*/, double /*lambda*/,
+         const core::TaskStats& measured, double k, double percentile) {
+        return core::homogeneous_quantile(measured, k, percentile);
+      },
+      options);
+  return 0;
+}
+
 void usage() {
   std::fputs(
       "usage: forktail <command> [flags]\n"
@@ -215,6 +269,8 @@ void usage() {
       "  pipeline  multi-stage workflow (--stage name:mean:var:k, repeat)\n"
       "  budget    SLO -> per-task performance budget (Section 6)\n"
       "  samples   measurement window size for a precision target\n"
+      "  sweep     simulation-backed error sweep over a (dist, N, load)\n"
+      "            grid; --threads parallelizes cells deterministically\n"
       "run `forktail <command> --help` for the command's flags\n",
       stderr);
 }
@@ -233,6 +289,7 @@ int main(int argc, char** argv) {
     if (command == "pipeline") return cmd_pipeline(argc - 1, argv + 1);
     if (command == "budget") return cmd_budget(argc - 1, argv + 1);
     if (command == "samples") return cmd_samples(argc - 1, argv + 1);
+    if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     usage();
     return 2;
