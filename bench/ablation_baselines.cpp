@@ -43,8 +43,8 @@ int main(int argc, char** argv) {
           bench::scaled(50000, options.scale * bench::load_boost(load));
       cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
       cfg.seed = options.seed;
-      const auto sim = fjsim::run_homogeneous(cfg);
-      const double measured = stats::percentile(sim.responses, 99.0);
+      auto sim = fjsim::run_homogeneous(cfg);
+      const double measured = stats::percentile_inplace(sim.responses, 99.0);
       const core::TaskStats stats{sim.task_stats.mean(),
                                   sim.task_stats.variance()};
       const double expfit =

@@ -1,0 +1,40 @@
+// Batched-vs-scalar replay throughput benchmark (see replay_bench.hpp and
+// docs/performance.md).
+//
+//   bench_replay [--scale smoke|default|full] [--seed N] [--reps N]
+//                [--threads N] [--csv true] [--out BENCH_replay.json]
+//
+// --threads here bounds the fjsim node-replay parallelism; it defaults to
+// single-threaded so the tracked throughput numbers are not a function of
+// the machine's core count.
+#include <stdexcept>
+
+#include "common.hpp"
+#include "replay_bench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace forktail;
+  util::CliFlags flags;
+  flags.declare("reps", "5", "timed repetitions per (workload, path)");
+  flags.declare("out", "BENCH_replay.json",
+                "output JSON path (empty disables the file)");
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, flags, options)) return 0;
+
+  bench::ReplayBenchOptions replay;
+  replay.scale = options.scale;
+  replay.scale_name = flags.get_string("scale");
+  replay.seed = options.seed;
+  replay.csv = options.csv;
+  const auto reps = flags.get_int("reps");
+  if (reps < 1) throw std::invalid_argument("--reps must be >= 1");
+  replay.reps = static_cast<std::size_t>(reps);
+  replay.threads = options.threads == 0 ? 1 : options.threads;
+  replay.out = flags.get_string("out");
+
+  bench::print_banner("bench_replay",
+                      "Batched replay engine: throughput vs the scalar "
+                      "reference path",
+                      options);
+  return bench::run_replay_bench(replay);
+}

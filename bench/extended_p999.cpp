@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
             options.scale * bench::load_boost(load));
         cfg.warmup_fraction = 0.3;
         cfg.seed = options.seed;
-        const auto sim = fjsim::run_homogeneous(cfg);
-        const double measured = stats::percentile(sim.responses, 99.9);
+        auto sim = fjsim::run_homogeneous(cfg);
+        const double measured = stats::percentile_inplace(sim.responses, 99.9);
         const double predicted = core::homogeneous_quantile(
             {sim.task_stats.mean(), sim.task_stats.variance()},
             static_cast<double>(nodes), 99.9);

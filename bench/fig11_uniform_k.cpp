@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
             bench::scaled(15000, options.scale * bench::load_boost(load));
         cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
         cfg.seed = rng.next_u64();
-        const auto sim = fjsim::run_subset(cfg);
-        const double measured = stats::percentile(sim.responses, 99.0);
+        auto sim = fjsim::run_subset(cfg);
+        const double measured = stats::percentile_inplace(sim.responses, 99.0);
         const double predicted = core::mixture_quantile(
             {sim.task_stats.mean(), sim.task_stats.variance()}, mixture, 99.0);
         return {measured, predicted};

@@ -82,8 +82,8 @@ int main(int argc, char** argv) {
         cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.2;
         cfg.seed = rng.next_u64();
         cfg.service_floor = service_floor;
-        const auto sim = fjsim::run_consolidated(cfg);
-        const double measured = stats::percentile(sim.target_responses, 99.0);
+        auto sim = fjsim::run_consolidated(cfg);
+        const double measured = stats::percentile_inplace(sim.target_responses, 99.0);
         // Black-box prediction from the target application's own measured
         // task moments (Eq. 13; the target k is fixed per mode).
         const double predicted = core::homogeneous_quantile(

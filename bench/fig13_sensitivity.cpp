@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
         cfg.warmup_fraction = load >= 0.92 ? 0.35 : 0.3;
         cfg.seed = rng.next_u64();
         cfg.max_parallelism = 1;
-        const auto sim = fjsim::run_homogeneous(cfg);
-        return {stats::percentile(sim.responses, 99.0),
+        auto sim = fjsim::run_homogeneous(cfg);
+        return {stats::percentile_inplace(sim.responses, 99.0),
                 core::homogeneous_quantile(
                     {sim.task_stats.mean(), sim.task_stats.variance()}, 1000.0,
                     99.0)};

@@ -60,8 +60,8 @@ int main(int argc, char** argv) {
         cfg.num_requests = samples_for(nodes, load, options.scale);
         cfg.warmup_fraction = 0.25;
         cfg.seed = options.seed;
-        const auto sim = fjsim::run_homogeneous(cfg);
-        const double measured = stats::percentile(sim.responses, 99.0);
+        auto sim = fjsim::run_homogeneous(cfg);
+        const double measured = stats::percentile_inplace(sim.responses, 99.0);
 
         util::Stopwatch ft_watch;
         const double forktail = core::whitebox_mg1_quantile(

@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
             bench::scaled(40000, options.scale * bench::load_boost(rho));
         cfg.warmup_fraction = rho >= 0.9 ? 0.3 : 0.25;
         cfg.seed = options.seed;
-        const auto r = fjsim::run_heterogeneous(cfg);
-        const double measured = stats::percentile(r.responses, 99.0);
+        auto r = fjsim::run_heterogeneous(cfg);
+        const double measured = stats::percentile_inplace(r.responses, 99.0);
 
         std::vector<core::TaskStats> per_node;
         stats::Welford pooled;

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
           bench::scaled(40000, options.scale * bench::load_boost(load));
       cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
       cfg.seed = options.seed;
-      const auto sim = fjsim::run_pipeline(cfg);
+      auto sim = fjsim::run_pipeline(cfg);
 
       std::vector<core::StageSpec> specs;
       for (std::size_t s = 0; s < wf.stages.size(); ++s) {
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
                          static_cast<double>(wf.stages[s].num_nodes)});
       }
       const core::PipelinePredictor predictor(specs);
-      const double measured = stats::percentile(sim.responses, 99.0);
+      const double measured = stats::percentile_inplace(sim.responses, 99.0);
       const double predicted = predictor.quantile(99.0);
       table.row()
           .str(wf.name)

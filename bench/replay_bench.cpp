@@ -1,0 +1,366 @@
+#include "replay_bench.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "common.hpp"
+#include "dist/factory.hpp"
+#include "fjsim/heterogeneous.hpp"
+#include "fjsim/homogeneous.hpp"
+#include "fjsim/pipeline.hpp"
+#include "fjsim/replay.hpp"
+#include "fjsim/subset.hpp"
+#include "stats/percentile.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace forktail::bench {
+
+namespace {
+
+/// Which replay pipeline a run exercises.  The benchmark compares the two
+/// end to end, because that is what the batched-engine work changed:
+///  * kScalar  -- the pre-change pipeline: one virtual sample() per task,
+///    tail quantiles via copy + full sort (stats::percentiles).
+///  * kBatched -- the batched pipeline: fused/block demand draws, tail
+///    quantiles via partitioned selection (stats::percentiles_inplace).
+/// Both must produce bit-identical quantiles (asserted per run).
+enum class Path { kScalar, kBatched };
+
+/// One simulation run of a workload through one pipeline.
+struct RunOutcome {
+  double seconds = 0.0;
+  std::uint64_t tasks = 0;
+  std::array<double, 3> tail{};  ///< p50/p95/p99 responses -- the cross-check
+};
+
+struct Workload {
+  std::string name;
+  std::string kind;
+  std::function<RunOutcome(Path path)> run;
+};
+
+/// Tail extraction, included in the timed window: the scalar pipeline pays
+/// the pre-change copy + O(n log n) sort, the batched pipeline the
+/// multi-percentile nth_element selection.  Bit-identical by construction
+/// (test_percentile.cpp) -- the cross-check asserts it per workload.
+std::array<double, 3> tail_percentiles(Path path,
+                                       std::vector<double>& responses) {
+  static constexpr std::array<double, 3> kPs{50.0, 95.0, 99.0};
+  const auto q = path == Path::kScalar
+                     ? stats::percentiles(responses, kPs)
+                     : stats::percentiles_inplace(responses, kPs);
+  return {q[0], q[1], q[2]};
+}
+
+std::size_t batch_for(Path path) {
+  return path == Path::kScalar ? 1 : 0;  // 0 = default block size
+}
+
+/// Timing summary of one (workload, path): per-rep task throughput.
+struct PathResult {
+  double p99 = 0.0;
+  std::uint64_t tasks = 0;
+  double rate_p50 = 0.0;  ///< tasks/sec, median of reps
+  double rate_p95 = 0.0;
+  double seconds_p50 = 0.0;
+};
+
+std::uint64_t warmup_requests(double warmup_fraction, std::uint64_t requests) {
+  return static_cast<std::uint64_t>(warmup_fraction / (1.0 - warmup_fraction) *
+                                    static_cast<double>(requests));
+}
+
+/// Accumulates interleaved reps of one (workload, path).
+class PathAccumulator {
+ public:
+  PathAccumulator(const Workload& w, Path path, std::size_t reps)
+      : workload_(&w), path_(path) {
+    rates_.reserve(reps);
+    seconds_.reserve(reps);
+    warm_ = w.run(path);  // warm-up: untimed discard
+  }
+
+  void rep() {
+    const RunOutcome o = workload_->run(path_);
+    if (o.tail != warm_.tail) {
+      throw std::logic_error("replay_bench: " + workload_->name +
+                             " is not deterministic across repetitions");
+    }
+    rates_.push_back(static_cast<double>(o.tasks) / o.seconds);
+    seconds_.push_back(o.seconds);
+  }
+
+  const RunOutcome& warm() const { return warm_; }
+
+  PathResult finish() {
+    PathResult out;
+    out.p99 = warm_.tail[2];
+    out.tasks = warm_.tasks;
+    const std::array<double, 2> ps{50.0, 95.0};
+    const auto rq = stats::percentiles_inplace(rates_, ps);
+    out.rate_p50 = rq[0];
+    out.rate_p95 = rq[1];
+    out.seconds_p50 = stats::percentile_inplace(seconds_, 50.0);
+    return out;
+  }
+
+ private:
+  const Workload* workload_;
+  Path path_;
+  RunOutcome warm_;
+  std::vector<double> rates_;
+  std::vector<double> seconds_;
+};
+
+long peak_rss_kib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return usage.ru_maxrss / 1024;  // bytes on macOS
+#else
+    return usage.ru_maxrss;  // KiB on Linux
+#endif
+  }
+#endif
+  return -1;
+}
+
+std::string json_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::vector<Workload> build_workloads(const ReplayBenchOptions& options) {
+  const double scale = options.scale;
+  const std::uint64_t seed = options.seed;
+  const std::size_t threads = options.threads;
+
+  const auto homogeneous = [=](std::string name, const std::string& dist_name,
+                               std::size_t nodes, double load, int replicas,
+                               fjsim::Policy policy, std::uint64_t base_reqs) {
+    auto run = [=](Path path) {
+      fjsim::HomogeneousConfig cfg;
+      cfg.num_nodes = nodes;
+      cfg.replicas = replicas;
+      cfg.policy = policy;
+      cfg.service = dist::make_named(dist_name);
+      cfg.load = load;
+      cfg.num_requests = scaled(base_reqs, scale);
+      // Relaxation to steady state slows like (1 - load)^-2, so the
+      // high-load rows discard a larger warm-up prefix before measuring.
+      if (load >= 0.9) cfg.warmup_fraction = 1.0 / 3.0;
+      cfg.seed = seed;
+      cfg.max_parallelism = threads;
+      cfg.batch = batch_for(path);
+      util::Stopwatch watch;
+      auto sim = fjsim::run_homogeneous(cfg);
+      const auto tail = tail_percentiles(path, sim.responses);
+      const double seconds = watch.elapsed_seconds();
+      return RunOutcome{seconds, sim.total_tasks, tail};
+    };
+    return Workload{std::move(name), "homogeneous", std::move(run)};
+  };
+
+  std::vector<Workload> workloads;
+  // The acceptance workload: the ISSUE's >= 1.5x speedup target is measured
+  // on this row.  1M retained requests per run is the top of the paper's
+  // regime for stable p99 estimates (Section 5 uses 1e5..1e6 samples per
+  // point); at this size the tail-extraction term (full sort pre-change vs
+  // multi-percentile selection now) is a visible part of the pipeline.
+  workloads.push_back(homogeneous("homog-exp-n32-load90", "Exponential", 32,
+                                  0.90, 1, fjsim::Policy::kSingle, 1000000));
+  workloads.push_back(homogeneous("homog-weibull-n100-load80", "Weibull", 100,
+                                  0.80, 1, fjsim::Policy::kSingle, 20000));
+  workloads.push_back(homogeneous("homog-rr-n16-r3-load85", "Exponential", 16,
+                                  0.85, 3, fjsim::Policy::kRoundRobin, 30000));
+
+  workloads.push_back(Workload{
+      "hetero-mixed-n64", "heterogeneous", [=](Path path) {
+        fjsim::HeterogeneousConfig cfg;
+        const auto names = dist::named_distributions();
+        for (std::size_t n = 0; n < 64; ++n) {
+          cfg.services.push_back(dist::make_named(names[n % names.size()]));
+        }
+        cfg.lambda = fjsim::lambda_for_max_load(cfg.services, 0.85);
+        cfg.num_requests = scaled(20000, scale);
+        cfg.seed = seed;
+        cfg.max_parallelism = threads;
+        cfg.batch = batch_for(path);
+        const std::uint64_t tasks =
+            (warmup_requests(cfg.warmup_fraction, cfg.num_requests) +
+             cfg.num_requests) *
+            cfg.services.size();
+        util::Stopwatch watch;
+        auto sim = fjsim::run_heterogeneous(cfg);
+        const auto tail = tail_percentiles(path, sim.responses);
+        const double seconds = watch.elapsed_seconds();
+        return RunOutcome{seconds, tasks, tail};
+      }});
+
+  workloads.push_back(Workload{
+      "subset-n100-k16-load80", "subset", [=](Path path) {
+        fjsim::SubsetConfig cfg;
+        cfg.num_nodes = 100;
+        cfg.k_fixed = 16;
+        cfg.service = dist::make_named("Exponential");
+        cfg.load = 0.80;
+        cfg.num_requests = scaled(30000, scale);
+        cfg.seed = seed;
+        cfg.batch = batch_for(path);
+        util::Stopwatch watch;
+        auto sim = fjsim::run_subset(cfg);
+        const auto tail = tail_percentiles(path, sim.responses);
+        const double seconds = watch.elapsed_seconds();
+        return RunOutcome{seconds, sim.total_tasks, tail};
+      }});
+
+  workloads.push_back(Workload{
+      "pipeline-3stage-load80", "pipeline", [=](Path path) {
+        fjsim::PipelineConfig cfg;
+        cfg.stages.push_back({16, dist::make_named("Exponential")});
+        cfg.stages.push_back({8, dist::make_named("Erlang-2")});
+        cfg.stages.push_back({4, dist::make_named("HyperExp2")});
+        cfg.load = 0.80;
+        cfg.num_requests = scaled(20000, scale);
+        cfg.seed = seed;
+        cfg.batch = batch_for(path);
+        std::uint64_t nodes = 0;
+        for (const auto& s : cfg.stages) nodes += s.num_nodes;
+        const std::uint64_t tasks =
+            (warmup_requests(cfg.warmup_fraction, cfg.num_requests) +
+             cfg.num_requests) *
+            nodes;
+        util::Stopwatch watch;
+        auto sim = fjsim::run_pipeline(cfg);
+        const auto tail = tail_percentiles(path, sim.responses);
+        const double seconds = watch.elapsed_seconds();
+        return RunOutcome{seconds, tasks, tail};
+      }});
+  return workloads;
+}
+
+struct WorkloadResult {
+  const Workload* workload = nullptr;
+  PathResult scalar;
+  PathResult batched;
+  bool identical = false;
+  double speedup() const { return batched.rate_p50 / scalar.rate_p50; }
+};
+
+void write_json(const std::string& path, const ReplayBenchOptions& options,
+                const std::vector<WorkloadResult>& results) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("replay_bench: cannot write " + path);
+  os << "{\n";
+  os << "  \"benchmark\": \"bench_replay\",\n";
+  os << "  \"scale\": \"" << options.scale_name << "\",\n";
+  os << "  \"seed\": " << options.seed << ",\n";
+  os << "  \"reps\": " << options.reps << ",\n";
+  os << "  \"threads\": " << options.threads << ",\n";
+  os << "  \"default_batch\": " << fjsim::kDefaultReplayBatch << ",\n";
+  os << "  \"scalar_pipeline\": \"per-task virtual sample() + sort-based "
+        "percentiles (pre-change)\",\n";
+  os << "  \"batched_pipeline\": \"fused/block demand draws + selection-based "
+        "percentiles\",\n";
+  os << "  \"peak_rss_kib\": " << peak_rss_kib() << ",\n";
+  os << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    const auto path_json = [&](const char* label, const PathResult& p) {
+      os << "      \"" << label << "\": {\n";
+      os << "        \"seconds_p50\": " << json_num(p.seconds_p50) << ",\n";
+      os << "        \"tasks_per_sec_p50\": " << json_num(p.rate_p50) << ",\n";
+      os << "        \"tasks_per_sec_p95\": " << json_num(p.rate_p95) << "\n";
+      os << "      }";
+    };
+    os << "    {\n";
+    os << "      \"name\": \"" << r.workload->name << "\",\n";
+    os << "      \"kind\": \"" << r.workload->kind << "\",\n";
+    os << "      \"tasks_per_run\": " << r.scalar.tasks << ",\n";
+    os << "      \"p99_response\": " << json_num(r.scalar.p99) << ",\n";
+    os << "      \"paths_identical\": " << (r.identical ? "true" : "false")
+       << ",\n";
+    path_json("scalar", r.scalar);
+    os << ",\n";
+    path_json("batched", r.batched);
+    os << ",\n";
+    os << "      \"speedup_p50\": " << json_num(r.speedup()) << "\n";
+    os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int run_replay_bench(const ReplayBenchOptions& options) {
+  if (options.reps == 0) {
+    throw std::invalid_argument("replay_bench: --reps must be >= 1");
+  }
+  const auto workloads = build_workloads(options);
+
+  std::vector<WorkloadResult> results;
+  results.reserve(workloads.size());
+  bool all_identical = true;
+  for (const Workload& w : workloads) {
+    WorkloadResult r;
+    r.workload = &w;
+    PathAccumulator scalar(w, Path::kScalar, options.reps);
+    PathAccumulator batched(w, Path::kBatched, options.reps);
+    // Interleave the reps so slow clock / turbo drift hits both paths
+    // equally: the speedup is a ratio of medians over the same window.
+    for (std::size_t rep = 0; rep < options.reps; ++rep) {
+      scalar.rep();
+      batched.rep();
+    }
+    // Bitwise cross-check: the batched pipeline must reproduce the scalar
+    // pipeline's tail quantiles exactly (== on the doubles, no tolerance).
+    r.identical = scalar.warm().tail == batched.warm().tail;
+    r.scalar = scalar.finish();
+    r.batched = batched.finish();
+    all_identical = all_identical && r.identical;
+    results.push_back(r);
+  }
+
+  util::Table table({"workload", "tasks/run", "scalar_Mt/s", "batched_Mt/s",
+                     "speedup", "identical"});
+  for (const WorkloadResult& r : results) {
+    table.row()
+        .str(r.workload->name)
+        .integer(static_cast<long long>(r.scalar.tasks))
+        .num(r.scalar.rate_p50 / 1e6, 2)
+        .num(r.batched.rate_p50 / 1e6, 2)
+        .num(r.speedup(), 2)
+        .str(r.identical ? "yes" : "NO");
+  }
+  BenchOptions print_options;
+  print_options.csv = options.csv;
+  emit(table, print_options);
+
+  if (!options.out.empty()) {
+    write_json(options.out, options, results);
+    std::printf("wrote %s (peak RSS %ld KiB)\n", options.out.c_str(),
+                peak_rss_kib());
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "replay_bench: batched path diverged from the scalar "
+                 "reference -- determinism regression\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace forktail::bench

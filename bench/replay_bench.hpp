@@ -1,0 +1,37 @@
+// Self-timing benchmark for the batched replay engine.
+//
+// Runs a fixed roster of fork-join replay workloads twice each -- once on
+// the scalar reference path (batch = 1, the pre-batching code) and once on
+// the batched path (batch = 0, the default block size) -- with one warm-up
+// run plus `reps` timed repetitions per path, and reports task throughput
+// per path plus the batched/scalar speedup.  Because both paths are
+// bit-identical by contract, the engine also cross-validates them: the p99
+// of the measured responses must compare EQUAL (==, not approximately)
+// between the two paths, or the run fails.
+//
+// Results go to stdout as a table and to a JSON file (BENCH_replay.json by
+// default) tracked in the repository as the performance baseline; see
+// docs/performance.md for how to read it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace forktail::bench {
+
+struct ReplayBenchOptions {
+  double scale = 1.0;        ///< sample-count multiplier (see --scale)
+  std::string scale_name = "default";
+  std::uint64_t seed = 1;
+  std::size_t reps = 5;      ///< timed repetitions per (workload, path)
+  std::size_t threads = 1;   ///< fjsim worker parallelism (0 = pool width)
+  bool csv = false;
+  /// Output JSON path; empty disables the file.
+  std::string out = "BENCH_replay.json";
+};
+
+/// Run the suite.  Returns 0 on success, 1 if any workload's scalar and
+/// batched p99 checksums differ (a determinism regression).
+int run_replay_bench(const ReplayBenchOptions& options);
+
+}  // namespace forktail::bench

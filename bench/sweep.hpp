@@ -107,10 +107,10 @@ inline util::Table error_sweep_table(const SweepSpec& spec,
         cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
         cfg.seed = rng.next_u64();
         cfg.max_parallelism = 1;  // cell-level parallelism only
-        const auto sim = fjsim::run_homogeneous(cfg);
+        auto sim = fjsim::run_homogeneous(cfg);
 
         CellOutcome out;
-        out.measured = stats::percentile(sim.responses, spec.percentile);
+        out.measured = stats::percentile_inplace(sim.responses, spec.percentile);
         const core::TaskStats task_stats{sim.task_stats.mean(),
                                          sim.task_stats.variance()};
         out.predicted =

@@ -36,8 +36,8 @@ int main(int argc, char** argv) {
                                        options.scale * bench::load_boost(0.9));
       cfg.warmup_fraction = 0.3;
       cfg.seed = options.seed;
-      const auto sim = fjsim::run_subset(cfg);
-      const double measured = stats::percentile(sim.responses, 99.0);
+      auto sim = fjsim::run_subset(cfg);
+      const double measured = stats::percentile_inplace(sim.responses, 99.0);
       const double predicted = core::homogeneous_quantile(
           {sim.task_stats.mean(), sim.task_stats.variance()},
           static_cast<double>(k), 99.0);

@@ -40,11 +40,8 @@ Erlang::Erlang(int stages, double mean)
   if (!(mean > 0.0)) throw std::invalid_argument("Erlang: mean must be > 0");
 }
 
-double Erlang::sample(util::Rng& rng) const {
-  // Product-of-uniforms trick: sum of k exponentials.
-  double prod = 1.0;
-  for (int i = 0; i < stages_; ++i) prod *= rng.uniform_pos();
-  return -std::log(prod) / stage_rate_;
+void Erlang::sample_n(util::Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = Erlang::sample(rng);  // devirtualized tight loop
 }
 
 double Erlang::moment(int k) const {
@@ -100,9 +97,8 @@ HyperExp2 HyperExp2::from_mean_scv(double mean, double scv) {
   return HyperExp2(p1, mu1, mu2);
 }
 
-double HyperExp2::sample(util::Rng& rng) const {
-  const double rate = rng.bernoulli(p1_) ? rate1_ : rate2_;
-  return rng.exponential(1.0 / rate);
+void HyperExp2::sample_n(util::Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = HyperExp2::sample(rng);
 }
 
 double HyperExp2::moment(int k) const {

@@ -2,6 +2,8 @@
 // Erlang-k, 2-phase hyperexponential, deterministic, uniform.
 #pragma once
 
+#include <cmath>
+
 #include "dist/distribution.hpp"
 
 namespace forktail::dist {
@@ -12,6 +14,9 @@ class Exponential final : public Distribution {
   explicit Exponential(double mean);
 
   double sample(util::Rng& rng) const override { return rng.exponential(mean_); }
+  void sample_n(util::Rng& rng, std::span<double> out) const override {
+    for (double& x : out) x = rng.exponential(mean_);
+  }
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "Exponential"; }
@@ -27,7 +32,15 @@ class Erlang final : public Distribution {
  public:
   Erlang(int stages, double mean);
 
-  double sample(util::Rng& rng) const override;
+  // Defined in the header so the replay fast path can inline it
+  // (see fjsim::LindleyState).
+  double sample(util::Rng& rng) const override {
+    // Product-of-uniforms trick: sum of k exponentials.
+    double prod = 1.0;
+    for (int i = 0; i < stages_; ++i) prod *= rng.uniform_pos();
+    return -std::log(prod) / stage_rate_;
+  }
+  void sample_n(util::Rng& rng, std::span<double> out) const override;
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override;
@@ -51,7 +64,11 @@ class HyperExp2 final : public Distribution {
   /// standard two-moment fit with p1*mu2 = p2*mu1 branch loads balanced.
   static HyperExp2 from_mean_scv(double mean, double scv);
 
-  double sample(util::Rng& rng) const override;
+  double sample(util::Rng& rng) const override {
+    const double rate = rng.bernoulli(p1_) ? rate1_ : rate2_;
+    return rng.exponential(1.0 / rate);
+  }
+  void sample_n(util::Rng& rng, std::span<double> out) const override;
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "HyperExp2"; }
@@ -74,6 +91,9 @@ class Deterministic final : public Distribution {
   explicit Deterministic(double value);
 
   double sample(util::Rng&) const override { return value_; }
+  void sample_n(util::Rng&, std::span<double> out) const override {
+    for (double& x : out) x = value_;
+  }
   double moment(int k) const override;
   double cdf(double x) const override { return x >= value_ ? 1.0 : 0.0; }
   std::string name() const override { return "Deterministic"; }
@@ -90,6 +110,9 @@ class UniformReal final : public Distribution {
   UniformReal(double lo, double hi);
 
   double sample(util::Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  void sample_n(util::Rng& rng, std::span<double> out) const override {
+    for (double& x : out) x = rng.uniform(lo_, hi_);
+  }
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "Uniform"; }

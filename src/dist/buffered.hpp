@@ -1,0 +1,46 @@
+// Pull-based prefetch buffer over Distribution::sample_n.
+//
+// Nodes that consume service demands one at a time at unpredictable points
+// (request-major subset replay, the event-driven redundant-issue node)
+// cannot batch at the replay-loop level; this adapter gives them the same
+// amortized-dispatch win by refilling a block of demands at once.  The
+// delivered sequence is exactly the sequence `dist->sample(rng)` would
+// produce, because refills draw from the same stream in the same order --
+// only the *timing* of the draws changes, and nothing else observes `rng`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace forktail::dist {
+
+class BufferedSampler {
+ public:
+  /// `capacity` <= 1 disables buffering (every `next()` is one virtual
+  /// `sample()` call -- the scalar reference path).  `dist` may be null
+  /// only if `next()` is never called.
+  BufferedSampler(const Distribution* dist, util::Rng rng,
+                  std::size_t capacity = 1)
+      : dist_(dist), rng_(rng), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  double next() {
+    if (capacity_ == 1) return dist_->sample(rng_);
+    if (pos_ == buffer_.size()) {
+      buffer_.resize(capacity_);
+      dist_->sample_n(rng_, buffer_);
+      pos_ = 0;
+    }
+    return buffer_[pos_++];
+  }
+
+ private:
+  const Distribution* dist_;
+  util::Rng rng_;
+  std::size_t capacity_;
+  std::vector<double> buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace forktail::dist

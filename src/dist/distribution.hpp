@@ -9,6 +9,7 @@
 #include <cmath>
 #include <complex>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -22,6 +23,18 @@ class Distribution {
 
   /// Draw one variate.
   virtual double sample(util::Rng& rng) const = 0;
+
+  /// Draw `out.size()` variates into `out`.
+  ///
+  /// Contract: the written values MUST be bit-identical to `out.size()`
+  /// successive `sample()` calls on an equal-state `rng` (the replay
+  /// simulators rely on this to batch service demands without perturbing
+  /// any stream).  The base implementation loops `sample()`; concrete
+  /// distributions override with a devirtualized tight loop so one virtual
+  /// dispatch is amortized over the whole block.
+  virtual void sample_n(util::Rng& rng, std::span<double> out) const {
+    for (double& x : out) x = sample(rng);
+  }
 
   /// Raw moment E[S^k], k in 1..3, computed analytically.
   virtual double moment(int k) const = 0;

@@ -103,6 +103,10 @@ double Empirical::quantile(double u) const {
 
 double Empirical::sample(util::Rng& rng) const { return quantile(rng.uniform()); }
 
+void Empirical::sample_n(util::Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = quantile(rng.uniform());
+}
+
 double Empirical::moment(int k) const {
   check_moment_order(k);
   return moments_[k - 1];

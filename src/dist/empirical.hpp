@@ -27,6 +27,7 @@ class Empirical final : public Distribution {
                                 std::string label = "Empirical");
 
   double sample(util::Rng& rng) const override;
+  void sample_n(util::Rng& rng, std::span<double> out) const override;
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return label_; }

@@ -95,6 +95,10 @@ double Gamma::sample(util::Rng& rng) const {
   }
 }
 
+void Gamma::sample_n(util::Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = Gamma::sample(rng);  // devirtualized tight loop
+}
+
 double Gamma::moment(int k) const {
   check_moment_order(k);
   double m = 1.0;

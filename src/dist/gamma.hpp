@@ -21,6 +21,7 @@ class Gamma final : public Distribution {
   static Gamma from_mean_cv(double mean, double cv);
 
   double sample(util::Rng& rng) const override;
+  void sample_n(util::Rng& rng, std::span<double> out) const override;
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "Gamma"; }

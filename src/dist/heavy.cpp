@@ -41,8 +41,8 @@ Weibull Weibull::from_mean_cv(double mean, double cv) {
   return Weibull(shape, scale);
 }
 
-double Weibull::sample(util::Rng& rng) const {
-  return scale_ * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape_);
+void Weibull::sample_n(util::Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = Weibull::sample(rng);  // devirtualized tight loop
 }
 
 double Weibull::moment(int k) const {
@@ -64,10 +64,8 @@ TruncatedPareto::TruncatedPareto(double alpha, double lower, double upper)
   trunc_mass_ = 1.0 - std::pow(lower_ / upper_, alpha_);
 }
 
-double TruncatedPareto::sample(util::Rng& rng) const {
-  // Inverse transform: x = L / (1 - u * trunc_mass)^{1/alpha}.
-  const double u = rng.uniform();
-  return lower_ / std::pow(1.0 - u * trunc_mass_, 1.0 / alpha_);
+void TruncatedPareto::sample_n(util::Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = TruncatedPareto::sample(rng);
 }
 
 double TruncatedPareto::moment(int k) const {
@@ -134,8 +132,10 @@ LogNormal LogNormal::from_mean_cv(double mean, double cv) {
   return LogNormal(mu, std::sqrt(sigma2));
 }
 
-double LogNormal::sample(util::Rng& rng) const {
-  return std::exp(mu_ + sigma_ * rng.normal());
+void LogNormal::sample_n(util::Rng& rng, std::span<double> out) const {
+  // rng.normal()'s Box-Muller cache lives in the Rng, so the loop consumes
+  // the underlying uniform stream exactly as successive sample() calls do.
+  for (double& x : out) x = LogNormal::sample(rng);
 }
 
 double LogNormal::moment(int k) const {
@@ -188,6 +188,10 @@ double TruncatedNormal::sample(util::Rng& rng) const {
   const double p = normal_cdf(alpha0_) + u * tail_mass_;
   const double clamped = std::min(p, 1.0 - 1e-16);
   return mu_ + sigma_ * normal_quantile(clamped);
+}
+
+void TruncatedNormal::sample_n(util::Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = TruncatedNormal::sample(rng);
 }
 
 double TruncatedNormal::moment(int k) const {

@@ -6,6 +6,8 @@
 // values from (mean, CV) so tests can assert agreement.
 #pragma once
 
+#include <cmath>
+
 #include "dist/distribution.hpp"
 
 namespace forktail::dist {
@@ -19,7 +21,12 @@ class Weibull final : public Distribution {
   /// decreasing in k), then scale from the mean.
   static Weibull from_mean_cv(double mean, double cv);
 
-  double sample(util::Rng& rng) const override;
+  // Defined in the header so the replay fast path can inline it
+  // (see fjsim::LindleyState).
+  double sample(util::Rng& rng) const override {
+    return scale_ * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape_);
+  }
+  void sample_n(util::Rng& rng, std::span<double> out) const override;
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "Weibull"; }
@@ -43,7 +50,12 @@ class TruncatedPareto final : public Distribution {
   /// alpha = 2.0119, L = 2.14 ms).
   static TruncatedPareto from_mean_cv_upper(double mean, double cv, double upper);
 
-  double sample(util::Rng& rng) const override;
+  double sample(util::Rng& rng) const override {
+    // Inverse transform: x = L / (1 - u * trunc_mass)^{1/alpha}.
+    const double u = rng.uniform();
+    return lower_ / std::pow(1.0 - u * trunc_mass_, 1.0 / alpha_);
+  }
+  void sample_n(util::Rng& rng, std::span<double> out) const override;
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "TruncPareto"; }
@@ -66,7 +78,10 @@ class LogNormal final : public Distribution {
 
   static LogNormal from_mean_cv(double mean, double cv);
 
-  double sample(util::Rng& rng) const override;
+  double sample(util::Rng& rng) const override {
+    return std::exp(mu_ + sigma_ * rng.normal());
+  }
+  void sample_n(util::Rng& rng, std::span<double> out) const override;
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "LogNormal"; }
@@ -87,6 +102,7 @@ class TruncatedNormal final : public Distribution {
   TruncatedNormal(double mu, double sigma, double lower);
 
   double sample(util::Rng& rng) const override;
+  void sample_n(util::Rng& rng, std::span<double> out) const override;
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "TruncNormal"; }

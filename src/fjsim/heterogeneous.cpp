@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fjsim/replay.hpp"
 #include "util/thread_pool.hpp"
 
 namespace forktail::fjsim {
@@ -56,35 +57,61 @@ HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
   }
 
   // Per-node stats plus exact per-request maxima make the replay
-  // bit-identical for any block count (see run_homogeneous).
+  // bit-identical for any block count and batch size (see run_homogeneous).
   const std::size_t parallelism =
       config.max_parallelism > 0
           ? config.max_parallelism
           : std::max<std::size_t>(1, util::global_pool().size());
   const std::size_t num_blocks = std::min<std::size_t>(n, parallelism);
-  std::vector<std::vector<double>> block_max(num_blocks,
-                                             std::vector<double>(total, 0.0));
+  const std::size_t batch = resolve_batch(config.batch);
+  MaxArena arena(num_blocks, total);
   HeterogeneousResult result;
   result.lambda = config.lambda;
   result.max_utilization = max_rho;
   result.node_stats.resize(n);
 
   const auto replay_block = [&](std::size_t b) {
-    auto& local_max = block_max[b];
+    std::span<double> row = arena.row(b);
     const std::size_t lo = n * b / num_blocks;
     const std::size_t hi = n * (b + 1) / num_blocks;
-    for (std::size_t node_id = lo; node_id < hi; ++node_id) {
-      FastNode node(config.services[node_id].get(), 1, Policy::kSingle,
-                    master.split(100 + node_id));
-      auto& welford = result.node_stats[node_id];  // block-owned: no race
-      auto on_done = [&](std::uint64_t id, double arrival, double completion) {
-        if (id >= warmup) welford.add(completion - arrival);
-        if (completion > local_max[id]) local_max[id] = completion;
-      };
-      for (std::uint64_t j = 0; j < total; ++j) {
-        node.submit_task(arrivals[j], j, on_done);
+    if (batch <= 1) {  // scalar reference path
+      for (std::size_t node_id = lo; node_id < hi; ++node_id) {
+        FastNode node(config.services[node_id].get(), 1, Policy::kSingle,
+                      master.split(100 + node_id));
+        auto& welford = result.node_stats[node_id];  // block-owned: no race
+        auto on_done = [&](std::uint64_t id, double arrival, double completion) {
+          if (id >= warmup) welford.add(completion - arrival);
+          if (completion > row[id]) row[id] = completion;
+        };
+        for (std::uint64_t j = 0; j < total; ++j) {
+          node.submit_task(arrivals[j], j, on_done);
+        }
+        node.flush(on_done);
       }
-      node.flush(on_done);
+      return;
+    }
+    // Batched tiled replay (see run_homogeneous): tiles outer, nodes inner.
+    std::vector<LindleyState> states;
+    states.reserve(hi - lo);
+    for (std::size_t node_id = lo; node_id < hi; ++node_id) {
+      states.emplace_back(config.services[node_id].get(), 1,
+                          master.split(100 + node_id));
+    }
+    std::vector<double> demands(batch);
+    for (std::uint64_t t0 = 0; t0 < total; t0 += batch) {
+      const std::size_t len =
+          static_cast<std::size_t>(std::min<std::uint64_t>(batch, total - t0));
+      const std::span<const double> tile(arrivals.data() + t0, len);
+      const std::span<double> block(demands.data(), len);
+      for (std::size_t node_id = lo; node_id < hi; ++node_id) {
+        stats::Welford& welford = result.node_stats[node_id];
+        states[node_id - lo].replay_tile(
+            tile, t0, block,
+            [&](std::uint64_t id, double arrival, double completion) {
+              if (id >= warmup) welford.add(completion - arrival);
+              if (completion > row[id]) row[id] = completion;
+            });
+      }
     }
   };
   if (num_blocks == 1) {
@@ -94,12 +121,9 @@ HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
   }
 
   result.responses.reserve(config.num_requests);
+  const std::span<const double> merged = arena.merged(num_blocks);
   for (std::uint64_t j = warmup; j < total; ++j) {
-    double m = 0.0;
-    for (std::size_t b = 0; b < num_blocks; ++b) {
-      m = std::max(m, block_max[b][j]);
-    }
-    result.responses.push_back(m - arrivals[j]);
+    result.responses.push_back(merged[j] - arrivals[j]);
   }
   return result;
 }

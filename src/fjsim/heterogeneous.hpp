@@ -31,6 +31,9 @@ struct HeterogeneousConfig {
   /// 1 = inline on the calling thread (safe inside a pool task).  Results
   /// are bit-identical for every value (see HomogeneousConfig).
   std::size_t max_parallelism = 0;
+  /// Service-demand block size: 0 = default, 1 = scalar reference path
+  /// (see HomogeneousConfig::batch).  Bit-identical for every value.
+  std::size_t batch = 0;
 };
 
 struct HeterogeneousResult {

@@ -39,6 +39,11 @@ struct HomogeneousConfig {
   /// nested `wait_idle` from inside a pool task would deadlock.
   /// Results are bit-identical for every value of this knob.
   std::size_t max_parallelism = 0;
+  /// Service-demand block size for the batched replay path: 0 = default
+  /// (kDefaultReplayBatch), 1 = the scalar reference path (one virtual
+  /// sample per task, the pre-batching code), else an explicit block size.
+  /// Results are bit-identical for every value.
+  std::size_t batch = 0;
 };
 
 struct HomogeneousResult {

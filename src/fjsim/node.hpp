@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dist/buffered.hpp"
 #include "dist/distribution.hpp"
 #include "util/rng.hpp"
 
@@ -31,13 +32,14 @@ class FastNode {
  public:
   /// `service` may be null only when every submission supplies its own
   /// demand via submit_task_explicit.  The redundant policy is handled by
-  /// RedundantNode, not here.
+  /// RedundantNode, not here.  `batch` > 1 prefetches service demands in
+  /// blocks of that size (bit-identical stream, amortized virtual
+  /// dispatch); 1 draws per task -- the scalar reference path.
   FastNode(const dist::Distribution* service, int replicas, Policy policy,
-           util::Rng rng)
-      : service_(service),
+           util::Rng rng, std::size_t batch = 1)
+      : sampler_(service, rng, batch),
         next_free_(static_cast<std::size_t>(replicas), 0.0),
-        policy_(policy),
-        rng_(rng) {
+        policy_(policy) {
     if (policy_ == Policy::kRedundant) {
       throw std::invalid_argument(
           "FastNode: use RedundantNode for the redundant-issue policy");
@@ -52,7 +54,7 @@ class FastNode {
   /// fires synchronously.
   template <typename OnComplete>
   void submit_task(double arrival, std::uint64_t task_id, OnComplete&& done) {
-    submit_task_explicit(arrival, service_->sample(rng_), task_id, done);
+    submit_task_explicit(arrival, sampler_.next(), task_id, done);
   }
 
   /// As submit_task but with an externally supplied service demand (used by
@@ -82,14 +84,15 @@ class FastNode {
  private:
   std::size_t next_server() noexcept {
     const std::size_t s = rr_next_;
-    rr_next_ = (rr_next_ + 1) % next_free_.size();
+    // Conditional wrap instead of % : the divisor is a runtime value, so
+    // the modulo costs a hardware divide on every task.
+    rr_next_ = s + 1 == next_free_.size() ? 0 : s + 1;
     return s;
   }
 
-  const dist::Distribution* service_;
+  dist::BufferedSampler sampler_;
   std::vector<double> next_free_;
   Policy policy_;
-  util::Rng rng_;
   std::size_t rr_next_ = 0;
 };
 

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "fjsim/replay.hpp"
+
 namespace forktail::fjsim {
 
 PipelineResult run_pipeline(const PipelineConfig& config) {
@@ -58,19 +60,35 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     auto& latency_stats = result.stage_latency_stats[s];
 
     // Node-major replay over this stage's nodes against the (sorted)
-    // arrival sequence; completions land per arrival index.
+    // arrival sequence; completions land per arrival index.  Unlike the
+    // homogeneous runner the per-task Welford is SHARED across the stage's
+    // nodes, so the batched path must keep the node-outer loop (tiling only
+    // the per-node demand draws) to preserve the accumulation order.
     std::fill(completion.begin(), completion.end(), 0.0);
+    const std::size_t batch = resolve_batch(config.batch);
     for (std::size_t n = 0; n < stage.num_nodes; ++n) {
-      FastNode node(stage.service.get(), 1, Policy::kSingle,
-                    master.split(1000 * (s + 1) + n));
       auto on_done = [&](std::uint64_t idx, double arrival, double done) {
         if (order[idx] >= warmup) task_stats.add(done - arrival);
         if (done > completion[idx]) completion[idx] = done;
       };
-      for (std::uint64_t i = 0; i < total; ++i) {
-        node.submit_task(arrivals[i], i, on_done);
+      if (batch <= 1) {  // scalar reference path
+        FastNode node(stage.service.get(), 1, Policy::kSingle,
+                      master.split(1000 * (s + 1) + n));
+        for (std::uint64_t i = 0; i < total; ++i) {
+          node.submit_task(arrivals[i], i, on_done);
+        }
+        node.flush(on_done);
+        continue;
       }
-      node.flush(on_done);
+      LindleyState state(stage.service.get(), 1,
+                         master.split(1000 * (s + 1) + n));
+      std::vector<double> demands(batch);
+      for (std::uint64_t t0 = 0; t0 < total; t0 += batch) {
+        const std::size_t len = static_cast<std::size_t>(
+            std::min<std::uint64_t>(batch, total - t0));
+        state.replay_tile({arrivals.data() + t0, len}, t0,
+                          {demands.data(), len}, on_done);
+      }
     }
     for (std::uint64_t i = 0; i < total; ++i) {
       if (order[i] >= warmup) {

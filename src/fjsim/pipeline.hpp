@@ -31,6 +31,9 @@ struct PipelineConfig {
   std::uint64_t num_requests = 10000;  ///< measured (post warm-up)
   double warmup_fraction = 0.25;
   std::uint64_t seed = 1;
+  /// Service-demand block size: 0 = default, 1 = scalar reference path
+  /// (see HomogeneousConfig::batch).  Bit-identical for every value.
+  std::size_t batch = 0;
 };
 
 struct PipelineResult {

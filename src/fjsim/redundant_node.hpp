@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dist/buffered.hpp"
 #include "dist/distribution.hpp"
 #include "util/rng.hpp"
 
@@ -34,12 +35,14 @@ namespace forktail::fjsim {
 
 class RedundantNode {
  public:
+  /// `batch` > 1 prefetches service demands in blocks (same stream, fewer
+  /// virtual dispatches); 1 draws per copy -- the scalar reference path.
   RedundantNode(const dist::Distribution* service, int replicas,
-                double redundant_delay, util::Rng rng)
+                double redundant_delay, util::Rng rng, std::size_t batch = 1)
       : service_(service),
+        sampler_(service, rng, batch),
         servers_(static_cast<std::size_t>(replicas)),
-        redundant_delay_(redundant_delay),
-        rng_(rng) {
+        redundant_delay_(redundant_delay) {
     if (service_ == nullptr) {
       throw std::invalid_argument("RedundantNode: null service distribution");
     }
@@ -56,8 +59,7 @@ class RedundantNode {
   void submit_task(double arrival, std::uint64_t task_id, OnComplete&& done) {
     advance(arrival, done);
     tasks_.emplace(task_id, TaskState{arrival});
-    enqueue_copy(arrival, task_id, /*is_replica=*/false,
-                 service_->sample(rng_));
+    enqueue_copy(arrival, task_id, /*is_replica=*/false, sampler_.next());
   }
 
   template <typename OnComplete>
@@ -109,7 +111,7 @@ class RedundantNode {
 
   std::size_t next_server() noexcept {
     const std::size_t s = rr_next_;
-    rr_next_ = (rr_next_ + 1) % servers_.size();
+    rr_next_ = s + 1 == servers_.size() ? 0 : s + 1;
     return s;
   }
 
@@ -200,13 +202,13 @@ class RedundantNode {
     auto it = tasks_.find(ev.task);
     if (it == tasks_.end() || it->second.finished) return;
     ++redundant_issues_;
-    enqueue_copy(ev.time, ev.task, /*is_replica=*/true, service_->sample(rng_));
+    enqueue_copy(ev.time, ev.task, /*is_replica=*/true, sampler_.next());
   }
 
   const dist::Distribution* service_;
+  dist::BufferedSampler sampler_;
   std::vector<Server> servers_;
   double redundant_delay_;
-  util::Rng rng_;
   std::size_t rr_next_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t redundant_issues_ = 0;

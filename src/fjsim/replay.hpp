@@ -1,0 +1,292 @@
+// Batched Lindley replay kernel shared by the node-major fast simulators.
+//
+// The scalar replay loops draw one service demand per task through a
+// virtual Distribution::sample() call; the opaque call boundary also stops
+// the compiler from overlapping the sampler's log/pow dependency chain with
+// the Lindley recursion and the caller's Welford update, so the three
+// serial chains run back to back.  LindleyState fixes both costs:
+//
+//  * For the common closed-form samplers (exponential, Erlang, ...) the
+//    concrete type is classified once at construction and the tile loop
+//    dispatches to a fused kernel that calls the final class's inline
+//    sample() directly -- sampling, the Lindley recursion, and the
+//    completion callback all live in one loop body, so the CPU pipelines
+//    their dependency chains instead of serializing them.
+//  * Everything else falls back to pulling demands in blocks via
+//    Distribution::sample_n(), which still amortizes the virtual dispatch
+//    over the whole tile.
+//
+// Either way the per-request state (arrival tile, demand block,
+// completion-max row segment) stays cache-resident while every node of a
+// block replays it.
+//
+// Determinism contract: for a given node RNG the delivered demand sequence
+// and every floating-point operation match the scalar FastNode path
+// exactly, so batched results are bit-identical to the scalar reference
+// (test_replay_batched.cpp asserts this for every simulator).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/basic.hpp"
+#include "dist/distribution.hpp"
+#include "dist/heavy.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::fjsim {
+
+/// Default service-demand block size for the batched replay paths.  Any
+/// value yields bit-identical results; 1024 doubles (8 KiB) amortizes the
+/// virtual dispatch ~1000x while the block comfortably fits in L1.
+inline constexpr std::size_t kDefaultReplayBatch = 1024;
+
+/// Config knob semantics: 0 = use the default batch, 1 = scalar reference
+/// path (one virtual sample per task), anything else = explicit block size.
+inline std::size_t resolve_batch(std::size_t batch) {
+  return batch == 0 ? kDefaultReplayBatch : batch;
+}
+
+/// One fork node's Lindley state for tiled replay: the per-replica
+/// next-free times plus the node's private service-demand stream.
+class LindleyState {
+ public:
+  LindleyState(const dist::Distribution* service, int replicas, util::Rng rng)
+      : service_(service),
+        kind_(classify(service)),
+        rng_(rng),
+        next_free_(static_cast<std::size_t>(replicas), 0.0) {}
+
+  /// Replay one tile of the shared arrival sequence through this node.
+  /// `demands` is caller-provided scratch of the tile's length (reused
+  /// across nodes/tiles to avoid per-call allocation; only the generic
+  /// fallback touches it); `done(id, arrival, completion)` fires per task
+  /// with `id = base + i`, exactly as the scalar path's completion callback
+  /// does.
+  ///
+  /// Each fused kernel draws the i-th demand with the same inline sample()
+  /// body and the same RNG stream position as both the scalar path and the
+  /// sample_n block fill, so every path is bit-identical.
+  template <typename OnComplete>
+  void replay_tile(std::span<const double> arrivals, std::uint64_t base,
+                   std::span<double> demands, OnComplete&& done) {
+    switch (kind_) {
+      case Kind::kExponential:
+        return fused_tile<dist::Exponential>(arrivals, base, done);
+      case Kind::kErlang:
+        return fused_tile<dist::Erlang>(arrivals, base, done);
+      case Kind::kHyperExp2:
+        return fused_tile<dist::HyperExp2>(arrivals, base, done);
+      case Kind::kWeibull:
+        return fused_tile<dist::Weibull>(arrivals, base, done);
+      case Kind::kTruncPareto:
+        return fused_tile<dist::TruncatedPareto>(arrivals, base, done);
+      case Kind::kLogNormal:
+        return fused_tile<dist::LogNormal>(arrivals, base, done);
+      case Kind::kDeterministic:
+        return fused_tile<dist::Deterministic>(arrivals, base, done);
+      case Kind::kUniform:
+        return fused_tile<dist::UniformReal>(arrivals, base, done);
+      case Kind::kGeneric:
+        break;
+    }
+    generic_tile(arrivals, base, demands, done);
+  }
+
+  /// True when `this` and `other` can replay a tile through the fused pair
+  /// kernel: same concrete sampler kind (with a fused kernel) and both
+  /// single-server.  Uniform across a block of identically-configured
+  /// nodes, so callers check it once, not per tile.
+  bool fused_pairable(const LindleyState& other) const {
+    return kind_ != Kind::kGeneric && kind_ == other.kind_ &&
+           next_free_.size() == 1 && other.next_free_.size() == 1;
+  }
+
+  /// Replay the same tile through TWO nodes with their per-task work
+  /// interleaved in one loop body.  Each node's sampler, Lindley recursion,
+  /// and accumulator chain is latency-bound and strictly serial on its own,
+  /// but the two nodes are independent, so interleaving lets the CPU
+  /// overlap their divide/log chains.  `done(id, arrival, c0, c1)` receives
+  /// both completions at once so the caller can fold them into shared
+  /// structures (e.g. the completion-max row) with one access.
+  ///
+  /// Bit-identity: node A's operation sequence (RNG draws, recursion,
+  /// Welford order) is exactly what replay_tile would do, ditto node B;
+  /// only their interleaving in time changes.  The one shared structure is
+  /// the completion-max row, and max is exact and order-independent.
+  /// Requires fused_pairable(other).
+  template <typename OnComplete>
+  void replay_tile_pair(LindleyState& other, std::span<const double> arrivals,
+                        std::uint64_t base, OnComplete&& done) {
+    switch (kind_) {
+      case Kind::kExponential:
+        return fused_pair<dist::Exponential>(other, arrivals, base, done);
+      case Kind::kErlang:
+        return fused_pair<dist::Erlang>(other, arrivals, base, done);
+      case Kind::kHyperExp2:
+        return fused_pair<dist::HyperExp2>(other, arrivals, base, done);
+      case Kind::kWeibull:
+        return fused_pair<dist::Weibull>(other, arrivals, base, done);
+      case Kind::kTruncPareto:
+        return fused_pair<dist::TruncatedPareto>(other, arrivals, base, done);
+      case Kind::kLogNormal:
+        return fused_pair<dist::LogNormal>(other, arrivals, base, done);
+      case Kind::kDeterministic:
+        return fused_pair<dist::Deterministic>(other, arrivals, base, done);
+      case Kind::kUniform:
+        return fused_pair<dist::UniformReal>(other, arrivals, base, done);
+      case Kind::kGeneric:
+        break;  // excluded by fused_pairable()
+    }
+  }
+
+ private:
+  /// Concrete sampler types with a header-inline sample() that the fused
+  /// kernels can devirtualize; everything else replays via sample_n blocks.
+  enum class Kind : std::uint8_t {
+    kExponential,
+    kErlang,
+    kHyperExp2,
+    kWeibull,
+    kTruncPareto,
+    kLogNormal,
+    kDeterministic,
+    kUniform,
+    kGeneric,
+  };
+
+  static Kind classify(const dist::Distribution* d) {
+    if (dynamic_cast<const dist::Exponential*>(d)) return Kind::kExponential;
+    if (dynamic_cast<const dist::Erlang*>(d)) return Kind::kErlang;
+    if (dynamic_cast<const dist::HyperExp2*>(d)) return Kind::kHyperExp2;
+    if (dynamic_cast<const dist::Weibull*>(d)) return Kind::kWeibull;
+    if (dynamic_cast<const dist::TruncatedPareto*>(d)) return Kind::kTruncPareto;
+    if (dynamic_cast<const dist::LogNormal*>(d)) return Kind::kLogNormal;
+    if (dynamic_cast<const dist::Deterministic*>(d)) return Kind::kDeterministic;
+    if (dynamic_cast<const dist::UniformReal*>(d)) return Kind::kUniform;
+    return Kind::kGeneric;
+  }
+
+  /// Sample + Lindley + callback in one loop body.  The qualified
+  /// D::sample call is non-virtual and inlines, which is what lets the CPU
+  /// overlap the sampler's log/pow chain with the recursion and the
+  /// caller's accumulator update.
+  template <typename D, typename OnComplete>
+  void fused_tile(std::span<const double> arrivals, std::uint64_t base,
+                  OnComplete&& done) {
+    // Local copy for the same aliasing reason as in fused_pair.
+    const D d(*static_cast<const D*>(service_));
+    const std::size_t len = arrivals.size();
+    if (next_free_.size() == 1) {
+      // Single-server fast path: the recursion's only loop-carried state is
+      // one next-free time, kept in a register.
+      double nf = next_free_[0];
+      for (std::size_t i = 0; i < len; ++i) {
+        const double start = std::max(arrivals[i], nf);
+        nf = start + d.D::sample(rng_);
+        done(base + i, arrivals[i], nf);
+      }
+      next_free_[0] = nf;
+    } else {
+      for (std::size_t i = 0; i < len; ++i) {
+        const double start = std::max(arrivals[i], next_free_[rr_]);
+        const double completion = start + d.D::sample(rng_);
+        next_free_[rr_] = completion;
+        rr_ = rr_ + 1 == next_free_.size() ? 0 : rr_ + 1;
+        done(base + i, arrivals[i], completion);
+      }
+    }
+  }
+
+  /// Two independent single-server nodes, one loop body (see
+  /// replay_tile_pair).  Both next-free times live in registers; the two
+  /// RNG streams and the callers' two accumulators are independent, so
+  /// their latency chains pipeline.
+  template <typename D, typename OnComplete>
+  void fused_pair(LindleyState& other, std::span<const double> arrivals,
+                  std::uint64_t base, OnComplete&& done) {
+    // Copy the sampler parameters to locals: accessed through service_,
+    // their double fields could alias the caller's double stores (row
+    // updates), forcing a reload every iteration.  Locals are provably
+    // unaliased, so the parameters stay in registers.
+    const D d0(*static_cast<const D*>(service_));
+    const D d1(*static_cast<const D*>(other.service_));
+    const std::size_t len = arrivals.size();
+    double nf0 = next_free_[0];
+    double nf1 = other.next_free_[0];
+    for (std::size_t i = 0; i < len; ++i) {
+      const double a = arrivals[i];
+      nf0 = std::max(a, nf0) + d0.D::sample(rng_);
+      nf1 = std::max(a, nf1) + d1.D::sample(other.rng_);
+      done(base + i, a, nf0, nf1);
+    }
+    next_free_[0] = nf0;
+    other.next_free_[0] = nf1;
+  }
+
+  /// Fallback for samplers without a fused kernel: fill the demand block
+  /// through one virtual sample_n call, then run the recursion over it.
+  template <typename OnComplete>
+  void generic_tile(std::span<const double> arrivals, std::uint64_t base,
+                    std::span<double> demands, OnComplete&& done) {
+    service_->sample_n(rng_, demands);
+    const std::size_t len = arrivals.size();
+    if (next_free_.size() == 1) {
+      double nf = next_free_[0];
+      for (std::size_t i = 0; i < len; ++i) {
+        const double start = std::max(arrivals[i], nf);
+        nf = start + demands[i];
+        done(base + i, arrivals[i], nf);
+      }
+      next_free_[0] = nf;
+    } else {
+      for (std::size_t i = 0; i < len; ++i) {
+        const double start = std::max(arrivals[i], next_free_[rr_]);
+        const double completion = start + demands[i];
+        next_free_[rr_] = completion;
+        rr_ = rr_ + 1 == next_free_.size() ? 0 : rr_ + 1;
+        done(base + i, arrivals[i], completion);
+      }
+    }
+  }
+
+  const dist::Distribution* service_;
+  Kind kind_;
+  util::Rng rng_;
+  std::vector<double> next_free_;
+  std::size_t rr_ = 0;  // round-robin cursor (replicas > 1)
+};
+
+/// Flat completion-max arena: one `total`-sized row per worker block
+/// instead of a vector-of-vectors, merged row-major (sequential access,
+/// vectorizable) into row 0.  Max-merge is exact and order-independent, so
+/// the merged row is identical for any block count.
+class MaxArena {
+ public:
+  MaxArena(std::size_t num_rows, std::size_t row_len)
+      : row_len_(row_len), data_(num_rows * row_len, 0.0) {}
+
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * row_len_, row_len_};
+  }
+
+  /// Merge all rows into row 0 and return it.
+  std::span<const double> merged(std::size_t num_rows) {
+    double* acc = data_.data();
+    for (std::size_t r = 1; r < num_rows; ++r) {
+      const double* src = data_.data() + r * row_len_;
+      for (std::size_t j = 0; j < row_len_; ++j) {
+        acc[j] = std::max(acc[j], src[j]);
+      }
+    }
+    return {acc, row_len_};
+  }
+
+ private:
+  std::size_t row_len_;
+  std::vector<double> data_;
+};
+
+}  // namespace forktail::fjsim

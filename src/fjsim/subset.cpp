@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fjsim/redundant_node.hpp"
+#include "fjsim/replay.hpp"
 
 namespace forktail::fjsim {
 
@@ -90,12 +91,13 @@ SubsetResult run_subset(const SubsetConfig& config) {
   result.lambda = lambda;
   result.mean_k = mean_k;
 
+  const std::size_t batch = resolve_batch(config.batch);
   if (config.policy == Policy::kRedundant) {
     std::vector<RedundantNode> nodes;
     nodes.reserve(config.num_nodes);
     for (std::size_t n = 0; n < config.num_nodes; ++n) {
       nodes.emplace_back(config.service.get(), config.replicas,
-                         config.redundant_delay, master.split(100 + n));
+                         config.redundant_delay, master.split(100 + n), batch);
     }
     run_loop(config, nodes, lambda, warmup, total, arrival_rng, pick_rng, k_rng,
              arrivals, completion_max, request_k, result);
@@ -104,7 +106,7 @@ SubsetResult run_subset(const SubsetConfig& config) {
     nodes.reserve(config.num_nodes);
     for (std::size_t n = 0; n < config.num_nodes; ++n) {
       nodes.emplace_back(config.service.get(), config.replicas, config.policy,
-                         master.split(100 + n));
+                         master.split(100 + n), batch);
     }
     run_loop(config, nodes, lambda, warmup, total, arrival_rng, pick_rng, k_rng,
              arrivals, completion_max, request_k, result);

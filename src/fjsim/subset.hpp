@@ -36,6 +36,12 @@ struct SubsetConfig {
   std::uint64_t seed = 1;
   /// Also bucket measured responses by the request's k (Table 3).
   bool group_by_k = false;
+  /// Per-node service-demand prefetch size: 0 = default, 1 = scalar
+  /// reference path (see HomogeneousConfig::batch).  The request-major loop
+  /// draws at unpredictable nodes, so batching here buffers ahead inside
+  /// each node rather than tiling the replay; the consumed stream -- and
+  /// therefore every result -- is bit-identical for every value.
+  std::size_t batch = 0;
 };
 
 struct SubsetResult {

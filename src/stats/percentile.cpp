@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace forktail::stats {
@@ -32,33 +33,79 @@ double percentile(std::span<const double> samples, double p) {
 
 std::vector<double> percentiles(std::span<const double> samples,
                                 std::span<const double> ps) {
-  if (samples.empty()) throw std::invalid_argument("percentile of empty sample");
+  // Validate the whole request -- including rejecting an empty `ps` --
+  // before paying for the O(n log n) sort.
+  if (ps.empty()) throw std::invalid_argument("percentiles: empty p list");
+  for (double p : ps) check_args(samples.size(), p);
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   std::vector<double> out;
   out.reserve(ps.size());
-  for (double p : ps) {
-    check_args(sorted.size(), p);
-    out.push_back(interpolate_sorted(sorted, p));
-  }
+  for (double p : ps) out.push_back(interpolate_sorted(sorted, p));
   return out;
 }
 
 double percentile_inplace(std::span<double> samples, double p) {
-  check_args(samples.size(), p);
+  // Delegates to the multi-p selection path; even a single percentile needs
+  // the second (degenerate) nth_element to locate the interpolation
+  // neighbor -- the minimum of the upper partition [lo+1, n) -- which costs
+  // one extra O(n - lo) scan on top of the O(n) expected selection.
+  return percentiles_inplace(samples, std::span<const double>(&p, 1))[0];
+}
+
+std::vector<double> percentiles_inplace(std::span<double> samples,
+                                        std::span<const double> ps) {
+  if (ps.empty()) throw std::invalid_argument("percentiles: empty p list");
   const std::size_t n = samples.size();
-  if (n == 1) return samples[0];
-  const double h = (p / 100.0) * static_cast<double>(n - 1);
-  const auto lo = static_cast<std::size_t>(h);
-  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(lo),
-                   samples.end());
-  const double vlo = samples[lo];
-  if (lo + 1 >= n) return vlo;
-  const double vhi =
-      *std::min_element(samples.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
-                        samples.end());
-  const double frac = h - static_cast<double>(lo);
-  return vlo + frac * (vhi - vlo);
+  for (double p : ps) check_args(n, p);
+
+  // Process the requested percentiles in ascending order: once the order
+  // statistic at `lo` is placed, everything left of it is <= samples[lo],
+  // so the next (larger) selection only has to touch the suffix [left, n).
+  std::vector<std::size_t> idx(ps.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return ps[a] < ps[b]; });
+
+  std::vector<double> out(ps.size());
+  const auto begin = samples.begin();
+  std::size_t left = 0;
+  std::size_t cached_lo = n;  // no order statistic placed yet
+  double vlo = 0.0;
+  double vhi = 0.0;
+  for (std::size_t i : idx) {
+    if (n == 1) {
+      out[i] = samples[0];
+      continue;
+    }
+    const double h = (ps[i] / 100.0) * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(h);
+    if (lo != cached_lo) {
+      std::nth_element(begin + static_cast<std::ptrdiff_t>(left),
+                       begin + static_cast<std::ptrdiff_t>(lo), samples.end());
+      vlo = samples[lo];
+      if (lo + 1 < n) {
+        // Interpolation neighbor: the MINIMUM of the upper partition.  A
+        // degenerate nth_element places it at lo+1 and leaves the suffix
+        // partitioned for the next percentile.
+        std::nth_element(begin + static_cast<std::ptrdiff_t>(lo) + 1,
+                         begin + static_cast<std::ptrdiff_t>(lo) + 1,
+                         samples.end());
+        vhi = samples[lo + 1];
+        left = lo + 1;
+      } else {
+        left = lo;
+      }
+      cached_lo = lo;
+    }
+    if (lo + 1 >= n) {
+      out[i] = samples[n - 1];
+      continue;
+    }
+    const double frac = h - static_cast<double>(lo);
+    out[i] = vlo + frac * (vhi - vlo);
+  }
+  return out;
 }
 
 P2Quantile::P2Quantile(double p) : p_(p / 100.0) {

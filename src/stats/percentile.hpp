@@ -16,12 +16,22 @@ namespace forktail::stats {
 /// statistics (type-7 / the numpy default).  `p` in [0, 100].  Sorts a copy.
 double percentile(std::span<const double> samples, double p);
 
-/// As above but for several percentiles, sorting once.
+/// As above but for several percentiles, sorting once.  Every `p` is
+/// validated (and an empty `ps` rejected) before the O(n log n) sort.
 std::vector<double> percentiles(std::span<const double> samples,
                                 std::span<const double> ps);
 
 /// In-place variant: partially sorts `samples` (cheaper for single use).
 double percentile_inplace(std::span<double> samples, double p);
+
+/// Multi-percentile selection without a full sort: one pass of partitioned
+/// `nth_element` calls, processed in ascending-p order so each selection is
+/// restricted to the still-unpartitioned suffix.  O(n + m log n) expected
+/// vs O(n log n) for sorting, and bit-identical to `percentiles()` on the
+/// same data.  Reorders `samples`; `out[i]` corresponds to `ps[i]` in the
+/// caller's original order.
+std::vector<double> percentiles_inplace(std::span<double> samples,
+                                        std::span<const double> ps);
 
 /// P-square (Jain & Chlamtac 1985) streaming quantile estimator: O(1) memory
 /// per tracked quantile, no sample retention.

@@ -60,6 +60,44 @@ TEST(PercentileInplace, MatchesSorting) {
   EXPECT_DOUBLE_EQ(percentile_inplace(copy, 99.0), expected);
 }
 
+TEST(PercentilesInplace, BitwiseMatchesCopySortVariant) {
+  util::Rng rng(4);
+  std::vector<double> v(20000);
+  for (auto& x : v) x = rng.exponential(1.0);
+  // Unsorted ps with duplicates and both endpoints: out[i] must line up
+  // with the caller's ps order regardless of the internal selection order.
+  const double ps[] = {95.0, 0.0, 50.0, 99.9, 50.0, 100.0};
+  const auto sorted_path = percentiles(v, ps);
+  std::vector<double> scratch = v;
+  const auto selected = percentiles_inplace(scratch, ps);
+  ASSERT_EQ(sorted_path.size(), selected.size());
+  for (std::size_t i = 0; i < sorted_path.size(); ++i) {
+    // Selection must be bit-identical to the sort-based path, not merely
+    // close: BENCH_replay.json asserts the two pipelines agree exactly.
+    EXPECT_EQ(sorted_path[i], selected[i]) << "ps index " << i;
+  }
+}
+
+TEST(PercentilesInplace, RejectsEmptyAndBadPsBeforeReordering) {
+  std::vector<double> v = {3.0, 1.0, 2.0};
+  const std::vector<double> original = v;
+  EXPECT_THROW(percentiles_inplace(v, std::span<const double>{}),
+               std::invalid_argument);
+  const double bad[] = {50.0, 120.0};
+  EXPECT_THROW(percentiles_inplace(v, bad), std::invalid_argument);
+  // Validation happens before any partitioning, so a rejected call must
+  // leave the sample untouched.
+  EXPECT_EQ(v, original);
+}
+
+TEST(Percentiles, RejectsEmptyAndBadPs) {
+  std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(percentiles(v, std::span<const double>{}),
+               std::invalid_argument);
+  const double bad[] = {50.0, -0.5};
+  EXPECT_THROW(percentiles(v, bad), std::invalid_argument);
+}
+
 TEST(Percentile, UniformQuantilesConverge) {
   util::Rng rng(3);
   std::vector<double> v(200000);

@@ -11,6 +11,7 @@
 //   forktail samples  --mean 42 --variance 1764 --k 100 --precision 0.05
 //   forktail sweep    --dists Exponential,Weibull --node-counts 10,100
 //                     --loads 0.5,0.9 --replicas 3 --threads 4
+//   forktail bench    [--scale smoke] [--reps 5] [--out BENCH_replay.json]
 //
 // All times are in whatever unit the inputs use; the tool is unit-agnostic.
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "core/forktail.hpp"
+#include "replay_bench.hpp"
 #include "sweep.hpp"
 #include "util/cli.hpp"
 
@@ -259,6 +261,35 @@ int cmd_sweep(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_bench(int argc, const char* const* argv) {
+  // The batched replay throughput benchmark (bench/replay_bench.hpp),
+  // exposed on the CLI so the tracked BENCH_replay.json baseline can be
+  // refreshed without hunting for the bench binary.
+  util::CliFlags flags;
+  flags.declare("reps", "5", "timed repetitions per (workload, path)");
+  flags.declare("out", "BENCH_replay.json",
+                "output JSON path (empty disables the file)");
+  bench::BenchOptions options;
+  if (!bench::parse_options(argc, argv, flags, options)) return 0;
+
+  bench::ReplayBenchOptions replay;
+  replay.scale = options.scale;
+  replay.scale_name = flags.get_string("scale");
+  replay.seed = options.seed;
+  replay.csv = options.csv;
+  const auto reps = flags.get_int("reps");
+  if (reps < 1) throw std::invalid_argument("--reps must be >= 1");
+  replay.reps = static_cast<std::size_t>(reps);
+  replay.threads = options.threads == 0 ? 1 : options.threads;
+  replay.out = flags.get_string("out");
+
+  bench::print_banner("bench",
+                      "Batched replay engine: throughput vs the scalar "
+                      "reference path",
+                      options);
+  return bench::run_replay_bench(replay);
+}
+
 void usage() {
   std::fputs(
       "usage: forktail <command> [flags]\n"
@@ -271,6 +302,8 @@ void usage() {
       "  samples   measurement window size for a precision target\n"
       "  sweep     simulation-backed error sweep over a (dist, N, load)\n"
       "            grid; --threads parallelizes cells deterministically\n"
+      "  bench     batched replay throughput benchmark; writes the\n"
+      "            BENCH_replay.json performance baseline\n"
       "run `forktail <command> --help` for the command's flags\n",
       stderr);
 }
@@ -290,6 +323,7 @@ int main(int argc, char** argv) {
     if (command == "budget") return cmd_budget(argc - 1, argv + 1);
     if (command == "samples") return cmd_samples(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (command == "bench") return cmd_bench(argc - 1, argv + 1);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     usage();
     return 2;
