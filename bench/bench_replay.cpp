@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   flags.declare("reps", "5", "timed repetitions per (workload, path)");
   flags.declare("out", "BENCH_replay.json",
                 "output JSON path (empty disables the file)");
+  flags.declare("metrics-out", "BENCH_replay.metrics.json",
+                "run-telemetry report path (.prom for Prometheus text; "
+                "empty disables)");
   bench::BenchOptions options;
   if (!bench::parse_options(argc, argv, flags, options)) return 0;
 
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
   replay.reps = static_cast<std::size_t>(reps);
   replay.threads = options.threads == 0 ? 1 : options.threads;
   replay.out = flags.get_string("out");
+  replay.metrics_out = flags.get_string("metrics-out");
 
   bench::print_banner("bench_replay",
                       "Batched replay engine: throughput vs the scalar "

@@ -27,10 +27,26 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace forktail::bench {
+
+namespace detail {
+// Sweep-grid telemetry: cells evaluated and per-cell wall time.  A cell is
+// one full simulation run, so the span is coarse -- it never perturbs the
+// replay hot loops.
+struct SweepMetrics {
+  obs::Counter& cells = obs::Registry::global().counter("sweep.cells");
+  obs::Histogram& cell_seconds =
+      obs::Registry::global().histogram("sweep.cell_seconds");
+  static SweepMetrics& get() {
+    static SweepMetrics m;
+    return m;
+  }
+};
+}  // namespace detail
 
 class ParallelSweepRunner {
  public:
@@ -62,7 +78,9 @@ class ParallelSweepRunner {
     std::vector<Result> results(n);
     for_each(n, [&](std::size_t i) {
       util::Rng rng(cell_seed(master_seed, i));
+      const obs::ScopedSpan cell_span(detail::SweepMetrics::get().cell_seconds);
       results[i] = fn(i, rng);
+      detail::SweepMetrics::get().cells.add(1);
     });
     return results;
   }

@@ -14,6 +14,7 @@
 
 #include "common.hpp"
 #include "dist/factory.hpp"
+#include "obs/report.hpp"
 #include "fjsim/heterogeneous.hpp"
 #include "fjsim/homogeneous.hpp"
 #include "fjsim/pipeline.hpp"
@@ -353,6 +354,13 @@ int run_replay_bench(const ReplayBenchOptions& options) {
     write_json(options.out, options, results);
     std::printf("wrote %s (peak RSS %ld KiB)\n", options.out.c_str(),
                 peak_rss_kib());
+  }
+  if (!options.metrics_out.empty()) {
+    const obs::RunReport report =
+        obs::RunReport::capture(obs::Registry::global(), "bench_replay");
+    report.write(options.metrics_out);
+    std::printf("wrote %s (run telemetry%s)\n", options.metrics_out.c_str(),
+                obs::enabled() ? "" : ", observability compiled out");
   }
   if (!all_identical) {
     std::fprintf(stderr,

@@ -28,6 +28,10 @@ struct ReplayBenchOptions {
   bool csv = false;
   /// Output JSON path; empty disables the file.
   std::string out = "BENCH_replay.json";
+  /// Observability RunReport path (see docs/observability.md); written
+  /// alongside the baseline.  A ".prom" suffix selects Prometheus text
+  /// exposition instead of JSON; empty disables the file.
+  std::string metrics_out = "BENCH_replay.metrics.json";
 };
 
 /// Run the suite.  Returns 0 on success, 1 if any workload's scalar and

@@ -4,10 +4,30 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "stats/roots.hpp"
 #include "stats/special_functions.hpp"
 
 namespace forktail::core {
+
+namespace {
+// Moment-fit telemetry (docs/observability.md): how often the fit runs,
+// how many Brent iterations the ratio inversion needs, and how often a
+// degenerate measurement clamps to the alpha boundary instead of solving.
+struct FitMetrics {
+  obs::Counter& calls = obs::Registry::global().counter("genexp.fit_calls");
+  obs::Counter& clamped =
+      obs::Registry::global().counter("genexp.fit_clamped");
+  obs::Counter& unconverged =
+      obs::Registry::global().counter("genexp.fit_unconverged");
+  obs::Histogram& iterations =
+      obs::Registry::global().histogram("genexp.fit_iterations");
+  static FitMetrics& get() {
+    static FitMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 GenExp::GenExp(double alpha, double beta) : alpha_(alpha), beta_(beta) {
   if (!(alpha > 0.0 && beta > 0.0)) {
@@ -32,16 +52,22 @@ GenExp GenExp::fit_moments(double mean, double variance) {
   // than failing.
   constexpr double kLogAlphaLo = -30.0;
   constexpr double kLogAlphaHi = 30.0;
+  FitMetrics::get().calls.add(1);
   double log_alpha;
   if (target_ratio <= ratio_at(kLogAlphaLo)) {
     log_alpha = kLogAlphaLo;
+    FitMetrics::get().clamped.add(1);
   } else if (target_ratio >= ratio_at(kLogAlphaHi)) {
     log_alpha = kLogAlphaHi;
+    FitMetrics::get().clamped.add(1);
   } else {
-    log_alpha = stats::brent(
+    const stats::RootResult solve = stats::brent_traced(
         [&](double la) { return ratio_at(la) - target_ratio; }, kLogAlphaLo,
         kLogAlphaHi,
         {.x_tolerance = 1e-13, .f_tolerance = 0.0, .max_iterations = 300});
+    log_alpha = solve.root;
+    FitMetrics::get().iterations.record(static_cast<double>(solve.iterations));
+    if (!solve.converged) FitMetrics::get().unconverged.add(1);
   }
   const double alpha = std::exp(log_alpha);
   const double beta = mean / stats::ge_unit_mean(alpha);

@@ -2,7 +2,35 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace forktail::core {
+
+namespace {
+// Online-path telemetry: served vs declined predictions.  A declined
+// prediction (underfilled) means some node window had fewer than
+// min_samples samples or zero variance -- the measurement layer, not the
+// model, is the bottleneck.
+struct OnlineMetrics {
+  obs::Counter& predictions =
+      obs::Registry::global().counter("online.predictions");
+  obs::Counter& underfilled =
+      obs::Registry::global().counter("online.underfilled");
+  static OnlineMetrics& get() {
+    static OnlineMetrics m;
+    return m;
+  }
+};
+
+std::optional<double> count_outcome(std::optional<double> value) {
+  if (value) {
+    OnlineMetrics::get().predictions.add(1);
+  } else {
+    OnlineMetrics::get().underfilled.add(1);
+  }
+  return value;
+}
+}  // namespace
 
 OnlineTailPredictor::OnlineTailPredictor(std::size_t num_nodes,
                                          double window_seconds,
@@ -33,37 +61,41 @@ std::optional<TaskStats> OnlineTailPredictor::node_stats(std::size_t node) const
 
 std::optional<double> OnlineTailPredictor::predict_homogeneous(double p,
                                                                double k) const {
-  // Pool all node windows into one service-level moment estimate.
-  double total_n = 0.0;
-  double mean_acc = 0.0;
-  for (const auto& w : windows_) {
-    if (w.count() < min_samples_) return std::nullopt;
-    const double n = static_cast<double>(w.count());
-    total_n += n;
-    mean_acc += n * w.mean();
-  }
-  const double mean = mean_acc / total_n;
-  double var_acc = 0.0;
-  for (const auto& w : windows_) {
-    const double n = static_cast<double>(w.count());
-    const double d = w.mean() - mean;
-    var_acc += n * (w.variance() + d * d);
-  }
-  const double variance = var_acc / total_n;
-  if (!(variance > 0.0)) return std::nullopt;
-  const double kk = k > 0.0 ? k : static_cast<double>(windows_.size());
-  return homogeneous_quantile({mean, variance}, kk, p);
+  return count_outcome([&]() -> std::optional<double> {
+    // Pool all node windows into one service-level moment estimate.
+    double total_n = 0.0;
+    double mean_acc = 0.0;
+    for (const auto& w : windows_) {
+      if (w.count() < min_samples_) return std::nullopt;
+      const double n = static_cast<double>(w.count());
+      total_n += n;
+      mean_acc += n * w.mean();
+    }
+    const double mean = mean_acc / total_n;
+    double var_acc = 0.0;
+    for (const auto& w : windows_) {
+      const double n = static_cast<double>(w.count());
+      const double d = w.mean() - mean;
+      var_acc += n * (w.variance() + d * d);
+    }
+    const double variance = var_acc / total_n;
+    if (!(variance > 0.0)) return std::nullopt;
+    const double kk = k > 0.0 ? k : static_cast<double>(windows_.size());
+    return homogeneous_quantile({mean, variance}, kk, p);
+  }());
 }
 
 std::optional<double> OnlineTailPredictor::predict_inhomogeneous(double p) const {
-  std::vector<TaskStats> stats;
-  stats.reserve(windows_.size());
-  for (std::size_t i = 0; i < windows_.size(); ++i) {
-    const auto s = node_stats(i);
-    if (!s) return std::nullopt;
-    stats.push_back(*s);
-  }
-  return inhomogeneous_quantile(stats, p);
+  return count_outcome([&]() -> std::optional<double> {
+    std::vector<TaskStats> stats;
+    stats.reserve(windows_.size());
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+      const auto s = node_stats(i);
+      if (!s) return std::nullopt;
+      stats.push_back(*s);
+    }
+    return inhomogeneous_quantile(stats, p);
+  }());
 }
 
 std::optional<double> OnlineTailPredictor::predict_subset(
@@ -71,37 +103,41 @@ std::optional<double> OnlineTailPredictor::predict_subset(
   if (nodes.empty()) {
     throw std::invalid_argument("predict_subset: empty node set");
   }
-  std::vector<TaskStats> stats;
-  stats.reserve(nodes.size());
-  for (std::size_t node : nodes) {
-    const auto s = node_stats(node);
-    if (!s) return std::nullopt;
-    stats.push_back(*s);
-  }
-  return inhomogeneous_quantile(stats, p);
+  return count_outcome([&]() -> std::optional<double> {
+    std::vector<TaskStats> stats;
+    stats.reserve(nodes.size());
+    for (std::size_t node : nodes) {
+      const auto s = node_stats(node);
+      if (!s) return std::nullopt;
+      stats.push_back(*s);
+    }
+    return inhomogeneous_quantile(stats, p);
+  }());
 }
 
 std::optional<double> OnlineTailPredictor::predict_mixture(
     const TaskCountMixture& mixture, double p) const {
-  // Reuse the pooled homogeneous fit through the mixture formula.
-  double total_n = 0.0;
-  double mean_acc = 0.0;
-  for (const auto& w : windows_) {
-    if (w.count() < min_samples_) return std::nullopt;
-    const double n = static_cast<double>(w.count());
-    total_n += n;
-    mean_acc += n * w.mean();
-  }
-  const double mean = mean_acc / total_n;
-  double var_acc = 0.0;
-  for (const auto& w : windows_) {
-    const double n = static_cast<double>(w.count());
-    const double d = w.mean() - mean;
-    var_acc += n * (w.variance() + d * d);
-  }
-  const double variance = var_acc / total_n;
-  if (!(variance > 0.0)) return std::nullopt;
-  return mixture_quantile({mean, variance}, mixture, p);
+  return count_outcome([&]() -> std::optional<double> {
+    // Reuse the pooled homogeneous fit through the mixture formula.
+    double total_n = 0.0;
+    double mean_acc = 0.0;
+    for (const auto& w : windows_) {
+      if (w.count() < min_samples_) return std::nullopt;
+      const double n = static_cast<double>(w.count());
+      total_n += n;
+      mean_acc += n * w.mean();
+    }
+    const double mean = mean_acc / total_n;
+    double var_acc = 0.0;
+    for (const auto& w : windows_) {
+      const double n = static_cast<double>(w.count());
+      const double d = w.mean() - mean;
+      var_acc += n * (w.variance() + d * d);
+    }
+    const double variance = var_acc / total_n;
+    if (!(variance > 0.0)) return std::nullopt;
+    return mixture_quantile({mean, variance}, mixture, p);
+  }());
 }
 
 }  // namespace forktail::core

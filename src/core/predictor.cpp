@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "queueing/mg1.hpp"
 #include "stats/roots.hpp"
 
@@ -14,6 +15,36 @@ void check_percentile(double p) {
   if (!(p > 0.0 && p < 100.0)) {
     throw std::invalid_argument("percentile must be in (0,100)");
   }
+}
+
+// Prediction-path telemetry (docs/observability.md): end-to-end latency of
+// each quantile evaluation, CDF-inversion effort, and how often the
+// analytic bracket collapses (hi <= lo) so the inversion is skipped -- a
+// collapsed bracket usually means near-identical nodes where the bounds
+// already agree to tolerance.
+struct PredictMetrics {
+  obs::Counter& calls = obs::Registry::global().counter("predict.calls");
+  obs::Counter& bracket_collapsed =
+      obs::Registry::global().counter("predict.bracket_collapsed");
+  obs::Counter& inversion_unconverged =
+      obs::Registry::global().counter("predict.inversion_unconverged");
+  obs::Histogram& seconds =
+      obs::Registry::global().histogram("predict.seconds");
+  obs::Histogram& inversion_iterations =
+      obs::Registry::global().histogram("predict.inversion_iterations");
+  static PredictMetrics& get() {
+    static PredictMetrics m;
+    return m;
+  }
+};
+
+double invert_traced(const std::function<double(double)>& f, double lo,
+                     double hi, const stats::RootOptions& opts) {
+  const stats::RootResult solve = stats::brent_traced(f, lo, hi, opts);
+  PredictMetrics::get().inversion_iterations.record(
+      static_cast<double>(solve.iterations));
+  if (!solve.converged) PredictMetrics::get().inversion_unconverged.add(1);
+  return solve.root;
 }
 }  // namespace
 
@@ -79,6 +110,8 @@ double TaskCountMixture::mean_tasks() const noexcept {
 
 double homogeneous_quantile(const TaskStats& stats, double k, double p) {
   check_percentile(p);
+  PredictMetrics::get().calls.add(1);
+  const obs::ScopedSpan span(PredictMetrics::get().seconds);
   return GenExp::fit_moments(stats.mean, stats.variance).max_quantile(p / 100.0, k);
 }
 
@@ -159,6 +192,8 @@ double ForkTailPredictor::cdf(double x, double k) const {
 
 double ForkTailPredictor::quantile(double p, double k) const {
   check_percentile(p);
+  PredictMetrics::get().calls.add(1);
+  const obs::ScopedSpan span(PredictMetrics::get().seconds);
   const double q = p / 100.0;
   if (nodes_.size() == 1) {
     const double kk = k > 0.0 ? k : 1.0;
@@ -177,10 +212,23 @@ double ForkTailPredictor::quantile(double p, double k) const {
     lo = std::max(lo, ge.max_quantile(q, 1.0));
     hi = std::max(hi, ge.max_quantile(std::pow(q, 1.0 / n), 1.0));
   }
-  if (hi <= lo) return lo;
-  return stats::brent([&](double x) { return cdf(x) - q; }, lo, hi,
-                      {.x_tolerance = 1e-12 * hi, .f_tolerance = 0.0,
-                       .max_iterations = 200});
+  if (hi <= lo) {
+    PredictMetrics::get().bracket_collapsed.add(1);
+    return lo;
+  }
+  const auto objective = [&](double x) { return cdf(x) - q; };
+  // The bounds are analytic, so rounding can leave the objective an ulp on
+  // the wrong side at either end (with identical nodes the upper bound IS
+  // the root), which would read as "root not bracketed".  Nudge outward.
+  if (objective(lo) >= 0.0) return lo;
+  int widenings = 0;
+  while (objective(hi) < 0.0) {
+    if (++widenings > 64) return hi;  // objective flat at q: hi is the tail
+    hi += hi - lo;
+  }
+  return invert_traced(objective, lo, hi,
+                       {.x_tolerance = 1e-12 * hi, .f_tolerance = 0.0,
+                        .max_iterations = 200});
 }
 
 double ForkTailPredictor::quantile(double p, const TaskCountMixture& mixture) const {
@@ -189,6 +237,8 @@ double ForkTailPredictor::quantile(double p, const TaskCountMixture& mixture) co
     throw std::invalid_argument(
         "ForkTailPredictor: mixture quantile requires the homogeneous model");
   }
+  PredictMetrics::get().calls.add(1);
+  const obs::ScopedSpan span(PredictMetrics::get().seconds);
   const double q = p / 100.0;
   const GenExp& ge = nodes_[0];
   double k_min = mixture.groups().front().tasks;
@@ -199,8 +249,11 @@ double ForkTailPredictor::quantile(double p, const TaskCountMixture& mixture) co
   }
   // F is decreasing in k, so Eq. 13 at k_min / k_max brackets the root.
   const double lo = ge.max_quantile(q, k_min);
-  const double hi = ge.max_quantile(q, k_max);
-  if (hi <= lo) return lo;
+  double hi = ge.max_quantile(q, k_max);
+  if (hi <= lo) {
+    PredictMetrics::get().bracket_collapsed.add(1);
+    return lo;
+  }
   auto f = [&](double x) {
     double acc = 0.0;
     for (const auto& g : mixture.groups()) {
@@ -208,9 +261,17 @@ double ForkTailPredictor::quantile(double p, const TaskCountMixture& mixture) co
     }
     return acc - q;
   };
-  return stats::brent(f, lo, hi,
-                      {.x_tolerance = 1e-12 * hi, .f_tolerance = 0.0,
-                       .max_iterations = 200});
+  // Same rounding guard as the inhomogeneous inversion: the analytic
+  // bounds may sit an ulp past the root on either side.
+  if (f(lo) >= 0.0) return lo;
+  int widenings = 0;
+  while (f(hi) < 0.0) {
+    if (++widenings > 64) return hi;
+    hi += hi - lo;
+  }
+  return invert_traced(f, lo, hi,
+                       {.x_tolerance = 1e-12 * hi, .f_tolerance = 0.0,
+                        .max_iterations = 200});
 }
 
 }  // namespace forktail::core

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fjsim/telemetry.hpp"
+
 namespace forktail::fjsim {
 
 ConsolidatedResult run_consolidated(const ConsolidatedConfig& config) {
+  const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);
   if (config.num_nodes == 0) {
     throw std::invalid_argument("run_consolidated: no nodes");
   }
@@ -103,6 +106,7 @@ ConsolidatedResult run_consolidated(const ConsolidatedConfig& config) {
     result.target_responses.push_back(completion_max[j] - arrivals[j]);
     result.target_ks.push_back(static_cast<int>(job_tasks[j]));
   }
+  ReplayMetrics::get().runs.add(1);
   return result;
 }
 

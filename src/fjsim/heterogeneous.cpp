@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fjsim/replay.hpp"
+#include "fjsim/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace forktail::fjsim {
@@ -40,6 +41,8 @@ HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
         "run_heterogeneous: bottleneck node unstable (rho >= 1)");
   }
 
+  const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);
+
   util::Rng master(config.seed);
   const auto warmup = static_cast<std::uint64_t>(
       config.warmup_fraction / (1.0 - config.warmup_fraction) *
@@ -74,6 +77,10 @@ HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
     std::span<double> row = arena.row(b);
     const std::size_t lo = n * b / num_blocks;
     const std::size_t hi = n * (b + 1) / num_blocks;
+    // Block-granular telemetry only (see run_homogeneous).
+    const obs::ScopedSpan block_span(ReplayMetrics::get().block_seconds);
+    ReplayMetrics::get().tasks_warmup.add(warmup * (hi - lo));
+    ReplayMetrics::get().tasks_measured.add((total - warmup) * (hi - lo));
     if (batch <= 1) {  // scalar reference path
       for (std::size_t node_id = lo; node_id < hi; ++node_id) {
         FastNode node(config.services[node_id].get(), 1, Policy::kSingle,
@@ -97,8 +104,9 @@ HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
       states.emplace_back(config.services[node_id].get(), 1,
                           master.split(100 + node_id));
     }
+    std::uint64_t tiles = 0;
     std::vector<double> demands(batch);
-    for (std::uint64_t t0 = 0; t0 < total; t0 += batch) {
+    for (std::uint64_t t0 = 0; t0 < total; t0 += batch, ++tiles) {
       const std::size_t len =
           static_cast<std::size_t>(std::min<std::uint64_t>(batch, total - t0));
       const std::span<const double> tile(arrivals.data() + t0, len);
@@ -113,6 +121,7 @@ HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
             });
       }
     }
+    ReplayMetrics::get().tiles.add(tiles);
   };
   if (num_blocks == 1) {
     replay_block(0);
@@ -125,6 +134,7 @@ HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
   for (std::uint64_t j = warmup; j < total; ++j) {
     result.responses.push_back(merged[j] - arrivals[j]);
   }
+  ReplayMetrics::get().runs.add(1);
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "fjsim/redundant_node.hpp"
 #include "fjsim/replay.hpp"
+#include "fjsim/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace forktail::fjsim {
@@ -42,6 +43,8 @@ HomogeneousResult run_homogeneous(const HomogeneousConfig& config) {
   if (config.policy == Policy::kSingle && config.replicas != 1) {
     throw std::invalid_argument("run_homogeneous: kSingle requires 1 replica");
   }
+
+  const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);
 
   util::Rng master(config.seed);
   const double lambda =
@@ -84,6 +87,12 @@ HomogeneousResult run_homogeneous(const HomogeneousConfig& config) {
   const auto replay_block = [&](std::size_t b) {
     const std::size_t lo = config.num_nodes * b / num_blocks;
     const std::size_t hi = config.num_nodes * (b + 1) / num_blocks;
+    // Block-granular telemetry only: counters are bumped once per block
+    // after the replay loops finish, so the per-task code is unchanged.
+    const obs::ScopedSpan block_span(ReplayMetrics::get().block_seconds);
+    const std::size_t block_nodes = hi - lo;
+    ReplayMetrics::get().tasks_warmup.add(warmup * block_nodes);
+    ReplayMetrics::get().tasks_measured.add((total - warmup) * block_nodes);
     std::span<double> row = arena.row(b);
     if (config.policy == Policy::kRedundant) {
       // Event-driven path: batching happens inside the node's demand
@@ -188,7 +197,8 @@ HomogeneousResult run_homogeneous(const HomogeneousConfig& config) {
         }
       }
     };
-    for (std::uint64_t t0 = 0; t0 < total; t0 += batch) {
+    std::uint64_t tiles = 0;
+    for (std::uint64_t t0 = 0; t0 < total; t0 += batch, ++tiles) {
       const std::size_t len =
           static_cast<std::size_t>(std::min<std::uint64_t>(batch, total - t0));
       if (t0 + len <= warmup) {
@@ -202,6 +212,7 @@ HomogeneousResult run_homogeneous(const HomogeneousConfig& config) {
             std::integral_constant<TileMode, TileMode::kStraddle>{}, t0, len);
       }
     }
+    ReplayMetrics::get().tiles.add(tiles);
   };
   if (num_blocks == 1) {
     replay_block(0);
@@ -221,6 +232,7 @@ HomogeneousResult run_homogeneous(const HomogeneousConfig& config) {
     result.task_stats.merge(node_stats[n]);
     result.redundant_issues += node_redundant[n];
   }
+  ReplayMetrics::get().runs.add(1);
   return result;
 }
 

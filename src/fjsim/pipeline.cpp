@@ -5,10 +5,12 @@
 #include <stdexcept>
 
 #include "fjsim/replay.hpp"
+#include "fjsim/telemetry.hpp"
 
 namespace forktail::fjsim {
 
 PipelineResult run_pipeline(const PipelineConfig& config) {
+  const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);
   if (config.stages.empty()) {
     throw std::invalid_argument("run_pipeline: no stages");
   }
@@ -121,6 +123,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   for (std::uint64_t req = warmup; req < total; ++req) {
     result.responses.push_back(final_completion[req] - origin[req]);
   }
+  ReplayMetrics::get().runs.add(1);
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "fjsim/redundant_node.hpp"
 #include "fjsim/replay.hpp"
+#include "fjsim/telemetry.hpp"
 
 namespace forktail::fjsim {
 
@@ -49,6 +50,7 @@ void run_loop(const SubsetConfig& config, std::vector<Node>& nodes,
 }  // namespace
 
 SubsetResult run_subset(const SubsetConfig& config) {
+  const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);
   if (config.num_nodes == 0) throw std::invalid_argument("run_subset: no nodes");
   if (!config.service) throw std::invalid_argument("run_subset: null service");
   if (!(config.load > 0.0 && config.load < 1.0)) {
@@ -120,6 +122,7 @@ SubsetResult run_subset(const SubsetConfig& config) {
       result.responses_by_k[request_k[j]].push_back(response);
     }
   }
+  ReplayMetrics::get().runs.add(1);
   return result;
 }
 

@@ -1,0 +1,136 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace forktail::obs {
+
+namespace {
+
+std::string json_num(double v) {
+  // JSON has no Infinity/NaN literals; non-finite values (only the
+  // overflow bucket's upper bound in practice) serialize as null.
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Metric names are dotted (e.g. "fjsim.tasks"); Prometheus wants
+/// [a-zA-Z0-9_:] so dots and dashes become underscores.
+std::string prom_name(const std::string& name) {
+  std::string out = "forktail_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+RunReport RunReport::capture(const Registry& registry, std::string tool) {
+  RunReport report;
+  report.tool_ = std::move(tool);
+  report.snapshot_ = registry.snapshot();
+  return report;
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"forktail.run_report.v" << kRunReportVersion
+     << "\",\n";
+  os << "  \"version\": " << kRunReportVersion << ",\n";
+  os << "  \"tool\": \"" << tool_ << "\",\n";
+  os << "  \"observability_enabled\": " << (enabled() ? "true" : "false")
+     << ",\n";
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot_.counters.size(); ++i) {
+    const auto& [name, value] = snapshot_.counters[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+  }
+  os << (snapshot_.counters.empty() ? "" : "\n  ") << "},\n";
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot_.gauges.size(); ++i) {
+    const auto& [name, value] = snapshot_.gauges[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << name
+       << "\": " << json_num(value);
+  }
+  os << (snapshot_.gauges.empty() ? "" : "\n  ") << "},\n";
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot_.histograms.size(); ++i) {
+    const auto& [name, h] = snapshot_.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << name << "\": {\n";
+    os << "      \"count\": " << h.count << ",\n";
+    os << "      \"sum\": " << json_num(h.sum) << ",\n";
+    os << "      \"mean\": " << json_num(h.mean()) << ",\n";
+    os << "      \"min\": " << json_num(h.min) << ",\n";
+    os << "      \"max\": " << json_num(h.max) << ",\n";
+    os << "      \"p50\": " << json_num(h.quantile(0.50)) << ",\n";
+    os << "      \"p95\": " << json_num(h.quantile(0.95)) << ",\n";
+    os << "      \"p99\": " << json_num(h.quantile(0.99)) << ",\n";
+    os << "      \"p999\": " << json_num(h.quantile(0.999)) << ",\n";
+    os << "      \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      const auto& bucket = h.buckets[b];
+      os << (b == 0 ? "" : ", ") << "[" << json_num(bucket.lo) << ", "
+         << json_num(bucket.hi) << ", " << bucket.count << "]";
+    }
+    os << "]\n";
+    os << "    }";
+  }
+  os << (snapshot_.histograms.empty() ? "" : "\n  ") << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string RunReport::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot_.counters) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " counter\n";
+    os << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot_.gauges) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " gauge\n";
+    os << p << " " << json_num(value) << "\n";
+  }
+  for (const auto& [name, h] : snapshot_.histograms) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cum = 0;
+    for (const auto& bucket : h.buckets) {
+      cum += bucket.count;
+      os << p << "_bucket{le=\"";
+      if (std::isfinite(bucket.hi)) {
+        os << json_num(bucket.hi);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cum << "\n";
+    }
+    if (h.buckets.empty() || std::isfinite(h.buckets.back().hi)) {
+      os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    }
+    os << p << "_sum " << json_num(h.sum) << "\n";
+    os << p << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+void RunReport::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("RunReport: cannot write " + path);
+  const bool prom =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  os << (prom ? to_prometheus() : to_json());
+}
+
+}  // namespace forktail::obs

@@ -1,0 +1,46 @@
+// RunReport: a serializable snapshot of a metrics Registry.
+//
+// Two output formats:
+//   * JSON -- the stable, versioned schema downstream tooling parses
+//     (schema id "forktail.run_report.v1"; see docs/observability.md and
+//     tests/test_report_schema.cpp, which pins the key set).
+//   * Prometheus text exposition -- counters as `forktail_<name> value`,
+//     gauges likewise, histograms as `_bucket{le=...}` / `_sum` / `_count`
+//     series, for scraping via a textfile collector.
+//
+// `write()` dispatches on the path extension: ".prom" emits the Prometheus
+// dump, anything else the JSON document.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace forktail::obs {
+
+/// Bump when the JSON document's structure changes; the schema regression
+/// test pins the key set for the current version.
+inline constexpr int kRunReportVersion = 1;
+
+class RunReport {
+ public:
+  /// Snapshot `registry` now.  `tool` identifies the producing command
+  /// (e.g. "forktail bench") in the emitted document.
+  static RunReport capture(const Registry& registry, std::string tool);
+
+  std::string to_json() const;
+  std::string to_prometheus() const;
+
+  /// Write to `path` (format by extension, see file comment).  Throws
+  /// std::runtime_error when the file cannot be opened.
+  void write(const std::string& path) const;
+
+  const Registry::Snapshot& snapshot() const noexcept { return snapshot_; }
+  const std::string& tool() const noexcept { return tool_; }
+
+ private:
+  std::string tool_;
+  Registry::Snapshot snapshot_;
+};
+
+}  // namespace forktail::obs

@@ -20,6 +20,9 @@ class Engine {
   double now() const noexcept { return now_; }
   std::uint64_t events_processed() const noexcept { return processed_; }
 
+  /// High-water mark of the event calendar over this engine's lifetime.
+  std::size_t max_queue_depth() const noexcept { return max_depth_; }
+
   /// Schedule `handler` at absolute time `time` (>= now).  Events at equal
   /// times fire in scheduling order.
   void schedule(double time, Handler handler);
@@ -54,10 +57,15 @@ class Engine {
     }
   };
 
+  /// Flush run-loop telemetry into the global metrics registry (no-op when
+  /// observability is compiled out).  `events` is this run's delta.
+  void publish_metrics(std::uint64_t events) const;
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::size_t max_depth_ = 0;
   bool stopped_ = false;
 };
 

@@ -22,10 +22,22 @@ void check_args(std::size_t n, double p) {
   if (n == 0) throw std::invalid_argument("percentile of empty sample");
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("p must be in [0,100]");
 }
+
+// A NaN breaks the strict weak ordering sort/nth_element require, so a
+// poisoned sample silently yields garbage order statistics.  One O(n) scan
+// turns that into a loud error.
+void check_no_nan(std::span<const double> samples) {
+  for (double x : samples) {
+    if (std::isnan(x)) {
+      throw std::invalid_argument("percentile: NaN in sample");
+    }
+  }
+}
 }  // namespace
 
 double percentile(std::span<const double> samples, double p) {
   check_args(samples.size(), p);
+  check_no_nan(samples);
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   return interpolate_sorted(sorted, p);
@@ -37,6 +49,7 @@ std::vector<double> percentiles(std::span<const double> samples,
   // before paying for the O(n log n) sort.
   if (ps.empty()) throw std::invalid_argument("percentiles: empty p list");
   for (double p : ps) check_args(samples.size(), p);
+  check_no_nan(samples);
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   std::vector<double> out;
@@ -58,6 +71,7 @@ std::vector<double> percentiles_inplace(std::span<double> samples,
   if (ps.empty()) throw std::invalid_argument("percentiles: empty p list");
   const std::size_t n = samples.size();
   for (double p : ps) check_args(n, p);
+  check_no_nan(samples);
 
   // Process the requested percentiles in ascending order: once the order
   // statistic at `lo` is placed, everything left of it is <= samples[lo],

@@ -40,12 +40,17 @@ double bisect(const std::function<double(double)>& f, double lo, double hi,
 
 double brent(const std::function<double(double)>& f, double lo, double hi,
              const RootOptions& opts) {
+  return brent_traced(f, lo, hi, opts).root;
+}
+
+RootResult brent_traced(const std::function<double(double)>& f, double lo,
+                        double hi, const RootOptions& opts) {
   double a = lo;
   double b = hi;
   double fa = f(a);
   double fb = f(b);
-  if (fa == 0.0) return a;
-  if (fb == 0.0) return b;
+  if (fa == 0.0) return {a, 0, true};
+  if (fb == 0.0) return {b, 0, true};
   if (!opposite_signs(fa, fb)) {
     throw std::invalid_argument("brent: root not bracketed");
   }
@@ -61,7 +66,7 @@ double brent(const std::function<double(double)>& f, double lo, double hi,
   for (int i = 0; i < opts.max_iterations; ++i) {
     if (fb == 0.0 || std::fabs(b - a) < opts.x_tolerance ||
         (opts.f_tolerance > 0.0 && std::fabs(fb) <= opts.f_tolerance)) {
-      return b;
+      return {b, i, true};
     }
     double s;
     if (fa != fc && fb != fc) {
@@ -101,7 +106,7 @@ double brent(const std::function<double(double)>& f, double lo, double hi,
       std::swap(fa, fb);
     }
   }
-  return b;
+  return {b, opts.max_iterations, false};
 }
 
 double brent_expand_upper(const std::function<double(double)>& f, double lo,

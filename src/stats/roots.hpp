@@ -14,6 +14,14 @@ struct RootOptions {
   int max_iterations = 200;
 };
 
+/// Outcome of a traced solve: the root plus how hard it was to find --
+/// feeds the observability layer's moment-match iteration histograms.
+struct RootResult {
+  double root = 0.0;
+  int iterations = 0;      ///< f evaluations beyond the two bracket probes
+  bool converged = true;   ///< false when max_iterations ran out
+};
+
 /// Find a root of f in [lo, hi]; f(lo) and f(hi) must have opposite signs
 /// (or one of them be zero).  Throws std::invalid_argument otherwise.
 double bisect(const std::function<double(double)>& f, double lo, double hi,
@@ -23,6 +31,11 @@ double bisect(const std::function<double(double)>& f, double lo, double hi,
 /// superlinear convergence with bisection's robustness.
 double brent(const std::function<double(double)>& f, double lo, double hi,
              const RootOptions& opts = {});
+
+/// As `brent`, but also reports the iteration count and whether the
+/// tolerance was met within the iteration budget.
+RootResult brent_traced(const std::function<double(double)>& f, double lo,
+                        double hi, const RootOptions& opts = {});
 
 /// Expand [lo, hi] geometrically upward until f changes sign, then Brent.
 /// Requires f(lo) and the eventual f(hi) to differ in sign; used for

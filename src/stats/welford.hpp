@@ -19,8 +19,11 @@ class Welford {
     mean_ += delta / static_cast<double>(n_);
     const double delta2 = x - mean_;
     m2_ += delta * delta2;
-    if (x < min_ || n_ == 1) min_ = x;
-    if (x > max_ || n_ == 1) max_ = x;
+    // A NaN sample poisons mean/m2 through the arithmetic above; poison
+    // min/max explicitly too (plain comparisons would silently drop it and
+    // leave the extremes disagreeing with the moments).
+    if (std::isnan(x) || x < min_ || n_ == 1) min_ = x;
+    if (std::isnan(x) || x > max_ || n_ == 1) max_ = x;
   }
 
   /// Merge another accumulator (parallel reduction; Chan et al.).
@@ -37,23 +40,27 @@ class Welford {
     mean_ += delta * nb / total;
     m2_ += other.m2_ + delta * delta * na * nb / total;
     n_ += other.n_;
-    if (other.min_ < min_) min_ = other.min_;
-    if (other.max_ > max_) max_ = other.max_;
+    if (std::isnan(other.min_) || other.min_ < min_) min_ = other.min_;
+    if (std::isnan(other.max_) || other.max_ > max_) max_ = other.max_;
   }
 
   std::uint64_t count() const noexcept { return n_; }
   double mean() const noexcept { return mean_; }
 
   /// Population variance (divides by n); matches the moment definitions the
-  /// model equations use.
+  /// model equations use.  Cancellation in `merge` can leave m2 a hair
+  /// below zero for near-constant data; clamp so stddev() never goes NaN.
   double variance() const noexcept {
-    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+    if (n_ == 0) return 0.0;
+    const double v = m2_ / static_cast<double>(n_);
+    return v > 0.0 ? v : (v == v ? 0.0 : v);  // clamp negatives, keep NaN
   }
 
   /// Unbiased sample variance (divides by n-1).
   double sample_variance() const {
     if (n_ < 2) throw std::logic_error("sample_variance requires n >= 2");
-    return m2_ / static_cast<double>(n_ - 1);
+    const double v = m2_ / static_cast<double>(n_ - 1);
+    return v > 0.0 ? v : (v == v ? 0.0 : v);
   }
 
   double stddev() const noexcept { return std::sqrt(variance()); }

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace forktail::util {
+
+namespace {
+// Pool telemetry (docs/observability.md): task counts, submit-to-start
+// queue wait, and aggregate busy time.  Utilization over a run is
+// busy_seconds / (wall * pool size).  All of this compiles out with
+// FORKTAIL_OBS=OFF -- including the clock reads.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::Registry::global().counter("threadpool.tasks");
+  obs::Counter& exceptions =
+      obs::Registry::global().counter("threadpool.task_exceptions");
+  obs::Gauge& busy_seconds =
+      obs::Registry::global().gauge("threadpool.busy_seconds");
+  obs::Histogram& queue_wait =
+      obs::Registry::global().histogram("threadpool.queue_wait_seconds");
+  static PoolMetrics& get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -27,9 +49,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  Job job{std::move(task), {}};
+  if constexpr (obs::enabled()) {
+    job.enqueued = std::chrono::steady_clock::now();
+  }
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(job));
     ++in_flight_;
   }
   cv_task_.notify_one();
@@ -47,7 +73,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Job job;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -55,14 +81,27 @@ void ThreadPool::worker_loop() {
         if (stop_) return;
         continue;
       }
-      task = std::move(queue_.front());
+      job = std::move(queue_.front());
       queue_.pop_front();
+    }
+    std::chrono::steady_clock::time_point start{};
+    if constexpr (obs::enabled()) {
+      start = std::chrono::steady_clock::now();
+      PoolMetrics::get().queue_wait.record(
+          std::chrono::duration<double>(start - job.enqueued).count());
     }
     std::exception_ptr error;
     try {
-      task();
+      job.fn();
     } catch (...) {
       error = std::current_exception();
+    }
+    if constexpr (obs::enabled()) {
+      const auto end = std::chrono::steady_clock::now();
+      PoolMetrics& m = PoolMetrics::get();
+      m.busy_seconds.add(std::chrono::duration<double>(end - start).count());
+      m.tasks.add(1);
+      if (error) m.exceptions.add(1);
     }
     {
       std::lock_guard lock(mutex_);

@@ -5,6 +5,7 @@
 // the pool degenerates gracefully (0 workers => run inline).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -41,10 +42,18 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  /// Queue entry: the task plus its enqueue timestamp, so the worker can
+  /// report submit-to-start wait.  The timestamp is only taken when
+  /// observability is compiled in (zero otherwise).
+  struct Job {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;

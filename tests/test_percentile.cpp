@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -142,6 +143,49 @@ TEST(P2Quantile, TracksExponentialP99) {
   }
   const double exact = percentile(all, 99.0);
   EXPECT_NEAR(q.value(), exact, exact * 0.05);
+}
+
+TEST(Percentile, NaNSampleThrowsInsteadOfSilentGarbage) {
+  // A NaN breaks the strict weak ordering std::sort / nth_element require,
+  // so before the guard these calls returned arbitrary junk.  All four
+  // entry points must reject the sample loudly.
+  const double nan = std::nan("");
+  std::vector<double> v = {1.0, nan, 3.0};
+  const double ps[] = {50.0, 99.0};
+  EXPECT_THROW(percentile(v, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentiles(v, ps), std::invalid_argument);
+  std::vector<double> scratch = v;
+  EXPECT_THROW(percentile_inplace(scratch, 50.0), std::invalid_argument);
+  scratch = v;
+  EXPECT_THROW(percentiles_inplace(scratch, ps), std::invalid_argument);
+  // The rejected in-place call must not have reordered the sample.
+  EXPECT_EQ(scratch[0], 1.0);
+  EXPECT_EQ(scratch[2], 3.0);
+}
+
+TEST(Percentile, InfinitiesAreOrderedNormally) {
+  // Infinities sort fine -- only NaN is rejected.
+  std::vector<double> v = {1.0, std::numeric_limits<double>::infinity(), 0.5};
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0),
+                   std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.5);
+}
+
+TEST(PercentilesInplace, EndpointAndSingleSampleEdges) {
+  std::vector<double> single = {42.0};
+  const double ps[] = {0.0, 50.0, 100.0};
+  const auto out = percentiles_inplace(single, ps);
+  for (double x : out) EXPECT_DOUBLE_EQ(x, 42.0);
+
+  std::vector<double> v = {4.0, 2.0, 9.0, 7.0};
+  const auto ends = percentiles_inplace(v, std::span<const double>(ps, 3));
+  EXPECT_DOUBLE_EQ(ends[0], 2.0);   // p0 = min
+  EXPECT_DOUBLE_EQ(ends[2], 9.0);   // p100 = max
+
+  std::vector<double> empty;
+  EXPECT_THROW(percentiles_inplace(empty, std::span<const double>(ps, 3)),
+               std::invalid_argument);
+  EXPECT_THROW(percentile_inplace(empty, 50.0), std::invalid_argument);
 }
 
 TEST(P2Quantile, TracksMedianOfNormal) {

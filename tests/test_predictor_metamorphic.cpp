@@ -1,0 +1,150 @@
+// Metamorphic tests for the ForkTail predictor (core/predictor.hpp):
+// instead of pinning outputs, these assert relations that must hold
+// between predictions on transformed inputs -- unit-scale equivariance,
+// monotonicity in the fork set, and the collapse of the inhomogeneous
+// model (Eq. 4) onto the homogeneous closed form (Eq. 6/13) when every
+// node is identical.  Randomized over a fixed master seed.
+#include "core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace forktail::core {
+namespace {
+
+TaskStats random_stats(util::Rng& rng) {
+  const double mean = std::exp(rng.uniform(-2.0, 4.0));
+  const double cv = std::exp(rng.uniform(-1.5, 1.2));
+  return {mean, (cv * mean) * (cv * mean)};
+}
+
+std::vector<TaskStats> random_nodes(util::Rng& rng, std::size_t n) {
+  std::vector<TaskStats> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) nodes.push_back(random_stats(rng));
+  return nodes;
+}
+
+TEST(PredictorMetamorphic, HomogeneousScaleEquivariance) {
+  // Latency is unit-agnostic: measuring in milliseconds instead of seconds
+  // (mean * c, variance * c^2) must scale every percentile by exactly c.
+  util::Rng rng(806);
+  for (int trial = 0; trial < 12; ++trial) {
+    const TaskStats s = random_stats(rng);
+    const double c = std::exp(rng.uniform(-4.0, 4.0));
+    const double k = 1.0 + rng.uniform(0.0, 300.0);
+    const double p = rng.uniform(50.0, 99.9);
+    const double base = homogeneous_quantile(s, k, p);
+    const double scaled =
+        homogeneous_quantile({c * s.mean, c * c * s.variance}, k, p);
+    EXPECT_NEAR(scaled, c * base, 1e-7 * c * base)
+        << "mean=" << s.mean << " c=" << c << " k=" << k << " p=" << p;
+  }
+}
+
+TEST(PredictorMetamorphic, InhomogeneousScaleEquivariance) {
+  util::Rng rng(807);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto nodes = random_nodes(rng, 2 + rng.uniform_int(6));
+    const double c = std::exp(rng.uniform(-3.0, 3.0));
+    std::vector<TaskStats> scaled;
+    for (const auto& n : nodes) {
+      scaled.push_back({c * n.mean, c * c * n.variance});
+    }
+    const double p = rng.uniform(90.0, 99.9);
+    const double base = inhomogeneous_quantile(nodes, p);
+    EXPECT_NEAR(inhomogeneous_quantile(scaled, p), c * base, 1e-6 * c * base);
+  }
+}
+
+TEST(PredictorMetamorphic, AddingNodeNeverLowersQuantile) {
+  // The request waits for ALL forked tasks, so widening the fork set can
+  // only push F_X^{-1}(p) up (the max over a superset dominates).
+  util::Rng rng(808);
+  for (int trial = 0; trial < 12; ++trial) {
+    auto nodes = random_nodes(rng, 2 + rng.uniform_int(5));
+    const double p = rng.uniform(90.0, 99.9);
+    const double before = inhomogeneous_quantile(nodes, p);
+    nodes.push_back(random_stats(rng));
+    const double after = inhomogeneous_quantile(nodes, p);
+    EXPECT_GE(after, before * (1.0 - 1e-9))
+        << "trial " << trial << " p=" << p;
+  }
+}
+
+TEST(PredictorMetamorphic, IdenticalNodesCollapseToHomogeneousForm) {
+  // With n identical nodes, Eq. 4's CDF product is F(x)^n -- exactly the
+  // homogeneous Eq. 6 -- so the numeric inversion must land on the
+  // closed-form quantile.
+  util::Rng rng(809);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskStats s = random_stats(rng);
+    const std::size_t n = 2 + rng.uniform_int(30);
+    const std::vector<TaskStats> nodes(n, s);
+    const double p = rng.uniform(80.0, 99.9);
+    const double closed = homogeneous_quantile(s, static_cast<double>(n), p);
+    const double inverted = inhomogeneous_quantile(nodes, p);
+    EXPECT_NEAR(inverted, closed, 1e-8 * closed)
+        << "n=" << n << " p=" << p << " mean=" << s.mean;
+  }
+}
+
+TEST(PredictorMetamorphic, DegenerateMixtureEqualsFixedK) {
+  util::Rng rng(810);
+  for (int trial = 0; trial < 8; ++trial) {
+    const TaskStats s = random_stats(rng);
+    const int k = 1 + static_cast<int>(rng.uniform_int(200));
+    const double p = rng.uniform(80.0, 99.9);
+    const auto fixed = TaskCountMixture::fixed(static_cast<double>(k));
+    const double via_mixture = mixture_quantile(s, fixed, p);
+    const double via_fixed = homogeneous_quantile(s, k, p);
+    EXPECT_NEAR(via_mixture, via_fixed, 1e-8 * via_fixed) << "k=" << k;
+  }
+}
+
+TEST(PredictorMetamorphic, MixtureQuantileBracketedByExtremeK) {
+  // K ~ U[a, b]: the mixture tail sits between the all-a and all-b tails.
+  util::Rng rng(811);
+  for (int trial = 0; trial < 8; ++trial) {
+    const TaskStats s = random_stats(rng);
+    const int a = 1 + static_cast<int>(rng.uniform_int(50));
+    const int b = a + 1 + static_cast<int>(rng.uniform_int(100));
+    const double p = rng.uniform(80.0, 99.9);
+    const auto mixture = TaskCountMixture::uniform_int(a, b);
+    const double x = mixture_quantile(s, mixture, p);
+    EXPECT_GE(x, homogeneous_quantile(s, a, p) * (1.0 - 1e-9));
+    EXPECT_LE(x, homogeneous_quantile(s, b, p) * (1.0 + 1e-9));
+  }
+}
+
+TEST(PredictorMetamorphic, QuantileCdfRoundTripInhomogeneous) {
+  util::Rng rng(812);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto nodes = random_nodes(rng, 2 + rng.uniform_int(8));
+    const ForkTailPredictor predictor(nodes);
+    const double p = rng.uniform(50.0, 99.9);
+    const double x = predictor.quantile(p);
+    EXPECT_NEAR(predictor.cdf(x), p / 100.0, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(PredictorMetamorphic, QuantileMonotoneInPercentile) {
+  util::Rng rng(813);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto nodes = random_nodes(rng, 3);
+    const ForkTailPredictor predictor(nodes);
+    double prev = 0.0;
+    for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+      const double x = predictor.quantile(p);
+      EXPECT_GT(x, prev) << "p=" << p;
+      prev = x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace forktail::core

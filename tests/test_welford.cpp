@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/rng.hpp"
 
 namespace forktail::stats {
@@ -74,6 +76,62 @@ TEST(Welford, NumericallyStableForLargeOffsets) {
   // Values near 1e9 with variance 1: naive sum-of-squares would lose it.
   for (double x : {1e9 + 1.0, 1e9 - 1.0, 1e9 + 1.0, 1e9 - 1.0}) w.add(x);
   EXPECT_NEAR(w.variance(), 1.0, 1e-6);
+}
+
+TEST(Welford, NaNPoisonsAllStatisticsConsistently) {
+  // A NaN sample always poisoned mean/variance via the arithmetic; before
+  // the fix it was silently DROPPED from min/max, leaving the extremes
+  // claiming a clean range around NaN moments.  Poisoning must be total.
+  Welford w;
+  w.add(2.0);
+  w.add(std::nan(""));
+  w.add(7.0);
+  EXPECT_TRUE(std::isnan(w.mean()));
+  EXPECT_TRUE(std::isnan(w.min()));
+  EXPECT_TRUE(std::isnan(w.max()));
+  EXPECT_EQ(w.count(), 3u);
+}
+
+TEST(Welford, MergePropagatesNaNExtremes) {
+  Welford poisoned;
+  poisoned.add(std::nan(""));
+  Welford clean;
+  clean.add(1.0);
+  clean.add(2.0);
+  clean.merge(poisoned);
+  EXPECT_TRUE(std::isnan(clean.min()));
+  EXPECT_TRUE(std::isnan(clean.max()));
+  EXPECT_TRUE(std::isnan(clean.mean()));
+}
+
+TEST(Welford, VarianceNeverNegativeStddevNeverNaN) {
+  // Near-constant data at a large offset is the worst case for m2
+  // cancellation; variance() clamps so stddev() cannot go NaN.
+  Welford a;
+  Welford b;
+  const double base = 3.141592653589793e12;
+  for (int i = 0; i < 1000; ++i) {
+    a.add(base);
+    b.add(base + (i % 2 == 0 ? 1e-4 : -1e-4));
+  }
+  a.merge(b);
+  EXPECT_GE(a.variance(), 0.0);
+  EXPECT_GE(a.sample_variance(), 0.0);
+  EXPECT_FALSE(std::isnan(a.stddev()));
+
+  Welford constant;
+  for (int i = 0; i < 100; ++i) constant.add(base);
+  EXPECT_DOUBLE_EQ(constant.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(constant.stddev(), 0.0);
+}
+
+TEST(Welford, EmptyAccumulatorIsWellDefined) {
+  const Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+  EXPECT_THROW(w.sample_variance(), std::logic_error);
 }
 
 TEST(RawMoments, MatchesAnalyticExponential) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/forktail.hpp"
+#include "obs/report.hpp"
 #include "replay_bench.hpp"
 #include "sweep.hpp"
 #include "util/cli.hpp"
@@ -228,6 +229,9 @@ int cmd_sweep(int argc, const char* const* argv) {
   flags.declare("loads", "0.5,0.8", "comma-separated per-server loads in (0,1)");
   flags.declare("replicas", "1", "independent sim replications per cell");
   flags.declare("percentile", "99", "target percentile");
+  flags.declare("metrics-out", "forktail_metrics.json",
+                "run-telemetry report path (.prom for Prometheus text; "
+                "empty disables)");
   bench::BenchOptions options;
   if (!bench::parse_options(argc, argv, flags, options)) return 0;
 
@@ -258,6 +262,11 @@ int cmd_sweep(int argc, const char* const* argv) {
         return core::homogeneous_quantile(measured, k, percentile);
       },
       options);
+  const std::string metrics_out = flags.get_string("metrics-out");
+  if (!metrics_out.empty()) {
+    obs::RunReport::capture(obs::Registry::global(), "sweep").write(metrics_out);
+    std::printf("wrote %s (run telemetry)\n", metrics_out.c_str());
+  }
   return 0;
 }
 
@@ -269,6 +278,9 @@ int cmd_bench(int argc, const char* const* argv) {
   flags.declare("reps", "5", "timed repetitions per (workload, path)");
   flags.declare("out", "BENCH_replay.json",
                 "output JSON path (empty disables the file)");
+  flags.declare("metrics-out", "BENCH_replay.metrics.json",
+                "run-telemetry report path (.prom for Prometheus text; "
+                "empty disables)");
   bench::BenchOptions options;
   if (!bench::parse_options(argc, argv, flags, options)) return 0;
 
@@ -282,6 +294,7 @@ int cmd_bench(int argc, const char* const* argv) {
   replay.reps = static_cast<std::size_t>(reps);
   replay.threads = options.threads == 0 ? 1 : options.threads;
   replay.out = flags.get_string("out");
+  replay.metrics_out = flags.get_string("metrics-out");
 
   bench::print_banner("bench",
                       "Batched replay engine: throughput vs the scalar "
