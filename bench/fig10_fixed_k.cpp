@@ -8,10 +8,8 @@
 #include <array>
 
 #include "common.hpp"
-#include "core/predictor.hpp"
-#include "dist/factory.hpp"
-#include "fjsim/subset.hpp"
 #include "parallel_runner.hpp"
+#include "scenario/registry.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
 
@@ -52,21 +50,22 @@ int main(int argc, char** argv) {
         const int k = ks[(i / loads.size()) % ks.size()];
         const char* name = dists[i / (loads.size() * ks.size())];
 
-        fjsim::SubsetConfig cfg;
-        cfg.num_nodes = 1000;
-        cfg.service = dist::make_named(name);
-        cfg.load = load;
-        cfg.k_mode = fjsim::KMode::kFixed;
-        cfg.k_fixed = k;
-        cfg.num_requests = samples_for(k, load, options.scale);
-        cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
-        cfg.seed = rng.next_u64();
-        auto sim = fjsim::run_subset(cfg);
+        scenario::ScenarioSpec cell;
+        cell.topology = scenario::Topology::kSubset;
+        cell.nodes = 1000;
+        cell.service.dist = name;
+        cell.load = load;
+        cell.k.mode = scenario::KSpec::Mode::kFixed;
+        cell.k.fixed = k;
+        cell.requests = samples_for(k, load, options.scale);
+        cell.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
+        cell.seed = rng.next_u64();
+        auto sim = scenario::SimulatorRegistry::global().run(cell);
         const double measured = stats::percentile_inplace(sim.responses, 99.0);
         // Eq. 13 with the black-box measured task moments.
-        const double predicted = core::homogeneous_quantile(
-            {sim.task_stats.mean(), sim.task_stats.variance()},
-            static_cast<double>(k), 99.0);
+        const double predicted =
+            scenario::PredictorRegistry::global().find("forktail")->predict(
+                sim, 99.0);
         return {measured, predicted};
       });
 

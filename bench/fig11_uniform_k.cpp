@@ -8,10 +8,8 @@
 #include <array>
 
 #include "common.hpp"
-#include "core/predictor.hpp"
-#include "dist/factory.hpp"
-#include "fjsim/subset.hpp"
 #include "parallel_runner.hpp"
+#include "scenario/registry.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
 
@@ -44,24 +42,25 @@ int main(int argc, char** argv) {
         const double load = loads[i % loads.size()];
         const Range& range = ranges[(i / loads.size()) % ranges.size()];
         const char* name = dists[i / (loads.size() * ranges.size())];
-        const auto mixture =
-            core::TaskCountMixture::uniform_int(range.lo, range.hi);
 
-        fjsim::SubsetConfig cfg;
-        cfg.num_nodes = 1000;
-        cfg.service = dist::make_named(name);
-        cfg.load = load;
-        cfg.k_mode = fjsim::KMode::kUniformInt;
-        cfg.k_lo = range.lo;
-        cfg.k_hi = range.hi;
-        cfg.num_requests =
+        scenario::ScenarioSpec cell;
+        cell.topology = scenario::Topology::kSubset;
+        cell.nodes = 1000;
+        cell.service.dist = name;
+        cell.load = load;
+        cell.k.mode = scenario::KSpec::Mode::kUniform;
+        cell.k.lo = range.lo;
+        cell.k.hi = range.hi;
+        cell.requests =
             bench::scaled(15000, options.scale * bench::load_boost(load));
-        cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
-        cfg.seed = rng.next_u64();
-        auto sim = fjsim::run_subset(cfg);
+        cell.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
+        cell.seed = rng.next_u64();
+        auto sim = scenario::SimulatorRegistry::global().run(cell);
         const double measured = stats::percentile_inplace(sim.responses, 99.0);
-        const double predicted = core::mixture_quantile(
-            {sim.task_stats.mean(), sim.task_stats.variance()}, mixture, 99.0);
+        // Mixture model (Eqs. 8-9 / 14) with K ~ U[lo, hi].
+        const double predicted =
+            scenario::PredictorRegistry::global().find("mixture")->predict(
+                sim, 99.0);
         return {measured, predicted};
       });
 

@@ -9,12 +9,10 @@
 #include <array>
 
 #include "common.hpp"
-#include "core/predictor.hpp"
-#include "fjsim/consolidated.hpp"
 #include "parallel_runner.hpp"
+#include "scenario/registry.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
-#include "trace/facebook.hpp"
 
 namespace {
 
@@ -62,34 +60,29 @@ int main(int argc, char** argv) {
         const auto target_k =
             static_cast<std::uint32_t>(full ? nodes : nodes / 2);
 
-        // Each cell builds its own workload so cells stay self-contained
-        // (the generator snapshots the workload by value anyway).
-        trace::FacebookWorkload::Params params;
-        params.target_tasks = target_k;
-        params.target_mean_ms = 50.0;
-        params.max_tasks = static_cast<std::uint32_t>(nodes);
-        const trace::FacebookWorkload workload(params);
-        const double service_floor = 0.05;
-        const double mean_work = workload.estimate_mean_work(service_floor);
-
-        fjsim::ConsolidatedConfig cfg;
-        cfg.num_nodes = nodes;
-        cfg.replicas = 3;
-        cfg.load = load;
-        cfg.generator = workload.generator();
-        cfg.mean_work_per_job = mean_work;
-        cfg.num_jobs = jobs_for(nodes, options.scale * bench::load_boost(load));
-        cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.2;
-        cfg.seed = rng.next_u64();
-        cfg.service_floor = service_floor;
-        auto sim = fjsim::run_consolidated(cfg);
-        const double measured = stats::percentile_inplace(sim.target_responses, 99.0);
+        // Each cell is one declarative consolidated scenario; the converter
+        // builds the Facebook workload (clamped to N) and calibrates the
+        // job rate from its estimated mean work, as the hand-wired cell did.
+        scenario::ScenarioSpec cell;
+        cell.topology = scenario::Topology::kConsolidated;
+        cell.nodes = nodes;
+        cell.group.replicas = 3;
+        cell.group.policy = fjsim::Policy::kRoundRobin;
+        cell.workload.target_tasks = target_k;
+        cell.workload.target_mean_ms = 50.0;
+        cell.load = load;
+        cell.requests = jobs_for(nodes, options.scale * bench::load_boost(load));
+        cell.warmup_fraction = load >= 0.9 ? 0.3 : 0.2;
+        cell.seed = rng.next_u64();
+        auto sim = scenario::SimulatorRegistry::global().run(cell);
+        const std::uint64_t targets = sim.responses.size();
+        const double measured = stats::percentile_inplace(sim.responses, 99.0);
         // Black-box prediction from the target application's own measured
         // task moments (Eq. 13; the target k is fixed per mode).
-        const double predicted = core::homogeneous_quantile(
-            {sim.target_task_stats.mean(), sim.target_task_stats.variance()},
-            static_cast<double>(target_k), 99.0);
-        return {sim.target_responses.size(), measured, predicted};
+        const double predicted =
+            scenario::PredictorRegistry::global().find("forktail")->predict(
+                sim, 99.0);
+        return {targets, measured, predicted};
       });
 
   util::Table table({"target_k", "nodes", "load%", "targets", "sim_p99_ms",

@@ -15,9 +15,8 @@
 
 #include "common.hpp"
 #include "core/predictor.hpp"
-#include "dist/factory.hpp"
-#include "fjsim/homogeneous.hpp"
 #include "parallel_runner.hpp"
+#include "scenario/registry.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
 #include "stats/welford.hpp"
@@ -89,33 +88,31 @@ inline util::Table error_sweep_table(const SweepSpec& spec,
         const std::size_t dist_i =
             base / (spec.loads.size() * spec.node_counts.size());
 
-        // Each cell owns its distribution instance: no shared state between
-        // workers, and a bad name throws here -- the runner surfaces it.
-        const dist::DistPtr service =
-            dist::make_named(spec.distributions[dist_i]);
         const std::size_t nodes = spec.node_counts[node_i];
         const double load = spec.loads[load_i];
 
-        fjsim::HomogeneousConfig cfg;
-        cfg.num_nodes = nodes;
-        cfg.replicas = spec.servers_per_node;
-        cfg.policy = spec.policy;
-        cfg.redundant_delay = spec.redundant_delay;
-        cfg.service = service;
-        cfg.load = load;
-        cfg.num_requests = sweep_samples(nodes, load, options.scale);
-        cfg.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
-        cfg.seed = rng.next_u64();
-        cfg.max_parallelism = 1;  // cell-level parallelism only
-        auto sim = fjsim::run_homogeneous(cfg);
+        // Each cell is one declarative scenario: the registry validates it
+        // (a bad distribution name throws here -- the runner surfaces it)
+        // and dispatches to the homogeneous engine with exactly the config
+        // the hand-wired cell used to assemble.
+        scenario::ScenarioSpec scn;
+        scn.topology = scenario::Topology::kHomogeneous;
+        scn.nodes = nodes;
+        scn.group.replicas = spec.servers_per_node;
+        scn.group.policy = spec.policy;
+        scn.group.redundant_delay = spec.redundant_delay;
+        scn.service.dist = spec.distributions[dist_i];
+        scn.load = load;
+        scn.requests = sweep_samples(nodes, load, options.scale);
+        scn.warmup_fraction = load >= 0.9 ? 0.3 : 0.25;
+        scn.seed = rng.next_u64();
+        scn.max_parallelism = 1;  // cell-level parallelism only
+        auto sim = scenario::SimulatorRegistry::global().run(scn);
 
         CellOutcome out;
         out.measured = stats::percentile_inplace(sim.responses, spec.percentile);
-        const core::TaskStats task_stats{sim.task_stats.mean(),
-                                         sim.task_stats.variance()};
-        out.predicted =
-            predictor(*service, sim.lambda, task_stats,
-                      static_cast<double>(nodes), spec.percentile);
+        out.predicted = predictor(*sim.service, sim.lambda, sim.task_stats,
+                                  static_cast<double>(nodes), spec.percentile);
         out.error_pct = stats::relative_error_pct(out.predicted, out.measured);
         return out;
       });

@@ -4,9 +4,7 @@
 //
 // Paper shape: all errors well within 10%.
 #include "common.hpp"
-#include "core/predictor.hpp"
-#include "dist/factory.hpp"
-#include "fjsim/subset.hpp"
+#include "scenario/registry.hpp"
 #include "stats/percentile.hpp"
 #include "stats/summary.hpp"
 
@@ -22,25 +20,25 @@ int main(int argc, char** argv) {
   util::Table table(
       {"distribution", "k=10", "k=400", "k=500", "k=600", "k=900"});
   for (const char* name : {"Exponential", "TruncPareto", "Empirical"}) {
-    const dist::DistPtr service = dist::make_named(name);
     auto row = table.row();
     row.str(name);
     for (int k : ks) {
-      fjsim::SubsetConfig cfg;
-      cfg.num_nodes = 1000;
-      cfg.service = service;
-      cfg.load = 0.90;
-      cfg.k_mode = fjsim::KMode::kFixed;
-      cfg.k_fixed = k;
-      cfg.num_requests = bench::scaled(k >= 500 ? 12000 : 20000,
-                                       options.scale * bench::load_boost(0.9));
-      cfg.warmup_fraction = 0.3;
-      cfg.seed = options.seed;
-      auto sim = fjsim::run_subset(cfg);
+      scenario::ScenarioSpec cell;
+      cell.topology = scenario::Topology::kSubset;
+      cell.nodes = 1000;
+      cell.service.dist = name;
+      cell.load = 0.90;
+      cell.k.mode = scenario::KSpec::Mode::kFixed;
+      cell.k.fixed = k;
+      cell.requests = bench::scaled(k >= 500 ? 12000 : 20000,
+                                    options.scale * bench::load_boost(0.9));
+      cell.warmup_fraction = 0.3;
+      cell.seed = options.seed;
+      auto sim = scenario::SimulatorRegistry::global().run(cell);
       const double measured = stats::percentile_inplace(sim.responses, 99.0);
-      const double predicted = core::homogeneous_quantile(
-          {sim.task_stats.mean(), sim.task_stats.variance()},
-          static_cast<double>(k), 99.0);
+      const double predicted =
+          scenario::PredictorRegistry::global().find("forktail")->predict(sim,
+                                                                          99.0);
       row.num(stats::relative_error_pct(predicted, measured), 2);
     }
   }

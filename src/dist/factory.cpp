@@ -7,7 +7,16 @@
 namespace forktail::dist {
 
 DistPtr make_named(const std::string& name) {
-  const double m = kPaperMeanServiceMs;
+  return make_named(name, kPaperMeanServiceMs);
+}
+
+DistPtr make_named(const std::string& name, double mean) {
+  const double m = mean > 0.0 ? mean : kPaperMeanServiceMs;
+  if (name == "Empirical" && m != kPaperMeanServiceMs) {
+    throw std::invalid_argument(
+        "Empirical distribution has a fixed mean (synthesized Google-leaf "
+        "table); omit the mean override");
+  }
   if (name == "Exponential") return std::make_shared<Exponential>(m);
   if (name == "Erlang-2") return std::make_shared<Erlang>(2, m);
   if (name == "HyperExp2") {
@@ -17,8 +26,12 @@ DistPtr make_named(const std::string& name) {
     return std::make_shared<Weibull>(Weibull::from_mean_cv(m, 1.5));
   }
   if (name == "TruncPareto") {
+    // The truncation point scales with the mean so a rescaled TruncPareto
+    // keeps the paper's shape (CV 1.2, H/E[S] ratio) rather than colliding
+    // with a fixed upper bound at large means.
+    const double upper = kGoogleLeafMaxMs * (m / kPaperMeanServiceMs);
     return std::make_shared<TruncatedPareto>(
-        TruncatedPareto::from_mean_cv_upper(m, 1.2, kGoogleLeafMaxMs));
+        TruncatedPareto::from_mean_cv_upper(m, 1.2, upper));
   }
   if (name == "Empirical") return google_leaf_ptr();
   throw std::invalid_argument("unknown distribution name: " + name);

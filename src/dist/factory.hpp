@@ -23,6 +23,12 @@ inline constexpr double kPaperMeanServiceMs = 4.22;
 /// Throws std::invalid_argument for unknown names.
 DistPtr make_named(const std::string& name);
 
+/// Build a named distribution rescaled to an explicit mean (same shape /
+/// CV as the paper's roster).  `mean <= 0` selects the paper's default
+/// mean.  Throws std::invalid_argument for unknown names and for
+/// "Empirical", whose synthesized table has no free mean parameter.
+DistPtr make_named(const std::string& name, double mean);
+
 /// All names accepted by make_named.
 std::vector<std::string> named_distributions();
 

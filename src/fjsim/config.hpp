@@ -1,0 +1,63 @@
+// Shared fork-node group configuration and typed configuration errors.
+//
+// Before this header existed, the (replicas, policy, redundant_delay)
+// triple was duplicated verbatim across HomogeneousConfig, SubsetConfig,
+// and ConsolidatedConfig -- a drift hazard (a new field or a changed
+// default had to be applied three times).  The simulator configs now derive
+// from NodeGroupConfig so the per-node-group knobs are defined exactly
+// once, and invalid configurations surface as ConfigError (which names the
+// offending field) from an up-front validate() pass instead of a bare
+// std::invalid_argument thrown mid-construction.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "fjsim/node.hpp"
+
+namespace forktail::fjsim {
+
+/// How one fork node's servers are organised: how many replica servers it
+/// has, how tasks are dispatched to them, and (for the redundant-issue
+/// policy) how long to wait before hedging a copy.
+struct NodeGroupConfig {
+  int replicas = 1;
+  Policy policy = Policy::kSingle;
+  /// Redundant-issue hedge delay (same time unit as the service times);
+  /// only meaningful under Policy::kRedundant.
+  double redundant_delay = 10.0;
+
+  bool operator==(const NodeGroupConfig&) const = default;
+};
+
+/// Typed configuration error: carries the name of the offending field so
+/// callers (CLI, scenario loader, tests) can report or assert on it
+/// precisely.  Derives from std::invalid_argument so existing catch sites
+/// keep working.
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(std::string field, const std::string& message)
+      : std::invalid_argument(field + ": " + message), field_(std::move(field)) {}
+
+  const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
+
+/// Validate the node-group knobs shared by every simulator; `where` names
+/// the owning config in the error message.  Throws ConfigError.
+void validate_node_group(const NodeGroupConfig& group, const std::string& where);
+
+struct HomogeneousConfig;
+struct SubsetConfig;
+struct ConsolidatedConfig;
+
+/// Up-front validation for the simulator configs.  Each throws ConfigError
+/// naming the offending field; run_*() calls these before touching any
+/// state, and the scenario layer calls them when materialising a spec.
+void validate(const HomogeneousConfig& config);
+void validate(const SubsetConfig& config);
+void validate(const ConsolidatedConfig& config);
+
+}  // namespace forktail::fjsim

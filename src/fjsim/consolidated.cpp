@@ -9,18 +9,7 @@ namespace forktail::fjsim {
 
 ConsolidatedResult run_consolidated(const ConsolidatedConfig& config) {
   const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);
-  if (config.num_nodes == 0) {
-    throw std::invalid_argument("run_consolidated: no nodes");
-  }
-  if (!config.generator) {
-    throw std::invalid_argument("run_consolidated: null generator");
-  }
-  if (!(config.load > 0.0 && config.load < 1.0)) {
-    throw std::invalid_argument("run_consolidated: load must be in (0,1)");
-  }
-  if (!(config.mean_work_per_job > 0.0)) {
-    throw std::invalid_argument("run_consolidated: mean_work_per_job <= 0");
-  }
+  validate(config);  // throws a field-typed ConfigError (fjsim/config.hpp)
 
   util::Rng master(config.seed);
   util::Rng arrival_rng = master.split(0);
@@ -40,7 +29,7 @@ ConsolidatedResult run_consolidated(const ConsolidatedConfig& config) {
   std::vector<FastNode> nodes;
   nodes.reserve(config.num_nodes);
   for (std::size_t n = 0; n < config.num_nodes; ++n) {
-    nodes.emplace_back(nullptr, config.replicas, Policy::kRoundRobin,
+    nodes.emplace_back(nullptr, config.replicas, config.policy,
                        master.split(100 + n));
   }
 

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "fjsim/config.hpp"
 #include "fjsim/node.hpp"
 #include "stats/welford.hpp"
 
@@ -27,9 +28,18 @@ struct JobSpec {
 /// Produces the job stream (trace playback or synthesis).
 using JobGenerator = std::function<JobSpec(util::Rng&)>;
 
-struct ConsolidatedConfig {
+/// Node-group knobs (replicas / policy / redundant_delay) come from the
+/// shared NodeGroupConfig base; the consolidated cluster defaults to the
+/// paper's three round-robin replica servers per node.  The redundant-issue
+/// policy is rejected by validate(): jobs carry explicit per-task demands,
+/// which the hedging node cannot replay.
+struct ConsolidatedConfig : NodeGroupConfig {
+  ConsolidatedConfig() {
+    replicas = 3;
+    policy = Policy::kRoundRobin;
+  }
+
   std::size_t num_nodes = 100;
-  int replicas = 3;
   double load = 0.8;  ///< per-server utilization target
   JobGenerator generator;
   /// E[tasks * E[task time]] per job, used to derive the job arrival rate:

@@ -33,16 +33,7 @@ std::uint64_t replay_node(Node& node, const std::vector<double>& arrivals,
 }  // namespace
 
 HomogeneousResult run_homogeneous(const HomogeneousConfig& config) {
-  if (config.num_nodes == 0) {
-    throw std::invalid_argument("run_homogeneous: num_nodes == 0");
-  }
-  if (!config.service) throw std::invalid_argument("run_homogeneous: null service");
-  if (!(config.load > 0.0 && config.load < 1.0)) {
-    throw std::invalid_argument("run_homogeneous: load must be in (0,1)");
-  }
-  if (config.policy == Policy::kSingle && config.replicas != 1) {
-    throw std::invalid_argument("run_homogeneous: kSingle requires 1 replica");
-  }
+  validate(config);  // throws a field-typed ConfigError (fjsim/config.hpp)
 
   const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);
 

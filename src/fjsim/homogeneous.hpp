@@ -15,16 +15,16 @@
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "fjsim/config.hpp"
 #include "fjsim/node.hpp"
 #include "stats/welford.hpp"
 
 namespace forktail::fjsim {
 
-struct HomogeneousConfig {
+/// Node-group knobs (replicas / policy / redundant_delay) come from the
+/// shared NodeGroupConfig base; see fjsim/config.hpp.
+struct HomogeneousConfig : NodeGroupConfig {
   std::size_t num_nodes = 10;
-  int replicas = 1;
-  Policy policy = Policy::kSingle;
-  double redundant_delay = 10.0;
   dist::DistPtr service;
   /// Nominal per-server utilization rho in (0,1); the request arrival rate
   /// is derived as lambda = rho * replicas / E[S].

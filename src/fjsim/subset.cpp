@@ -51,25 +51,11 @@ void run_loop(const SubsetConfig& config, std::vector<Node>& nodes,
 
 SubsetResult run_subset(const SubsetConfig& config) {
   const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);
-  if (config.num_nodes == 0) throw std::invalid_argument("run_subset: no nodes");
-  if (!config.service) throw std::invalid_argument("run_subset: null service");
-  if (!(config.load > 0.0 && config.load < 1.0)) {
-    throw std::invalid_argument("run_subset: load must be in (0,1)");
-  }
-  double mean_k = 0.0;
-  if (config.k_mode == KMode::kFixed) {
-    if (config.k_fixed < 1 ||
-        static_cast<std::size_t>(config.k_fixed) > config.num_nodes) {
-      throw std::invalid_argument("run_subset: k_fixed out of range");
-    }
-    mean_k = static_cast<double>(config.k_fixed);
-  } else {
-    if (config.k_lo < 1 || config.k_hi < config.k_lo ||
-        static_cast<std::size_t>(config.k_hi) > config.num_nodes) {
-      throw std::invalid_argument("run_subset: uniform k range invalid");
-    }
-    mean_k = 0.5 * static_cast<double>(config.k_lo + config.k_hi);
-  }
+  validate(config);  // k-bounds etc., as a field-typed ConfigError
+  const double mean_k =
+      config.k_mode == KMode::kFixed
+          ? static_cast<double>(config.k_fixed)
+          : 0.5 * static_cast<double>(config.k_lo + config.k_hi);
 
   util::Rng master(config.seed);
   util::Rng arrival_rng = master.split(0);

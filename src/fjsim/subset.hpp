@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "fjsim/config.hpp"
 #include "fjsim/node.hpp"
 #include "stats/welford.hpp"
 
@@ -19,11 +20,10 @@ namespace forktail::fjsim {
 
 enum class KMode : std::uint8_t { kFixed, kUniformInt };
 
-struct SubsetConfig {
+/// Node-group knobs (replicas / policy / redundant_delay) come from the
+/// shared NodeGroupConfig base; see fjsim/config.hpp.
+struct SubsetConfig : NodeGroupConfig {
   std::size_t num_nodes = 1000;
-  int replicas = 1;
-  Policy policy = Policy::kSingle;
-  double redundant_delay = 10.0;
   dist::DistPtr service;
   /// Nominal per-server utilization; lambda = rho * N * replicas / (E[k] E[S]).
   double load = 0.8;

@@ -20,6 +20,32 @@ std::string json_num(double v) {
   return buf;
 }
 
+/// Minimal string escape for the tool / scenario labels (metric names are
+/// identifier-like and need none).  obs sits below util in the layer order,
+/// so it cannot use util::json_escape.
+std::string json_str(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 /// Metric names are dotted (e.g. "fjsim.tasks"); Prometheus wants
 /// [a-zA-Z0-9_:] so dots and dashes become underscores.
 std::string prom_name(const std::string& name) {
@@ -34,9 +60,11 @@ std::string prom_name(const std::string& name) {
 
 }  // namespace
 
-RunReport RunReport::capture(const Registry& registry, std::string tool) {
+RunReport RunReport::capture(const Registry& registry, std::string tool,
+                             std::string scenario) {
   RunReport report;
   report.tool_ = std::move(tool);
+  report.scenario_ = std::move(scenario);
   report.snapshot_ = registry.snapshot();
   return report;
 }
@@ -47,7 +75,10 @@ std::string RunReport::to_json() const {
   os << "  \"schema\": \"forktail.run_report.v" << kRunReportVersion
      << "\",\n";
   os << "  \"version\": " << kRunReportVersion << ",\n";
-  os << "  \"tool\": \"" << tool_ << "\",\n";
+  os << "  \"tool\": \"" << json_str(tool_) << "\",\n";
+  if (!scenario_.empty()) {
+    os << "  \"scenario\": \"" << json_str(scenario_) << "\",\n";
+  }
   os << "  \"observability_enabled\": " << (enabled() ? "true" : "false")
      << ",\n";
   os << "  \"counters\": {";

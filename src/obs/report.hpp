@@ -25,8 +25,12 @@ inline constexpr int kRunReportVersion = 1;
 class RunReport {
  public:
   /// Snapshot `registry` now.  `tool` identifies the producing command
-  /// (e.g. "forktail bench") in the emitted document.
-  static RunReport capture(const Registry& registry, std::string tool);
+  /// (e.g. "forktail bench") in the emitted document; `scenario` optionally
+  /// names the scenario the run executed (`forktail run` passes the spec's
+  /// name).  An empty scenario is omitted from the document, so documents
+  /// without one keep the exact v1 key set.
+  static RunReport capture(const Registry& registry, std::string tool,
+                           std::string scenario = "");
 
   std::string to_json() const;
   std::string to_prometheus() const;
@@ -37,9 +41,11 @@ class RunReport {
 
   const Registry::Snapshot& snapshot() const noexcept { return snapshot_; }
   const std::string& tool() const noexcept { return tool_; }
+  const std::string& scenario() const noexcept { return scenario_; }
 
  private:
   std::string tool_;
+  std::string scenario_;
   Registry::Snapshot snapshot_;
 };
 

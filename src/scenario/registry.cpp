@@ -1,0 +1,354 @@
+#include "scenario/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/eat.hpp"
+#include "baselines/expfit.hpp"
+#include "fjsim/consolidated.hpp"
+#include "fjsim/heterogeneous.hpp"
+#include "fjsim/homogeneous.hpp"
+#include "fjsim/pipeline.hpp"
+#include "fjsim/subset.hpp"
+
+namespace forktail::scenario {
+
+namespace {
+
+core::TaskStats to_task_stats(const stats::Welford& w) {
+  return core::TaskStats{w.mean(), w.variance()};
+}
+
+// ------------------------------------------------------------- simulators
+
+class HomogeneousSimulator final : public Simulator {
+ public:
+  std::string name() const override { return "fjsim.homogeneous"; }
+
+  Outcome run(const ScenarioSpec& spec) const override {
+    const fjsim::HomogeneousConfig config = to_homogeneous_config(spec);
+    auto result = fjsim::run_homogeneous(config);
+    Outcome outcome;
+    outcome.spec = spec;
+    outcome.responses = std::move(result.responses);
+    outcome.task_stats = to_task_stats(result.task_stats);
+    outcome.service = config.service;
+    outcome.lambda = result.lambda;
+    outcome.mean_k = static_cast<double>(spec.nodes);
+    outcome.total_tasks = result.total_tasks;
+    return outcome;
+  }
+};
+
+class HeterogeneousSimulator final : public Simulator {
+ public:
+  std::string name() const override { return "fjsim.heterogeneous"; }
+
+  Outcome run(const ScenarioSpec& spec) const override {
+    const fjsim::HeterogeneousConfig config = to_heterogeneous_config(spec);
+    auto result = fjsim::run_heterogeneous(config);
+    Outcome outcome;
+    outcome.spec = spec;
+    outcome.responses = std::move(result.responses);
+    outcome.node_stats.reserve(result.node_stats.size());
+    for (const stats::Welford& node : result.node_stats) {
+      outcome.node_stats.push_back(to_task_stats(node));
+    }
+    outcome.lambda = result.lambda;
+    outcome.mean_k = static_cast<double>(spec.nodes);
+    outcome.total_tasks =
+        spec.requests * static_cast<std::uint64_t>(spec.nodes);
+    return outcome;
+  }
+};
+
+class SubsetSimulator final : public Simulator {
+ public:
+  std::string name() const override { return "fjsim.subset"; }
+
+  Outcome run(const ScenarioSpec& spec) const override {
+    const fjsim::SubsetConfig config = to_subset_config(spec);
+    auto result = fjsim::run_subset(config);
+    Outcome outcome;
+    outcome.spec = spec;
+    outcome.responses = std::move(result.responses);
+    outcome.task_stats = to_task_stats(result.task_stats);
+    outcome.responses_by_k = std::move(result.responses_by_k);
+    outcome.service = config.service;
+    outcome.lambda = result.lambda;
+    outcome.mean_k = result.mean_k;
+    outcome.total_tasks = result.total_tasks;
+    return outcome;
+  }
+};
+
+class ConsolidatedSimulator final : public Simulator {
+ public:
+  std::string name() const override { return "fjsim.consolidated"; }
+
+  Outcome run(const ScenarioSpec& spec) const override {
+    const fjsim::ConsolidatedConfig config = to_consolidated_config(spec);
+    auto result = fjsim::run_consolidated(config);
+    Outcome outcome;
+    outcome.spec = spec;
+    outcome.responses = std::move(result.target_responses);
+    outcome.task_stats = to_task_stats(result.target_task_stats);
+    outcome.lambda = result.lambda;
+    outcome.mean_k = static_cast<double>(spec.workload.target_tasks);
+    outcome.total_tasks = result.total_tasks;
+    return outcome;
+  }
+};
+
+class PipelineSimulator final : public Simulator {
+ public:
+  std::string name() const override { return "fjsim.pipeline"; }
+
+  Outcome run(const ScenarioSpec& spec) const override {
+    const fjsim::PipelineConfig config = to_pipeline_config(spec);
+    auto result = fjsim::run_pipeline(config);
+    Outcome outcome;
+    outcome.spec = spec;
+    outcome.responses = std::move(result.responses);
+    outcome.stage_stats.reserve(result.stage_task_stats.size());
+    double mean_k = 0.0;
+    for (std::size_t i = 0; i < result.stage_task_stats.size(); ++i) {
+      core::StageSpec stage;
+      stage.name = "stage-" + std::to_string(i);
+      stage.tasks = to_task_stats(result.stage_task_stats[i]);
+      stage.fanout = static_cast<double>(spec.stages[i].nodes);
+      mean_k += stage.fanout;
+      outcome.stage_stats.push_back(std::move(stage));
+    }
+    outcome.lambda = result.lambda;
+    outcome.mean_k = mean_k;
+    outcome.total_tasks =
+        spec.requests * static_cast<std::uint64_t>(mean_k);
+    return outcome;
+  }
+};
+
+// ------------------------------------------------------------- predictors
+
+/// True for the topologies whose outcome carries pooled task moments and a
+/// single fan-out (the inputs of the homogeneous family of models).
+bool pooled_stats_available(const Outcome& outcome) {
+  switch (outcome.spec.topology) {
+    case Topology::kHomogeneous:
+    case Topology::kSubset:
+    case Topology::kConsolidated:
+      return true;
+    case Topology::kHeterogeneous:
+    case Topology::kPipeline:
+      return false;
+  }
+  return false;
+}
+
+core::TaskCountMixture mixture_for(const Outcome& outcome) {
+  return core::TaskCountMixture::uniform_int(outcome.spec.k.lo,
+                                             outcome.spec.k.hi);
+}
+
+/// "forktail": the paper's model for the outcome's topology.
+class ForkTailAutoPredictor final : public Predictor {
+ public:
+  std::string name() const override { return "forktail"; }
+  bool applicable(const Outcome&) const override { return true; }
+
+  double predict(const Outcome& outcome, double p) const override {
+    switch (outcome.spec.topology) {
+      case Topology::kHomogeneous:
+        return core::homogeneous_quantile(outcome.task_stats, outcome.mean_k, p);
+      case Topology::kHeterogeneous:
+        return core::inhomogeneous_quantile(outcome.node_stats, p);
+      case Topology::kSubset:
+        if (outcome.spec.k.mode == KSpec::Mode::kUniform) {
+          return core::mixture_quantile(outcome.task_stats, mixture_for(outcome), p);
+        }
+        return core::homogeneous_quantile(
+            outcome.task_stats, static_cast<double>(outcome.spec.k.fixed), p);
+      case Topology::kConsolidated:
+        return core::homogeneous_quantile(
+            outcome.task_stats,
+            static_cast<double>(outcome.spec.workload.target_tasks), p);
+      case Topology::kPipeline:
+        return core::PipelinePredictor(outcome.stage_stats).quantile(p);
+    }
+    throw std::logic_error("forktail predictor: unhandled topology");
+  }
+};
+
+class HomogeneousPredictor final : public Predictor {
+ public:
+  std::string name() const override { return "homogeneous"; }
+  bool applicable(const Outcome& outcome) const override {
+    return pooled_stats_available(outcome);
+  }
+  double predict(const Outcome& outcome, double p) const override {
+    return core::homogeneous_quantile(outcome.task_stats, outcome.mean_k, p);
+  }
+};
+
+class InhomogeneousPredictor final : public Predictor {
+ public:
+  std::string name() const override { return "inhomogeneous"; }
+  bool applicable(const Outcome& outcome) const override {
+    return !outcome.node_stats.empty();
+  }
+  double predict(const Outcome& outcome, double p) const override {
+    return core::inhomogeneous_quantile(outcome.node_stats, p);
+  }
+};
+
+class MixturePredictor final : public Predictor {
+ public:
+  std::string name() const override { return "mixture"; }
+  bool applicable(const Outcome& outcome) const override {
+    return outcome.spec.topology == Topology::kSubset &&
+           outcome.spec.k.mode == KSpec::Mode::kUniform;
+  }
+  double predict(const Outcome& outcome, double p) const override {
+    return core::mixture_quantile(outcome.task_stats, mixture_for(outcome), p);
+  }
+};
+
+class PipelineStagePredictor final : public Predictor {
+ public:
+  std::string name() const override { return "pipeline"; }
+  bool applicable(const Outcome& outcome) const override {
+    return !outcome.stage_stats.empty();
+  }
+  double predict(const Outcome& outcome, double p) const override {
+    return core::PipelinePredictor(outcome.stage_stats).quantile(p);
+  }
+};
+
+/// White-box M/G/1 (Eqs. 10-11): needs the service distribution and the
+/// single-server M/G/1 structure (one server per node, no replication).
+class WhiteboxMg1Predictor final : public Predictor {
+ public:
+  std::string name() const override { return "whitebox-mg1"; }
+  bool applicable(const Outcome& outcome) const override {
+    return outcome.spec.topology == Topology::kHomogeneous &&
+           outcome.service != nullptr && outcome.spec.group.replicas == 1 &&
+           outcome.spec.group.policy == fjsim::Policy::kSingle;
+  }
+  double predict(const Outcome& outcome, double p) const override {
+    return core::whitebox_mg1_quantile(outcome.lambda, *outcome.service,
+                                       outcome.mean_k, p);
+  }
+};
+
+class ExpFitPredictor final : public Predictor {
+ public:
+  std::string name() const override { return "expfit"; }
+  bool applicable(const Outcome& outcome) const override {
+    return pooled_stats_available(outcome);
+  }
+  double predict(const Outcome& outcome, double p) const override {
+    return baselines::exponential_fit_quantile(outcome.task_stats,
+                                               outcome.mean_k, p);
+  }
+};
+
+class EatBaselinePredictor final : public Predictor {
+ public:
+  std::string name() const override { return "eat"; }
+  bool applicable(const Outcome& outcome) const override {
+    return outcome.spec.topology == Topology::kHomogeneous &&
+           outcome.service != nullptr && outcome.service->has_lst() &&
+           outcome.spec.group.replicas == 1 &&
+           outcome.spec.group.policy == fjsim::Policy::kSingle;
+  }
+  double predict(const Outcome& outcome, double p) const override {
+    return baselines::EatPredictor(outcome.lambda, outcome.service,
+                                   outcome.spec.nodes)
+        .quantile(p);
+  }
+};
+
+}  // namespace
+
+// -------------------------------------------------------------- registries
+
+SimulatorRegistry& SimulatorRegistry::global() {
+  static SimulatorRegistry* registry = [] {
+    auto* r = new SimulatorRegistry;
+    r->register_simulator(Topology::kHomogeneous,
+                          std::make_unique<HomogeneousSimulator>());
+    r->register_simulator(Topology::kHeterogeneous,
+                          std::make_unique<HeterogeneousSimulator>());
+    r->register_simulator(Topology::kSubset, std::make_unique<SubsetSimulator>());
+    r->register_simulator(Topology::kConsolidated,
+                          std::make_unique<ConsolidatedSimulator>());
+    r->register_simulator(Topology::kPipeline,
+                          std::make_unique<PipelineSimulator>());
+    return r;
+  }();
+  return *registry;
+}
+
+void SimulatorRegistry::register_simulator(Topology topology,
+                                           std::unique_ptr<Simulator> simulator) {
+  simulators_[topology] = std::move(simulator);
+}
+
+const Simulator& SimulatorRegistry::for_topology(Topology topology) const {
+  const auto it = simulators_.find(topology);
+  if (it == simulators_.end()) {
+    throw std::logic_error("no simulator registered for topology " +
+                           topology_name(topology));
+  }
+  return *it->second;
+}
+
+Outcome SimulatorRegistry::run(const ScenarioSpec& spec) const {
+  validate(spec);
+  return for_topology(spec.topology).run(spec);
+}
+
+PredictorRegistry& PredictorRegistry::global() {
+  static PredictorRegistry* registry = [] {
+    auto* r = new PredictorRegistry;
+    r->register_predictor(std::make_unique<ForkTailAutoPredictor>());
+    r->register_predictor(std::make_unique<HomogeneousPredictor>());
+    r->register_predictor(std::make_unique<InhomogeneousPredictor>());
+    r->register_predictor(std::make_unique<MixturePredictor>());
+    r->register_predictor(std::make_unique<PipelineStagePredictor>());
+    r->register_predictor(std::make_unique<WhiteboxMg1Predictor>());
+    r->register_predictor(std::make_unique<ExpFitPredictor>());
+    r->register_predictor(std::make_unique<EatBaselinePredictor>());
+    return r;
+  }();
+  return *registry;
+}
+
+void PredictorRegistry::register_predictor(std::unique_ptr<Predictor> predictor) {
+  predictors_.push_back(std::move(predictor));
+}
+
+const Predictor* PredictorRegistry::find(const std::string& name) const {
+  for (const auto& p : predictors_) {
+    if (p->name() == name) return p.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> PredictorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(predictors_.size());
+  for (const auto& p : predictors_) out.push_back(p->name());
+  return out;
+}
+
+std::vector<const Predictor*> PredictorRegistry::applicable(
+    const Outcome& outcome) const {
+  std::vector<const Predictor*> out;
+  for (const auto& p : predictors_) {
+    if (p->applicable(outcome)) out.push_back(p.get());
+  }
+  return out;
+}
+
+}  // namespace forktail::scenario

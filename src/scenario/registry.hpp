@@ -1,0 +1,102 @@
+// Simulator and predictor registries: the dispatch half of the scenario
+// layer.
+//
+// A ScenarioSpec names a topology; the SimulatorRegistry maps it to the
+// fjsim engine that simulates it and normalises the engine's result into a
+// single Outcome shape (responses + black-box task moments).  The
+// PredictorRegistry maps model names (the paper's predictors plus the
+// baselines) onto Outcomes, so a (spec, predictor, percentiles) triple
+// fully describes one experiment cell and `forktail run --predict all`
+// can evaluate every applicable model in one pass.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/predictor.hpp"
+#include "dist/distribution.hpp"
+#include "scenario/spec.hpp"
+
+namespace forktail::scenario {
+
+/// Normalised result of simulating one spec: everything any predictor in
+/// the roster consumes, regardless of which engine produced it.
+struct Outcome {
+  ScenarioSpec spec;  ///< the spec that produced this outcome
+
+  std::vector<double> responses;  ///< measured request/job response times
+  core::TaskStats task_stats;     ///< pooled black-box task moments
+  /// Heterogeneous: one (mean, variance) per fork node (Eq. 4/5 inputs).
+  std::vector<core::TaskStats> node_stats;
+  /// Pipeline: per-stage black-box moments + fan-out (PipelinePredictor
+  /// inputs).
+  std::vector<core::StageSpec> stage_stats;
+  /// Subset with group_by_k: measured responses bucketed by the request's k.
+  std::map<int, std::vector<double>> responses_by_k;
+
+  dist::DistPtr service;  ///< shared service distribution (when one exists)
+  double lambda = 0.0;    ///< request/job arrival rate the engine derived
+  double mean_k = 0.0;    ///< expected fan-out per request
+  std::uint64_t total_tasks = 0;
+};
+
+/// One simulator family: consumes a validated spec, produces an Outcome.
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+  virtual std::string name() const = 0;
+  virtual Outcome run(const ScenarioSpec& spec) const = 0;
+};
+
+/// Topology -> engine dispatch.  The five fjsim engines are registered at
+/// static-init time; tests can register additional ones.
+class SimulatorRegistry {
+ public:
+  /// Process-wide registry pre-populated with the fjsim engines.
+  static SimulatorRegistry& global();
+
+  void register_simulator(Topology topology, std::unique_ptr<Simulator> simulator);
+  const Simulator& for_topology(Topology topology) const;
+
+  /// validate(spec) then dispatch to the registered engine.
+  Outcome run(const ScenarioSpec& spec) const;
+
+ private:
+  std::map<Topology, std::unique_ptr<Simulator>> simulators_;
+};
+
+/// One tail-latency model evaluated on an Outcome.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  virtual std::string name() const = 0;
+  /// Whether this model can run on the outcome (e.g. the white-box M/G/1
+  /// needs a known service distribution; EAT additionally needs its LST).
+  virtual bool applicable(const Outcome& outcome) const = 0;
+  /// Predicted p-th percentile (ms) of the request response time.
+  virtual double predict(const Outcome& outcome, double percentile) const = 0;
+};
+
+/// Name -> model dispatch: the ForkTail predictors (homogeneous /
+/// inhomogeneous / mixture / white-box M/G/1 / pipeline), the baselines
+/// (expfit, EAT), and "forktail", which picks the paper's model for the
+/// outcome's topology.
+class PredictorRegistry {
+ public:
+  static PredictorRegistry& global();
+
+  void register_predictor(std::unique_ptr<Predictor> predictor);
+  /// nullptr when unknown.
+  const Predictor* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::vector<const Predictor*> applicable(const Outcome& outcome) const;
+
+ private:
+  std::vector<std::unique_ptr<Predictor>> predictors_;
+};
+
+}  // namespace forktail::scenario

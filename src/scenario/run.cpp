@@ -1,0 +1,106 @@
+#include "scenario/run.hpp"
+
+#include <stdexcept>
+
+#include "stats/percentile.hpp"
+#include "stats/summary.hpp"
+
+namespace forktail::scenario {
+
+ScenarioReport run_scenario(const ScenarioSpec& spec,
+                            const std::vector<std::string>& predictors,
+                            const std::vector<double>& percentiles) {
+  for (const double p : percentiles) {
+    if (!(p > 0.0 && p < 100.0)) {
+      throw std::invalid_argument("percentile must be in (0, 100), got " +
+                                  std::to_string(p));
+    }
+  }
+
+  ScenarioReport report;
+  report.outcome = SimulatorRegistry::global().run(spec);
+  report.percentiles = percentiles;
+  report.measured_ms =
+      stats::percentiles(report.outcome.responses, percentiles);
+
+  const PredictorRegistry& registry = PredictorRegistry::global();
+  std::vector<const Predictor*> selected;
+  if (predictors.size() == 1 && predictors.front() == "all") {
+    selected = registry.applicable(report.outcome);
+  } else {
+    for (const std::string& name : predictors) {
+      const Predictor* predictor = registry.find(name);
+      if (predictor == nullptr) {
+        std::string known;
+        for (const auto& n : registry.names()) {
+          known += (known.empty() ? "" : " | ") + n;
+        }
+        throw std::invalid_argument("unknown predictor: " + name + " (want " +
+                                    known + " | all)");
+      }
+      if (!predictor->applicable(report.outcome)) {
+        throw std::invalid_argument(
+            "predictor " + name + " is not applicable to a " +
+            topology_name(spec.topology) + " scenario");
+      }
+      selected.push_back(predictor);
+    }
+  }
+
+  for (const Predictor* predictor : selected) {
+    PredictionRow row;
+    row.predictor = predictor->name();
+    for (std::size_t i = 0; i < percentiles.size(); ++i) {
+      const double predicted = predictor->predict(report.outcome, percentiles[i]);
+      row.predicted_ms.push_back(predicted);
+      row.error_pct.push_back(
+          stats::relative_error_pct(predicted, report.measured_ms[i]));
+    }
+    report.predictions.push_back(std::move(row));
+  }
+  return report;
+}
+
+util::Json to_json(const ScenarioReport& report) {
+  util::Json doc = util::Json::object();
+  doc.set("schema", "forktail.scenario_report.v1");
+  doc.set("scenario", to_json(report.outcome.spec));
+
+  util::Json sim = util::Json::object();
+  sim.set("responses", report.outcome.responses.size());
+  sim.set("lambda", report.outcome.lambda);
+  sim.set("mean_k", report.outcome.mean_k);
+  sim.set("total_tasks", report.outcome.total_tasks);
+  sim.set("task_mean_ms", report.outcome.task_stats.mean);
+  sim.set("task_variance", report.outcome.task_stats.variance);
+  doc.set("simulation", std::move(sim));
+
+  util::Json percentiles = util::Json::array();
+  for (std::size_t i = 0; i < report.percentiles.size(); ++i) {
+    util::Json row = util::Json::object();
+    row.set("p", report.percentiles[i]);
+    row.set("measured_ms", report.measured_ms[i]);
+    percentiles.push_back(std::move(row));
+  }
+  doc.set("measured", std::move(percentiles));
+
+  util::Json predictions = util::Json::array();
+  for (const PredictionRow& row : report.predictions) {
+    util::Json p = util::Json::object();
+    p.set("predictor", row.predictor);
+    util::Json values = util::Json::array();
+    for (std::size_t i = 0; i < report.percentiles.size(); ++i) {
+      util::Json cell = util::Json::object();
+      cell.set("p", report.percentiles[i]);
+      cell.set("predicted_ms", row.predicted_ms[i]);
+      cell.set("error_pct", row.error_pct[i]);
+      values.push_back(std::move(cell));
+    }
+    p.set("values", std::move(values));
+    predictions.push_back(std::move(p));
+  }
+  doc.set("predictions", std::move(predictions));
+  return doc;
+}
+
+}  // namespace forktail::scenario

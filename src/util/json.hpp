@@ -1,0 +1,106 @@
+// Minimal JSON value type with a recursive-descent parser and a
+// deterministic writer.
+//
+// Grown out of the in-test reader that test_report_schema.cpp used to pin
+// the RunReport / BENCH_replay schemas; promoted here so the scenario layer
+// (ScenarioSpec files), the observability reports, and the tests all share
+// one implementation instead of ad-hoc readers.  Deliberately small: no
+// third-party dependency, object keys kept in sorted (std::map) order so
+// serialization is deterministic, numbers emitted with round-trip (%.17g)
+// precision so parse(dump(x)) == x for every finite double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace forktail::util {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // ------------------------------------------------------------ builders
+  Json() = default;  ///< null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) : kind_(Kind::kNumber), number_(v) {}
+  Json(int v) : kind_(Kind::kNumber), number_(v) {}
+  Json(std::int64_t v) : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  Json(std::string s) : kind_(Kind::kString), text_(std::move(s)) {}
+  Json(const char* s) : kind_(Kind::kString), text_(s) {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  /// Parse a complete JSON document.  Throws std::runtime_error with a
+  /// byte offset on malformed input.
+  static Json parse(const std::string& text);
+
+  // ----------------------------------------------------------- accessors
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+
+  /// Typed extraction; throws std::runtime_error on kind mismatch.
+  double as_number() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+
+  // ------------------------------------------------------ object surface
+  /// True when this is an object containing `key`.
+  bool contains(const std::string& key) const;
+  /// Member access; throws std::runtime_error when absent or not an object.
+  const Json& at(const std::string& key) const;
+  /// Insert-or-assign on an object (null values upgrade to objects).
+  Json& set(const std::string& key, Json value);
+  std::set<std::string> keys() const;
+  const std::map<std::string, Json>& fields() const noexcept { return fields_; }
+
+  // ------------------------------------------------------- array surface
+  /// Append to an array (null values upgrade to arrays).
+  Json& push_back(Json value);
+  const std::vector<Json>& items() const noexcept { return items_; }
+  std::size_t size() const noexcept;
+
+  // -------------------------------------------------------- serialization
+  /// Deterministic serialization: object keys in sorted order, numbers at
+  /// round-trip precision.  `indent` > 0 pretty-prints; 0 emits compact.
+  std::string dump(int indent = 2) const;
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  double number_ = 0.0;
+  bool bool_ = false;
+  std::string text_;
+  std::vector<Json> items_;
+  std::map<std::string, Json> fields_;
+};
+
+/// Escape a string for embedding in a JSON document (without quotes).
+std::string json_escape(const std::string& text);
+
+/// Read an entire file into a string; throws std::runtime_error when the
+/// file cannot be opened.
+std::string read_text_file(const std::string& path);
+
+}  // namespace forktail::util

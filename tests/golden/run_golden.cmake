@@ -1,0 +1,35 @@
+# Golden-output regression runner (invoked via `cmake -P` from ctest).
+#
+# Runs a fig/table binary at smoke scale with CSV output and compares the
+# result byte-for-byte against the CSV pinned in tests/golden/.  The
+# goldens were captured from the pre-ScenarioSpec hand-wired benches, so a
+# passing test is a proof that the declarative layer reproduces the old
+# construction exactly (same seeds, same sample counts, same math).
+#
+# Variables (all required, passed with -D):
+#   BINARY -- the bench executable to run
+#   GOLDEN -- the pinned CSV to compare against
+#   OUTPUT -- scratch path for the fresh CSV
+foreach(var BINARY GOLDEN OUTPUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_golden.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${BINARY} --scale smoke --csv true
+  OUTPUT_FILE ${OUTPUT}
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${BINARY} exited with status ${run_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUTPUT} ${GOLDEN}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "golden mismatch: ${OUTPUT} differs from ${GOLDEN}.\n"
+    "The refactor changed bench output -- diff the two files; if the "
+    "change is intended, re-pin the golden deliberately.")
+endif()

@@ -1,0 +1,22 @@
+// Shared JSON helpers for tests.
+//
+// The schema-pinning tests used to carry their own ~200-line
+// recursive-descent reader; that reader grew into util::Json
+// (src/util/json.hpp) when the scenario layer needed JSON too.  Tests go
+// through this header so they all parse documents and tracked artifacts
+// the same way the production code does.
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace forktail::test_support {
+
+/// Parse a JSON document from a file on disk.  Throws std::runtime_error
+/// (with the offending byte offset) on malformed input or a missing file.
+inline util::Json parse_json_file(const std::string& path) {
+  return util::Json::parse(util::read_text_file(path));
+}
+
+}  // namespace forktail::test_support

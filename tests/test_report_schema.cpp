@@ -4,22 +4,17 @@
 // being renamed is an API break for dashboards -- these tests pin the key
 // sets so such a change has to be made deliberately (and versioned).
 //
-// The validation uses a minimal recursive-descent JSON reader local to
-// this file: enough to walk objects/arrays and extract key sets, with no
-// third-party dependency.
+// Documents are walked with util::Json via the shared test helper (the
+// in-test reader this file used to carry was promoted to src/util/json).
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <fstream>
-#include <map>
 #include <set>
-#include <sstream>
-#include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "support/json_test.hpp"
+#include "util/json.hpp"
 
 #ifndef FORKTAIL_SOURCE_DIR
 #define FORKTAIL_SOURCE_DIR "."
@@ -28,220 +23,39 @@
 namespace forktail {
 namespace {
 
-// ------------------------------------------------------- mini JSON reader
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  double number = 0.0;
-  bool boolean = false;
-  std::string text;
-  std::vector<JsonValue> items;
-  std::map<std::string, JsonValue> fields;
-
-  std::set<std::string> keys() const {
-    std::set<std::string> out;
-    for (const auto& [k, v] : fields) out.insert(k);
-    return out;
-  }
-  const JsonValue& at(const std::string& key) const {
-    const auto it = fields.find(key);
-    if (it == fields.end()) throw std::runtime_error("missing key: " + key);
-    return it->second;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(std::string text) : text_(std::move(text)) {}
-
-  JsonValue parse() {
-    const JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content");
-    return v;
-  }
-
- private:
-  std::string text_;
-  std::size_t pos_ = 0;
-
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("json parse error at byte " +
-                             std::to_string(pos_) + ": " + why);
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"':
-        return string_value();
-      case 't':
-      case 'f':
-        return boolean();
-      case 'n':
-        return null();
-      default:
-        return number();
-    }
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    expect('{');
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      const std::string key = raw_string();
-      expect(':');
-      v.fields.emplace(key, value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    expect('[');
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.items.push_back(value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string raw_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) fail("bad escape");
-      }
-      out.push_back(text_[pos_++]);
-    }
-    if (pos_ >= text_.size()) fail("unterminated string");
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  JsonValue string_value() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    v.text = raw_string();
-    return v;
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      fail("bad literal");
-    }
-    return v;
-  }
-
-  JsonValue null() {
-    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
-    pos_ += 4;
-    return {};
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected number");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.number = std::stod(text_.substr(start, pos_ - start));
-    return v;
-  }
-};
-
-std::string read_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open " + path);
-  std::ostringstream os;
-  os << is.rdbuf();
-  return os.str();
-}
+using test_support::parse_json_file;
+using util::Json;
 
 // ------------------------------------------------ BENCH_replay.json schema
 
 TEST(ReportSchema, BenchReplayBaselineKeySet) {
-  const JsonValue doc = JsonReader(read_file(std::string(FORKTAIL_SOURCE_DIR) +
-                                             "/BENCH_replay.json"))
-                            .parse();
+  const Json doc = parse_json_file(std::string(FORKTAIL_SOURCE_DIR) +
+                                   "/BENCH_replay.json");
   const std::set<std::string> expected_top = {
       "benchmark",       "scale",          "seed",
       "reps",            "threads",        "default_batch",
       "scalar_pipeline", "batched_pipeline", "peak_rss_kib",
       "workloads"};
   EXPECT_EQ(doc.keys(), expected_top);
-  EXPECT_EQ(doc.at("benchmark").text, "bench_replay");
+  EXPECT_EQ(doc.at("benchmark").as_string(), "bench_replay");
 
-  const JsonValue& workloads = doc.at("workloads");
-  ASSERT_EQ(workloads.kind, JsonValue::Kind::kArray);
-  ASSERT_FALSE(workloads.items.empty());
+  const Json& workloads = doc.at("workloads");
+  ASSERT_TRUE(workloads.is_array());
+  ASSERT_FALSE(workloads.items().empty());
   const std::set<std::string> expected_workload = {
       "name",   "kind",    "tasks_per_run", "p99_response",
       "paths_identical", "scalar", "batched",      "speedup_p50"};
   const std::set<std::string> expected_path = {
       "seconds_p50", "tasks_per_sec_p50", "tasks_per_sec_p95"};
-  for (const JsonValue& w : workloads.items) {
-    EXPECT_EQ(w.keys(), expected_workload) << "workload " << w.at("name").text;
+  for (const Json& w : workloads.items()) {
+    EXPECT_EQ(w.keys(), expected_workload) << "workload " << w.at("name").as_string();
     EXPECT_EQ(w.at("scalar").keys(), expected_path);
     EXPECT_EQ(w.at("batched").keys(), expected_path);
     // The contract the benchmark enforces at runtime must hold in the
     // tracked baseline too.
-    EXPECT_TRUE(w.at("paths_identical").boolean)
-        << "workload " << w.at("name").text;
-    EXPECT_GT(w.at("speedup_p50").number, 0.0);
+    EXPECT_TRUE(w.at("paths_identical").as_bool())
+        << "workload " << w.at("name").as_string();
+    EXPECT_GT(w.at("speedup_p50").as_number(), 0.0);
   }
 }
 
@@ -255,39 +69,58 @@ TEST(ReportSchema, RunReportV1KeySet) {
   for (double v : {0.001, 0.002, 0.004, 0.1}) h.record(v);
 
   const obs::RunReport report = obs::RunReport::capture(registry, "schema-test");
-  const JsonValue doc = JsonReader(report.to_json()).parse();
+  const Json doc = Json::parse(report.to_json());
 
   const std::set<std::string> expected_top = {
       "schema",   "version", "tool",      "observability_enabled",
       "counters", "gauges",  "histograms"};
   EXPECT_EQ(doc.keys(), expected_top);
-  EXPECT_EQ(doc.at("schema").text, "forktail.run_report.v1");
-  EXPECT_EQ(doc.at("version").number, obs::kRunReportVersion);
-  EXPECT_EQ(doc.at("tool").text, "schema-test");
+  EXPECT_EQ(doc.at("schema").as_string(), "forktail.run_report.v1");
+  EXPECT_EQ(doc.at("version").as_number(), obs::kRunReportVersion);
+  EXPECT_EQ(doc.at("tool").as_string(), "schema-test");
 
   if (!obs::enabled()) {
-    EXPECT_FALSE(doc.at("observability_enabled").boolean);
+    EXPECT_FALSE(doc.at("observability_enabled").as_bool());
     return;  // stub registry carries no metrics
   }
-  EXPECT_TRUE(doc.at("observability_enabled").boolean);
-  EXPECT_EQ(doc.at("counters").at("events").number, 5.0);
-  EXPECT_EQ(doc.at("gauges").at("depth").number, 2.0);
+  EXPECT_TRUE(doc.at("observability_enabled").as_bool());
+  EXPECT_EQ(doc.at("counters").at("events").as_number(), 5.0);
+  EXPECT_EQ(doc.at("gauges").at("depth").as_number(), 2.0);
 
-  const JsonValue& hist = doc.at("histograms").at("latency");
+  const Json& hist = doc.at("histograms").at("latency");
   const std::set<std::string> expected_hist = {
       "count", "sum", "mean", "min", "max", "p50", "p95", "p99", "p999",
       "buckets"};
   EXPECT_EQ(hist.keys(), expected_hist);
-  EXPECT_EQ(hist.at("count").number, 4.0);
-  const JsonValue& buckets = hist.at("buckets");
-  ASSERT_EQ(buckets.kind, JsonValue::Kind::kArray);
-  ASSERT_FALSE(buckets.items.empty());
-  for (const JsonValue& b : buckets.items) {
+  EXPECT_EQ(hist.at("count").as_number(), 4.0);
+  const Json& buckets = hist.at("buckets");
+  ASSERT_TRUE(buckets.is_array());
+  ASSERT_FALSE(buckets.items().empty());
+  for (const Json& b : buckets.items()) {
     // Each bucket is a [lo, hi, count] triple with lo < hi.
-    ASSERT_EQ(b.items.size(), 3u);
-    EXPECT_LT(b.items[0].number, b.items[1].number);
-    EXPECT_GE(b.items[2].number, 1.0);
+    ASSERT_EQ(b.items().size(), 3u);
+    EXPECT_LT(b.items()[0].as_number(), b.items()[1].as_number());
+    EXPECT_GE(b.items()[2].as_number(), 1.0);
   }
+}
+
+// A scenario-labeled report (what `forktail run` emits) adds exactly one
+// key; an empty label keeps the v1 key set above, so documents from older
+// tools stay schema-identical.
+TEST(ReportSchema, RunReportScenarioLabel) {
+  obs::Registry registry;
+  const obs::RunReport labeled =
+      obs::RunReport::capture(registry, "forktail run", "subset-fixed-k100");
+  const Json doc = Json::parse(labeled.to_json());
+  const std::set<std::string> expected_top = {
+      "schema",   "version", "tool",      "observability_enabled",
+      "scenario", "counters", "gauges",  "histograms"};
+  EXPECT_EQ(doc.keys(), expected_top);
+  EXPECT_EQ(doc.at("scenario").as_string(), "subset-fixed-k100");
+
+  const obs::RunReport unlabeled =
+      obs::RunReport::capture(registry, "forktail run");
+  EXPECT_FALSE(Json::parse(unlabeled.to_json()).contains("scenario"));
 }
 
 TEST(ReportSchema, RunReportJsonIsParseableAfterRealRun) {
@@ -296,8 +129,8 @@ TEST(ReportSchema, RunReportJsonIsParseableAfterRealRun) {
   const obs::RunReport report =
       obs::RunReport::capture(obs::Registry::global(), "forktail_tests");
   EXPECT_NO_THROW({
-    const JsonValue doc = JsonReader(report.to_json()).parse();
-    EXPECT_EQ(doc.at("schema").text, "forktail.run_report.v1");
+    const Json doc = Json::parse(report.to_json());
+    EXPECT_EQ(doc.at("schema").as_string(), "forktail.run_report.v1");
   });
 }
 

@@ -1,0 +1,279 @@
+// ScenarioSpec JSON contract tests.
+//
+// Two properties the declarative layer stands on:
+//   1. Round-trip identity: parse(to_json(spec)) == spec for every valid
+//      spec (serialization is total, parsing is its exact inverse), so a
+//      spec can move through files, reports, and registries losslessly.
+//   2. Malformed documents are rejected loudly with a typed ConfigError
+//      naming the offending field -- a typo or an out-of-range value must
+//      never silently run the default configuration.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fjsim/config.hpp"
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+
+namespace forktail {
+namespace {
+
+using fjsim::ConfigError;
+using scenario::KSpec;
+using scenario::ScenarioSpec;
+using scenario::ServiceSpec;
+using scenario::StageSpec;
+using scenario::Topology;
+
+// Non-default specs, one per topology, exercising every section of the
+// document.
+ScenarioSpec homogeneous_spec() {
+  ScenarioSpec spec;
+  spec.name = "round-trip-homogeneous";
+  spec.topology = Topology::kHomogeneous;
+  spec.nodes = 48;
+  spec.group.replicas = 3;
+  spec.group.policy = fjsim::Policy::kRedundant;
+  spec.group.redundant_delay = 7.5;
+  spec.service = ServiceSpec{"Weibull", 6.25};
+  spec.load = 0.85;
+  spec.requests = 12345;
+  spec.warmup_fraction = 0.3;
+  spec.seed = 0xDEADBEEF;
+  spec.max_parallelism = 4;
+  spec.batch = 512;
+  return spec;
+}
+
+ScenarioSpec heterogeneous_spec() {
+  ScenarioSpec spec;
+  spec.name = "round-trip-heterogeneous";
+  spec.topology = Topology::kHeterogeneous;
+  spec.nodes = 3;
+  spec.services = {ServiceSpec{"Exponential", 1.0}, ServiceSpec{"Erlang-2", 2.0},
+                   ServiceSpec{"Exponential", 4.0}};
+  spec.heterogeneity.spread = 10.0;
+  spec.heterogeneity.seed = 99;
+  spec.load = 0.7;
+  return spec;
+}
+
+ScenarioSpec subset_spec() {
+  ScenarioSpec spec;
+  spec.name = "round-trip-subset";
+  spec.topology = Topology::kSubset;
+  spec.nodes = 1000;
+  spec.service = ServiceSpec{"TruncPareto", 0.0};
+  spec.k.mode = KSpec::Mode::kUniform;
+  spec.k.lo = 80;
+  spec.k.hi = 120;
+  spec.load = 0.9;
+  spec.group_by_k = true;
+  return spec;
+}
+
+ScenarioSpec consolidated_spec() {
+  ScenarioSpec spec;
+  spec.name = "round-trip-consolidated";
+  spec.topology = Topology::kConsolidated;
+  spec.nodes = 500;
+  spec.group.replicas = 3;
+  spec.group.policy = fjsim::Policy::kRoundRobin;
+  spec.workload.min_mean_ms = 2.0;
+  spec.workload.max_mean_ms = 800.0;
+  spec.workload.target_fraction = 0.2;
+  spec.workload.target_tasks = 250;
+  spec.workload.target_mean_ms = 40.0;
+  spec.workload.service_floor = 0.1;
+  spec.load = 0.8;
+  return spec;
+}
+
+ScenarioSpec pipeline_spec() {
+  ScenarioSpec spec;
+  spec.name = "round-trip-pipeline";
+  spec.topology = Topology::kPipeline;
+  spec.stages = {StageSpec{16, ServiceSpec{"Exponential", 2.0}},
+                 StageSpec{64, ServiceSpec{"HyperExp2", 0.0}}};
+  spec.load = 0.75;
+  return spec;
+}
+
+// --------------------------------------------------------- round trips
+
+TEST(ScenarioSpec, RoundTripIsIdentityForEveryTopology) {
+  for (const ScenarioSpec& spec :
+       {homogeneous_spec(), heterogeneous_spec(), subset_spec(),
+        consolidated_spec(), pipeline_spec()}) {
+    EXPECT_NO_THROW(scenario::validate(spec)) << spec.name;
+    const util::Json doc = scenario::to_json(spec);
+    EXPECT_EQ(scenario::parse_scenario(doc), spec) << spec.name;
+    // Through text as well: serialize -> parse -> serialize is a fixpoint.
+    const std::string text = doc.dump();
+    EXPECT_EQ(scenario::parse_scenario_text(text), spec) << spec.name;
+    EXPECT_EQ(scenario::to_json(scenario::parse_scenario_text(text)).dump(), text)
+        << spec.name;
+  }
+}
+
+TEST(ScenarioSpec, SerializedDocumentCarriesSchemaTag) {
+  const util::Json doc = scenario::to_json(homogeneous_spec());
+  EXPECT_EQ(doc.at("schema").as_string(), scenario::kScenarioSchema);
+}
+
+TEST(ScenarioSpec, MissingKeysTakeDefaults) {
+  const ScenarioSpec parsed =
+      scenario::parse_scenario_text(R"({"topology": "homogeneous"})");
+  EXPECT_EQ(parsed, ScenarioSpec{});  // defaults are a homogeneous spec
+}
+
+// ---------------------------------------------------------- rejections
+
+// Expect `fn` to throw ConfigError whose field() is exactly `field`.
+template <typename Fn>
+void expect_config_error(const std::string& field, Fn&& fn) {
+  try {
+    fn();
+    FAIL() << "expected ConfigError on field " << field;
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.field(), field) << e.what();
+  }
+}
+
+TEST(ScenarioSpec, RejectsUnknownTopology) {
+  expect_config_error("topology", [] {
+    scenario::parse_scenario_text(R"({"topology": "mesh"})");
+  });
+}
+
+TEST(ScenarioSpec, RejectsMissingTopology) {
+  expect_config_error("topology",
+                      [] { scenario::parse_scenario_text(R"({"nodes": 4})"); });
+}
+
+TEST(ScenarioSpec, RejectsUnknownSchema) {
+  expect_config_error("schema", [] {
+    scenario::parse_scenario_text(
+        R"({"schema": "forktail.scenario.v999", "topology": "homogeneous"})");
+  });
+}
+
+TEST(ScenarioSpec, RejectsUnknownTopLevelKey) {
+  expect_config_error("noodles", [] {
+    scenario::parse_scenario_text(R"({"topology": "homogeneous", "noodles": 4})");
+  });
+}
+
+TEST(ScenarioSpec, RejectsTypoInNestedSection) {
+  // "replica" (singular) must not silently leave replicas at the default.
+  expect_config_error("group.replica", [] {
+    scenario::parse_scenario_text(
+        R"({"topology": "homogeneous", "group": {"replica": 3}})");
+  });
+}
+
+TEST(ScenarioSpec, RejectsUnknownDistribution) {
+  ScenarioSpec spec = homogeneous_spec();
+  spec.service.dist = "Zipf";
+  expect_config_error("service.dist", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsEmpiricalMeanOverride) {
+  ScenarioSpec spec;
+  spec.service = ServiceSpec{"Empirical", 9.0};  // Empirical mean is fixed
+  expect_config_error("service.mean", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsRhoAtOrAboveOne) {
+  ScenarioSpec spec;
+  spec.load = 1.0;
+  expect_config_error("load", [&] { scenario::validate(spec); });
+  spec.load = 1.5;
+  expect_config_error("load", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsZeroRequests) {
+  ScenarioSpec spec;
+  spec.requests = 0;
+  expect_config_error("samples.requests", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsFixedKAboveN) {
+  ScenarioSpec spec = subset_spec();
+  spec.k.mode = KSpec::Mode::kFixed;
+  spec.k.fixed = static_cast<int>(spec.nodes) + 1;
+  expect_config_error("SubsetConfig.k_fixed", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsUniformKDefaultsOfZero) {
+  // The old silent-default failure mode: KMode::kUniformInt with the
+  // default k_lo = k_hi = 0 used to simulate k = 0 requests; it must now
+  // fail up front.
+  ScenarioSpec spec = subset_spec();
+  spec.k.lo = 0;
+  spec.k.hi = 0;
+  expect_config_error("SubsetConfig.k_lo", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsInvertedUniformKRange) {
+  ScenarioSpec spec = subset_spec();
+  spec.k.lo = 120;
+  spec.k.hi = 80;
+  expect_config_error("SubsetConfig.k_hi", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsUniformKHiAboveN) {
+  ScenarioSpec spec = subset_spec();
+  spec.k.hi = static_cast<int>(spec.nodes) + 5;
+  expect_config_error("SubsetConfig.k_hi", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsSubsetWithoutKMode) {
+  ScenarioSpec spec = subset_spec();
+  spec.k = KSpec{};  // mode = kAll
+  expect_config_error("k.mode", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsHomogeneousWithSubsetK) {
+  ScenarioSpec spec;  // homogeneous forks to every node
+  spec.k.mode = KSpec::Mode::kFixed;
+  spec.k.fixed = 4;
+  expect_config_error("k.mode", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsHeterogeneousServiceCountMismatch) {
+  ScenarioSpec spec = heterogeneous_spec();
+  spec.nodes = 5;  // but only 3 explicit services
+  expect_config_error("services", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsConsolidatedTargetTasksAboveNodes) {
+  ScenarioSpec spec = consolidated_spec();
+  spec.workload.target_tasks = static_cast<std::uint32_t>(spec.nodes) + 1;
+  expect_config_error("workload.target_tasks",
+                      [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsEmptyPipeline) {
+  ScenarioSpec spec = pipeline_spec();
+  spec.stages.clear();
+  expect_config_error("stages", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsNonIntegerCounts) {
+  EXPECT_THROW(scenario::parse_scenario_text(
+                   R"({"topology": "homogeneous", "nodes": 3.5})"),
+               ConfigError);
+  EXPECT_THROW(scenario::parse_scenario_text(
+                   R"({"topology": "homogeneous", "samples": {"requests": -1}})"),
+               ConfigError);
+}
+
+TEST(ScenarioSpec, MalformedJsonIsARuntimeError) {
+  EXPECT_THROW(scenario::parse_scenario_text("{\"topology\": "), std::runtime_error);
+  EXPECT_THROW(scenario::load_scenario_file("/nonexistent/scenario.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace forktail

@@ -11,6 +11,8 @@
 //   forktail samples  --mean 42 --variance 1764 --k 100 --precision 0.05
 //   forktail sweep    --dists Exponential,Weibull --node-counts 10,100
 //                     --loads 0.5,0.9 --replicas 3 --threads 4
+//   forktail run      examples/homogeneous.json [--predict all] [--p 95,99]
+//                     [--scale smoke] [--metrics-out report.json]
 //   forktail bench    [--scale smoke] [--reps 5] [--out BENCH_replay.json]
 //
 // All times are in whatever unit the inputs use; the tool is unit-agnostic.
@@ -23,6 +25,7 @@
 #include "core/forktail.hpp"
 #include "obs/report.hpp"
 #include "replay_bench.hpp"
+#include "scenario/run.hpp"
 #include "sweep.hpp"
 #include "util/cli.hpp"
 
@@ -270,6 +273,91 @@ int cmd_sweep(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_run(int argc, const char* const* argv) {
+  // Execute one declarative scenario file end to end: parse + validate the
+  // spec, dispatch it through the simulator registry, measure the requested
+  // percentiles, and evaluate the requested predictors on the outcome.
+  std::string path;
+  std::vector<const char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  util::CliFlags flags;
+  flags.declare("predict", "forktail",
+                "comma-separated predictor names; 'all' runs every model "
+                "applicable to the scenario, 'none' skips prediction");
+  flags.declare("p", "99", "comma-separated percentiles");
+  flags.declare("scale", "default",
+                "sample-count scale: smoke (0.1x), default, full (5x)");
+  flags.declare("threads", "0",
+                "worker cap for the node replay (0 = thread-pool width); "
+                "results are bit-identical for every value");
+  flags.declare("out", "", "scenario-report JSON path (empty disables)");
+  flags.declare("metrics-out", "",
+                "run-telemetry report path (.prom for Prometheus text; "
+                "empty disables)");
+  if (!flags.parse(static_cast<int>(rest.size()), rest.data())) return 0;
+  if (path.empty()) {
+    throw std::invalid_argument(
+        "run: need a scenario file (forktail run examples/homogeneous.json)");
+  }
+
+  scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
+  const double factor =
+      util::scale_factor(util::parse_scale(flags.get_string("scale")));
+  if (factor != 1.0) spec.requests = bench::scaled(spec.requests, factor);
+  if (flags.get_int("threads") > 0) {
+    spec.max_parallelism = static_cast<std::size_t>(flags.get_int("threads"));
+  }
+
+  std::vector<std::string> predictors;
+  const std::string predict = flags.get_string("predict");
+  if (!predict.empty() && predict != "none") predictors = split_list(predict);
+
+  const auto report = scenario::run_scenario(
+      spec, predictors, parse_percentiles(flags.get_string("p")));
+  const auto& outcome = report.outcome;
+  std::printf("scenario %s: %s, N = %zu, load %g%%, %llu requests, seed %llu\n",
+              spec.name.c_str(),
+              scenario::topology_name(spec.topology).c_str(), spec.nodes,
+              spec.load * 100.0,
+              static_cast<unsigned long long>(spec.requests),
+              static_cast<unsigned long long>(spec.seed));
+  std::printf("  lambda %.6g, mean fan-out %g, %zu measured responses\n",
+              outcome.lambda, outcome.mean_k, outcome.responses.size());
+  for (std::size_t i = 0; i < report.percentiles.size(); ++i) {
+    std::printf("  p%-6g measured %12.4g ms\n", report.percentiles[i],
+                report.measured_ms[i]);
+  }
+  for (const auto& row : report.predictions) {
+    for (std::size_t i = 0; i < report.percentiles.size(); ++i) {
+      std::printf("  p%-6g %-13s %12.4g ms  (error %+.1f%%)\n",
+                  report.percentiles[i], row.predictor.c_str(),
+                  row.predicted_ms[i], row.error_pct[i]);
+    }
+  }
+
+  const std::string out = flags.get_string("out");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("run: cannot write " + out);
+    os << scenario::to_json(report).dump() << "\n";
+    std::printf("wrote %s (scenario report)\n", out.c_str());
+  }
+  const std::string metrics_out = flags.get_string("metrics-out");
+  if (!metrics_out.empty()) {
+    obs::RunReport::capture(obs::Registry::global(), "run", spec.name)
+        .write(metrics_out);
+    std::printf("wrote %s (run telemetry)\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 int cmd_bench(int argc, const char* const* argv) {
   // The batched replay throughput benchmark (bench/replay_bench.hpp),
   // exposed on the CLI so the tracked BENCH_replay.json baseline can be
@@ -315,6 +403,8 @@ void usage() {
       "  samples   measurement window size for a precision target\n"
       "  sweep     simulation-backed error sweep over a (dist, N, load)\n"
       "            grid; --threads parallelizes cells deterministically\n"
+      "  run       execute a declarative scenario JSON (examples/*.json):\n"
+      "            simulate, measure percentiles, evaluate --predict models\n"
       "  bench     batched replay throughput benchmark; writes the\n"
       "            BENCH_replay.json performance baseline\n"
       "run `forktail <command> --help` for the command's flags\n",
@@ -336,6 +426,7 @@ int main(int argc, char** argv) {
     if (command == "budget") return cmd_budget(argc - 1, argv + 1);
     if (command == "samples") return cmd_samples(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (command == "run") return cmd_run(argc - 1, argv + 1);
     if (command == "bench") return cmd_bench(argc - 1, argv + 1);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     usage();
