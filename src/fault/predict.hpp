@@ -1,0 +1,70 @@
+// Degraded-mode tail prediction under an active mitigation policy.
+//
+// ForkTail's black-box model fits a generalized exponential to measured
+// task response moments and reads request percentiles off the max order
+// statistic.  Under mitigation the task completion law is no longer the
+// raw attempt law, so the predictor composes the GE fit with closed-form
+// response-time transforms:
+//
+//   * timeout + retries: a geometric retry mixture.  With per-attempt
+//     timeout T, retry r dispatched at offset o_r (o_0 = 0,
+//     o_{r+1} = o_r + T + backoff_r) and q = F(T) the per-attempt success
+//     probability, the completion CDF is the (defective) mixture
+//         G(t) = sum_r (1-q)^r F(min(t - o_r, T))  over attempts r,
+//     with limiting mass 1 - (1-q)^{R+1}.
+//   * hedging: min-of-two.  With the hedge launched at delay d and H the
+//     hedge-lane latency law, N(t) = 1 - (1 - G(t))(1 - H(t - d)).
+//   * k-of-n early return: the binomial tail over n tasks,
+//         P(t) = sum_{i>=k} C(n,i) N(t)^i (1 - N(t))^{n-i}
+//     (k = n reduces to the ForkTail max order statistic N^n).
+//
+// The predictor *degrades instead of aborting*: stale or missing
+// telemetry (too few attempt samples, absent hedge-lane moments,
+// non-positive variance) and defective completion mass each fall back to
+// a stated approximation and set `degraded` with a human-readable reason,
+// mirrored as a `degraded: true` flag in the RunReport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+
+namespace forktail::fault {
+
+/// Black-box measurements the degraded predictor consumes (from
+/// MitigatedResult's counterfactual attempt/hedge accumulators, or from
+/// any external telemetry source).
+struct MitigatedStats {
+  double attempt_mean = 0.0;
+  double attempt_variance = 0.0;
+  std::uint64_t attempt_count = 0;
+  double hedge_mean = 0.0;
+  double hedge_variance = 0.0;
+  std::uint64_t hedge_count = 0;
+  /// Hedge launch delay in force (MitigatedResult::hedge_delay).
+  double hedge_delay = 0.0;
+};
+
+struct DegradedPrediction {
+  /// Predicted request response-time percentile; NaN only when no finite
+  /// prediction exists at all (e.g. nothing ever completes).
+  double value = 0.0;
+  bool degraded = false;
+  /// One line per fallback taken; empty iff !degraded.
+  std::vector<std::string> reasons;
+};
+
+/// Minimum sample count below which a moment fit is flagged as degraded.
+inline constexpr std::uint64_t kMinMomentSamples = 64;
+
+/// Predict the `percentile` (in (0,1)) response time of a fork-join
+/// request with `fanout` tasks under `policy`, from measured mitigated
+/// telemetry.  Never throws on bad telemetry: every fallback is reported
+/// through `degraded` + `reasons`.
+DegradedPrediction predict_mitigated(const MitigatedStats& stats,
+                                     const MitigationPolicy& policy,
+                                     int fanout, double percentile);
+
+}  // namespace forktail::fault

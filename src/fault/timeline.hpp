@@ -1,0 +1,135 @@
+// Per-node fault timelines: lazily generated renewal processes of fault
+// windows.
+//
+// Each node owns three independent window streams (crash / slowdown /
+// blip), each driven by its own util::Rng child stream, so the fault
+// history of a node is a pure function of (seed, plan, node index) --
+// exactly reproducible and independent of how the simulation interleaves
+// its queries.  Windows are generated forward on demand and *retained*:
+// after a hedge cancellation rewinds a lane, the next query can be earlier
+// than the previous one, so coverage is answered by binary search over the
+// generated prefix rather than a moving cursor.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "util/rng.hpp"
+
+namespace forktail::fault {
+
+enum class FaultKind : std::uint8_t { kNone, kCrash, kSlowdown, kBlip };
+
+/// The fault (if any) in force at one instant.
+struct FaultEffect {
+  FaultKind kind = FaultKind::kNone;
+  double window_end = 0.0;  ///< when the fault clears
+  double factor = 1.0;      ///< service multiplier (slowdown)
+  double stall = 0.0;       ///< added service stall (blip)
+};
+
+/// One renewal process of non-overlapping fault windows: gap ~ Exp(1/rate),
+/// duration ~ Exp(mean_duration) (or exactly mean_duration when fixed, the
+/// blip/GC-pause model).  rate <= 0 disables the stream entirely.
+class WindowStream {
+ public:
+  struct Window {
+    double start = 0.0;
+    double end = 0.0;
+    bool hit = false;  ///< has this window affected an attempt yet?
+  };
+
+  WindowStream(double rate, double mean_duration, bool fixed_duration,
+               util::Rng rng) noexcept
+      : rate_(rate),
+        mean_duration_(mean_duration),
+        fixed_(fixed_duration),
+        rng_(rng) {}
+
+  /// The window covering instant `t`, or nullptr.  Queries may move
+  /// backwards (hedge-cancel rewinds); generation only moves forward.
+  Window* covering(double t) {
+    if (rate_ <= 0.0) return nullptr;
+    // Coverage at t is decided once the generated horizon passes t: every
+    // generated window advances frontier_ by gap + duration > 0.
+    while (frontier_ <= t) {
+      const double start = frontier_ + rng_.exponential(1.0 / rate_);
+      const double duration =
+          fixed_ ? mean_duration_ : rng_.exponential(mean_duration_);
+      windows_.push_back({start, start + duration, false});
+      frontier_ = start + duration;
+    }
+    auto it = std::upper_bound(
+        windows_.begin(), windows_.end(), t,
+        [](double v, const Window& w) { return v < w.start; });
+    if (it == windows_.begin()) return nullptr;
+    --it;
+    return t < it->end ? &*it : nullptr;
+  }
+
+ private:
+  double rate_;
+  double mean_duration_;
+  bool fixed_;
+  util::Rng rng_;
+  double frontier_ = 0.0;  ///< end of the last generated window
+  std::vector<Window> windows_;
+};
+
+/// A node's composite fault state.  Crash dominates slowdown dominates
+/// blip when windows from different streams overlap.  Each window bumps
+/// its counter the first time it actually affects an attempt (so the
+/// "injected" counters report faults that mattered, not every window on an
+/// idle node).
+class FaultTimeline {
+ public:
+  FaultTimeline(const FaultProcess& p, const util::Rng& stream_master) noexcept
+      : crash_(p.crash_rate, p.crash_mean_duration, false,
+               stream_master.split(0)),
+        slowdown_(p.slowdown_rate, p.slowdown_mean_duration, false,
+                  stream_master.split(1)),
+        blip_(p.blip_rate, p.blip_duration, true, stream_master.split(2)),
+        slowdown_factor_(p.slowdown_factor),
+        blip_stall_(p.blip_duration) {}
+
+  FaultEffect effect_at(double t) {
+    if (WindowStream::Window* w = crash_.covering(t)) {
+      count_hit(*w, crashes_);
+      return {FaultKind::kCrash, w->end, 1.0, 0.0};
+    }
+    if (WindowStream::Window* w = slowdown_.covering(t)) {
+      count_hit(*w, slowdowns_);
+      return {FaultKind::kSlowdown, w->end, slowdown_factor_, 0.0};
+    }
+    if (WindowStream::Window* w = blip_.covering(t)) {
+      count_hit(*w, blips_);
+      return {FaultKind::kBlip, w->end, 1.0, blip_stall_};
+    }
+    return {};
+  }
+
+  std::uint64_t crashes() const noexcept { return crashes_; }
+  std::uint64_t slowdowns() const noexcept { return slowdowns_; }
+  std::uint64_t blips() const noexcept { return blips_; }
+
+ private:
+  static void count_hit(WindowStream::Window& w, std::uint64_t& counter) {
+    if (!w.hit) {
+      w.hit = true;
+      ++counter;
+    }
+  }
+
+  WindowStream crash_;
+  WindowStream slowdown_;
+  WindowStream blip_;
+  double slowdown_factor_;
+  double blip_stall_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t slowdowns_ = 0;
+  std::uint64_t blips_ = 0;
+};
+
+}  // namespace forktail::fault

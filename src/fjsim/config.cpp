@@ -80,6 +80,19 @@ void validate(const SubsetConfig& config) {
       throw ConfigError(where + ".k_hi", "must be <= num_nodes");
     }
   }
+  if (config.early_k < 0) {
+    throw ConfigError(where + ".early_k", "must be >= 0 (0 = wait for all)");
+  }
+  if (config.early_k > 0) {
+    // Every request must fork at least early_k tasks, or it could never
+    // return: bound by the smallest possible fan-out.
+    const int min_k = config.k_mode == KMode::kFixed ? config.k_fixed : config.k_lo;
+    if (config.early_k > min_k) {
+      throw ConfigError(where + ".early_k",
+                        "must be <= the smallest request fan-out (" +
+                            std::to_string(min_k) + ")");
+    }
+  }
 }
 
 void validate(const ConsolidatedConfig& config) {

@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -287,6 +288,44 @@ class MaxArena {
  private:
   std::size_t row_len_;
   std::vector<double> data_;
+};
+
+/// Per-request k-th-smallest completion tracker for early-return-at-k
+/// (k-of-n fork-join): each request keeps a bounded max-heap of its k
+/// smallest task completions, so the k-th order statistic is O(log k) per
+/// insertion with flat storage.  Insertion order does not matter, and +inf
+/// completions (lost tasks) only surface when fewer than k tasks finish.
+class OrderStatArena {
+ public:
+  OrderStatArena(std::size_t num_requests, int k)
+      : k_(static_cast<std::size_t>(k)),
+        counts_(num_requests, 0),
+        heaps_(num_requests * k_) {}
+
+  void insert(std::uint64_t id, double completion) {
+    double* heap = heaps_.data() + id * k_;
+    std::size_t& count = counts_[id];
+    if (count < k_) {
+      heap[count++] = completion;
+      std::push_heap(heap, heap + count);
+    } else if (completion < heap[0]) {
+      std::pop_heap(heap, heap + k_);
+      heap[k_ - 1] = completion;
+      std::push_heap(heap, heap + k_);
+    }
+  }
+
+  /// k-th smallest completion inserted for `id`; +inf until k insertions
+  /// have happened (the request cannot return early yet).
+  double kth(std::uint64_t id) const {
+    return counts_[id] >= k_ ? heaps_[id * k_]
+                             : std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> heaps_;
 };
 
 }  // namespace forktail::fjsim

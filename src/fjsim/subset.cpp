@@ -1,6 +1,7 @@
 #include "fjsim/subset.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "fjsim/redundant_node.hpp"
@@ -16,7 +17,8 @@ void run_loop(const SubsetConfig& config, std::vector<Node>& nodes,
               double lambda, std::uint64_t warmup, std::uint64_t total,
               util::Rng& arrival_rng, util::Rng& pick_rng, util::Rng& k_rng,
               std::vector<double>& arrivals, std::vector<double>& completion_max,
-              std::vector<int>& request_k, SubsetResult& result) {
+              std::vector<int>& request_k, OrderStatArena* early_arena,
+              SubsetResult& result) {
   std::vector<std::uint32_t> perm(config.num_nodes);
   for (std::size_t i = 0; i < config.num_nodes; ++i) {
     perm[i] = static_cast<std::uint32_t>(i);
@@ -24,6 +26,7 @@ void run_loop(const SubsetConfig& config, std::vector<Node>& nodes,
   auto on_done = [&](std::uint64_t id, double arrival, double completion) {
     if (id >= warmup) result.task_stats.add(completion - arrival);
     if (completion > completion_max[id]) completion_max[id] = completion;
+    if (early_arena != nullptr) early_arena->insert(id, completion);
   };
   double t = 0.0;
   for (std::uint64_t j = 0; j < total; ++j) {
@@ -74,6 +77,11 @@ SubsetResult run_subset(const SubsetConfig& config) {
   std::vector<double> arrivals(total);
   std::vector<double> completion_max(total, 0.0);
   std::vector<int> request_k(config.group_by_k ? total : 0);
+  // Early-return-at-k tracks each request's k smallest completions on the
+  // side; with early_k == 0 the arena does not exist and the engine is
+  // bit-identical to the pre-knob code path.
+  std::optional<OrderStatArena> early_arena;
+  if (config.early_k > 0) early_arena.emplace(total, config.early_k);
 
   SubsetResult result;
   result.lambda = lambda;
@@ -88,7 +96,8 @@ SubsetResult run_subset(const SubsetConfig& config) {
                          config.redundant_delay, master.split(100 + n), batch);
     }
     run_loop(config, nodes, lambda, warmup, total, arrival_rng, pick_rng, k_rng,
-             arrivals, completion_max, request_k, result);
+             arrivals, completion_max, request_k,
+             early_arena ? &*early_arena : nullptr, result);
   } else {
     std::vector<FastNode> nodes;
     nodes.reserve(config.num_nodes);
@@ -97,12 +106,15 @@ SubsetResult run_subset(const SubsetConfig& config) {
                          master.split(100 + n), batch);
     }
     run_loop(config, nodes, lambda, warmup, total, arrival_rng, pick_rng, k_rng,
-             arrivals, completion_max, request_k, result);
+             arrivals, completion_max, request_k,
+             early_arena ? &*early_arena : nullptr, result);
   }
 
   result.responses.reserve(config.num_requests);
   for (std::uint64_t j = warmup; j < total; ++j) {
-    const double response = completion_max[j] - arrivals[j];
+    const double completion =
+        early_arena ? early_arena->kth(j) : completion_max[j];
+    const double response = completion - arrivals[j];
     result.responses.push_back(response);
     if (config.group_by_k) {
       result.responses_by_k[request_k[j]].push_back(response);

@@ -42,6 +42,13 @@ struct SubsetConfig : NodeGroupConfig {
   /// each node rather than tiling the replay; the consumed stream -- and
   /// therefore every result -- is bit-identical for every value.
   std::size_t batch = 0;
+  /// Early return at k: a request's response is its early_k-th task
+  /// completion instead of its last (partial fork-join, the tail-mitigation
+  /// layer's k-of-n policy).  0 = wait for every task.  Must be <= k_fixed
+  /// (or <= k_lo under KMode::kUniformInt).  Aggregation-only: per-node
+  /// replay state and every RNG stream are untouched, so early_k = 0 is
+  /// bit-identical to the pre-knob engine.
+  int early_k = 0;
 };
 
 struct SubsetResult {

@@ -61,10 +61,11 @@ std::string prom_name(const std::string& name) {
 }  // namespace
 
 RunReport RunReport::capture(const Registry& registry, std::string tool,
-                             std::string scenario) {
+                             std::string scenario, bool degraded) {
   RunReport report;
   report.tool_ = std::move(tool);
   report.scenario_ = std::move(scenario);
+  report.degraded_ = degraded;
   report.snapshot_ = registry.snapshot();
   return report;
 }
@@ -78,6 +79,9 @@ std::string RunReport::to_json() const {
   os << "  \"tool\": \"" << json_str(tool_) << "\",\n";
   if (!scenario_.empty()) {
     os << "  \"scenario\": \"" << json_str(scenario_) << "\",\n";
+  }
+  if (degraded_) {
+    os << "  \"degraded\": true,\n";
   }
   os << "  \"observability_enabled\": " << (enabled() ? "true" : "false")
      << ",\n";

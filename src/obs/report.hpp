@@ -28,9 +28,11 @@ class RunReport {
   /// (e.g. "forktail bench") in the emitted document; `scenario` optionally
   /// names the scenario the run executed (`forktail run` passes the spec's
   /// name).  An empty scenario is omitted from the document, so documents
-  /// without one keep the exact v1 key set.
+  /// without one keep the exact v1 key set.  `degraded` marks runs whose
+  /// predictions fell back on approximations (see docs/robustness.md);
+  /// false is likewise omitted, preserving the v1 key set for clean runs.
   static RunReport capture(const Registry& registry, std::string tool,
-                           std::string scenario = "");
+                           std::string scenario = "", bool degraded = false);
 
   std::string to_json() const;
   std::string to_prometheus() const;
@@ -42,10 +44,12 @@ class RunReport {
   const Registry::Snapshot& snapshot() const noexcept { return snapshot_; }
   const std::string& tool() const noexcept { return tool_; }
   const std::string& scenario() const noexcept { return scenario_; }
+  bool degraded() const noexcept { return degraded_; }
 
  private:
   std::string tool_;
   std::string scenario_;
+  bool degraded_ = false;
   Registry::Snapshot snapshot_;
 };
 

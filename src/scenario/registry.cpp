@@ -1,5 +1,6 @@
 #include "scenario/registry.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -27,14 +28,32 @@ class HomogeneousSimulator final : public Simulator {
 
   Outcome run(const ScenarioSpec& spec) const override {
     const fjsim::HomogeneousConfig config = to_homogeneous_config(spec);
-    auto result = fjsim::run_homogeneous(config);
     Outcome outcome;
     outcome.spec = spec;
+    outcome.service = config.service;
+    outcome.mean_k = static_cast<double>(spec.nodes);
+    if (!spec.faults.inert()) {
+      // Active fault plan: the mitigated engine.  Inert plans stay on the
+      // unmodified replay below, so fault-free runs are bit-identical to
+      // the pre-fault-layer engine.
+      auto result = fault::run_mitigated_homogeneous(config, spec.faults);
+      outcome.responses = std::move(result.responses);
+      outcome.task_stats = to_task_stats(result.task_stats);
+      outcome.lambda = result.lambda;
+      outcome.total_tasks = result.total_tasks;
+      outcome.faulty = true;
+      outcome.attempt_stats = to_task_stats(result.attempt_stats);
+      outcome.attempt_count = result.attempt_stats.count();
+      outcome.hedge_stats = to_task_stats(result.hedge_stats);
+      outcome.hedge_count = result.hedge_stats.count();
+      outcome.hedge_delay = result.hedge_delay;
+      outcome.fault_counters = result.counters;
+      return outcome;
+    }
+    auto result = fjsim::run_homogeneous(config);
     outcome.responses = std::move(result.responses);
     outcome.task_stats = to_task_stats(result.task_stats);
-    outcome.service = config.service;
     outcome.lambda = result.lambda;
-    outcome.mean_k = static_cast<double>(spec.nodes);
     outcome.total_tasks = result.total_tasks;
     return outcome;
   }
@@ -78,6 +97,13 @@ class SubsetSimulator final : public Simulator {
     outcome.lambda = result.lambda;
     outcome.mean_k = result.mean_k;
     outcome.total_tasks = result.total_tasks;
+    if (config.early_k > 0) {
+      // Early return is aggregation-only: tasks run unchanged, so the
+      // pooled task moments double as the attempt telemetry.
+      outcome.faulty = true;
+      outcome.attempt_stats = outcome.task_stats;
+      outcome.attempt_count = result.task_stats.count();
+    }
     return outcome;
   }
 };
@@ -268,7 +294,41 @@ class EatBaselinePredictor final : public Predictor {
   }
 };
 
+/// Degraded-mode model: GE order statistics composed with the retry /
+/// hedge / k-of-n transforms (fault/predict.hpp), fed by the outcome's
+/// counterfactual attempt and hedge telemetry.  Only meaningful for
+/// outcomes produced under an active fault plan.
+class DegradedPredictor final : public Predictor {
+ public:
+  std::string name() const override { return "forktail-degraded"; }
+  bool applicable(const Outcome& outcome) const override {
+    return outcome.faulty;
+  }
+  double predict(const Outcome& outcome, double p) const override {
+    return predict_degraded(outcome, p).value;
+  }
+};
+
 }  // namespace
+
+fault::DegradedPrediction predict_degraded(const Outcome& outcome,
+                                           double percentile) {
+  if (!outcome.faulty) {
+    throw std::logic_error(
+        "predict_degraded: outcome was not produced under a fault plan");
+  }
+  fault::MitigatedStats stats;
+  stats.attempt_mean = outcome.attempt_stats.mean;
+  stats.attempt_variance = outcome.attempt_stats.variance;
+  stats.attempt_count = outcome.attempt_count;
+  stats.hedge_mean = outcome.hedge_stats.mean;
+  stats.hedge_variance = outcome.hedge_stats.variance;
+  stats.hedge_count = outcome.hedge_count;
+  stats.hedge_delay = outcome.hedge_delay;
+  const int fanout = static_cast<int>(std::llround(outcome.mean_k));
+  return fault::predict_mitigated(stats, outcome.spec.faults.mitigation,
+                                  fanout, percentile / 100.0);
+}
 
 // -------------------------------------------------------------- registries
 
@@ -319,6 +379,7 @@ PredictorRegistry& PredictorRegistry::global() {
     r->register_predictor(std::make_unique<WhiteboxMg1Predictor>());
     r->register_predictor(std::make_unique<ExpFitPredictor>());
     r->register_predictor(std::make_unique<EatBaselinePredictor>());
+    r->register_predictor(std::make_unique<DegradedPredictor>());
     return r;
   }();
   return *registry;

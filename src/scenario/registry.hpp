@@ -19,6 +19,8 @@
 #include "core/pipeline.hpp"
 #include "core/predictor.hpp"
 #include "dist/distribution.hpp"
+#include "fault/predict.hpp"
+#include "fault/sim.hpp"
 #include "scenario/spec.hpp"
 
 namespace forktail::scenario {
@@ -42,6 +44,17 @@ struct Outcome {
   double lambda = 0.0;    ///< request/job arrival rate the engine derived
   double mean_k = 0.0;    ///< expected fan-out per request
   std::uint64_t total_tasks = 0;
+
+  // Fault layer (spec.faults non-inert; src/fault).  `faulty` marks an
+  // outcome produced under an active FaultPlan; the telemetry below feeds
+  // the degraded-mode predictor and the RunReport counters.
+  bool faulty = false;
+  core::TaskStats attempt_stats;  ///< counterfactual primary-attempt moments
+  std::uint64_t attempt_count = 0;
+  core::TaskStats hedge_stats;    ///< counterfactual hedge-lane moments
+  std::uint64_t hedge_count = 0;
+  double hedge_delay = 0.0;       ///< hedge launch delay in force
+  fault::FaultCounters fault_counters;
 };
 
 /// One simulator family: consumes a validated spec, produces an Outcome.
@@ -80,6 +93,13 @@ class Predictor {
   /// Predicted p-th percentile (ms) of the request response time.
   virtual double predict(const Outcome& outcome, double percentile) const = 0;
 };
+
+/// Evaluate the degraded-mode predictor (fault/predict.hpp) on a faulty
+/// outcome: the full prediction including the `degraded` flag and the
+/// fallback reasons the plain Predictor interface cannot surface.
+/// `percentile` in (0, 100).  Requires outcome.faulty.
+fault::DegradedPrediction predict_degraded(const Outcome& outcome,
+                                           double percentile);
 
 /// Name -> model dispatch: the ForkTail predictors (homogeneous /
 /// inhomogeneous / mixture / white-box M/G/1 / pipeline), the baselines

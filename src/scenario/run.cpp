@@ -1,5 +1,6 @@
 #include "scenario/run.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "stats/percentile.hpp"
@@ -58,6 +59,20 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
     }
     report.predictions.push_back(std::move(row));
   }
+
+  // Degraded-mode confidence: evaluated once at the most extreme requested
+  // percentile (telemetry-quality fallbacks do not depend on p).  This is
+  // report metadata, not a prediction row, so it is computed even when the
+  // degraded predictor itself was not selected.
+  if (report.outcome.faulty) {
+    const double p = percentiles.empty()
+                         ? 99.0
+                         : *std::max_element(percentiles.begin(),
+                                             percentiles.end());
+    const fault::DegradedPrediction dp = predict_degraded(report.outcome, p);
+    report.degraded = dp.degraded;
+    report.degraded_reasons = dp.reasons;
+  }
   return report;
 }
 
@@ -100,6 +115,30 @@ util::Json to_json(const ScenarioReport& report) {
     predictions.push_back(std::move(p));
   }
   doc.set("predictions", std::move(predictions));
+
+  // Fault telemetry only for faulty outcomes: fault-free report documents
+  // are byte-identical to the pre-fault-layer shape.
+  if (report.outcome.faulty) {
+    const fault::FaultCounters& c = report.outcome.fault_counters;
+    util::Json fault = util::Json::object();
+    fault.set("degraded", report.degraded);
+    util::Json reasons = util::Json::array();
+    for (const std::string& r : report.degraded_reasons) reasons.push_back(r);
+    fault.set("degraded_reasons", std::move(reasons));
+    fault.set("injected_crashes", c.crashes);
+    fault.set("injected_slowdowns", c.slowdowns);
+    fault.set("injected_blips", c.blips);
+    fault.set("hedges_launched", c.hedges_launched);
+    fault.set("hedges_won", c.hedges_won);
+    fault.set("retries", c.retries);
+    fault.set("timeouts", c.timeouts);
+    fault.set("dropped_requests", c.dropped_requests);
+    fault.set("hedge_delay_ms", report.outcome.hedge_delay);
+    fault.set("attempt_mean_ms", report.outcome.attempt_stats.mean);
+    fault.set("attempt_count", report.outcome.attempt_count);
+    fault.set("hedge_count", report.outcome.hedge_count);
+    doc.set("fault", std::move(fault));
+  }
   return doc;
 }
 

@@ -24,6 +24,12 @@ struct ScenarioReport {
   std::vector<double> percentiles; ///< requested p values (in (0, 100))
   std::vector<double> measured_ms; ///< simulated percentiles, same order
   std::vector<PredictionRow> predictions;
+
+  /// Degraded-mode confidence flag: true when the fault-aware predictor
+  /// had to fall back on any approximation (thin/missing telemetry,
+  /// defective completion mass); always false for fault-free scenarios.
+  bool degraded = false;
+  std::vector<std::string> degraded_reasons;
 };
 
 /// Simulate `spec` through the simulator registry, measure `percentiles`

@@ -201,6 +201,7 @@ util::Json to_json(const ScenarioSpec& spec) {
   doc.set("execution", std::move(execution));
 
   doc.set("group_by_k", spec.group_by_k);
+  doc.set("faults", fault::to_json(spec.faults));
   return doc;
 }
 
@@ -213,7 +214,7 @@ ScenarioSpec parse_scenario(const util::Json& doc) {
   check_keys(doc, "",
              {"schema", "name", "topology", "nodes", "group", "service",
               "services", "heterogeneity", "k", "load", "workload", "stages",
-              "samples", "seed", "execution", "group_by_k"});
+              "samples", "seed", "execution", "group_by_k", "faults"});
   if (doc.contains("schema") &&
       doc.at("schema").as_string() != kScenarioSchema) {
     throw ConfigError("schema", "unsupported schema: " +
@@ -321,6 +322,9 @@ ScenarioSpec parse_scenario(const util::Json& doc) {
   if (doc.contains("group_by_k")) {
     spec.group_by_k = doc.at("group_by_k").as_bool();
   }
+  if (doc.contains("faults")) {
+    spec.faults = fault::parse_fault_plan(doc.at("faults"), "faults");
+  }
   return spec;
 }
 
@@ -334,7 +338,9 @@ ScenarioSpec load_scenario_file(const std::string& path) {
   } catch (const ConfigError&) {
     throw;
   } catch (const std::exception& e) {
-    throw std::runtime_error(path + ": " + e.what());
+    // An unreadable file or malformed JSON is a configuration problem (the
+    // CLI maps ConfigError to its config exit code), not a runtime one.
+    throw ConfigError("scenario", path + ": " + e.what());
   }
 }
 
@@ -376,6 +382,39 @@ void validate_common(const ScenarioSpec& spec) {
 
 void validate(const ScenarioSpec& spec) {
   validate_common(spec);
+  fault::validate(spec.faults, "faults");
+  if (!spec.faults.inert()) {
+    switch (spec.topology) {
+      case Topology::kHomogeneous:
+        if (spec.group.policy != fjsim::Policy::kSingle ||
+            spec.group.replicas != 1) {
+          throw ConfigError("faults",
+                            "fault injection requires single-server nodes "
+                            "(group.policy \"single\", replicas = 1)");
+        }
+        if (spec.faults.mitigation.early_k >
+            static_cast<int>(spec.nodes)) {
+          throw ConfigError("faults.mitigation.early_k",
+                            "must be <= nodes");
+        }
+        break;
+      case Topology::kSubset:
+        if (!spec.faults.inject.inert() ||
+            spec.faults.mitigation.timeout != 0.0 ||
+            spec.faults.mitigation.hedge_quantile != 0.0) {
+          throw ConfigError("faults",
+                            "the subset topology supports only "
+                            "mitigation.early_k (early return at k); "
+                            "injection / timeouts / hedging need the "
+                            "homogeneous topology");
+        }
+        break;  // early_k bounds checked via the fjsim probe below
+      default:
+        throw ConfigError("faults",
+                          "fault plans are supported on the homogeneous and "
+                          "subset topologies");
+    }
+  }
   switch (spec.topology) {
     case Topology::kHomogeneous:
       validate_service(spec.service, "service");
@@ -427,6 +466,7 @@ void validate(const ScenarioSpec& spec) {
       probe.k_fixed = spec.k.fixed;
       probe.k_lo = spec.k.lo;
       probe.k_hi = spec.k.hi;
+      probe.early_k = spec.faults.mitigation.early_k;
       fjsim::validate(probe);
       break;
     }
@@ -543,6 +583,7 @@ fjsim::SubsetConfig to_subset_config(const ScenarioSpec& spec) {
   config.seed = spec.seed;
   config.group_by_k = spec.group_by_k;
   config.batch = spec.batch;
+  config.early_k = spec.faults.mitigation.early_k;
   return config;
 }
 

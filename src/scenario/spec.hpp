@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "fault/plan.hpp"
 #include "fjsim/config.hpp"
 #include "fjsim/consolidated.hpp"
 #include "fjsim/heterogeneous.hpp"
@@ -118,6 +119,10 @@ struct ScenarioSpec {
   std::size_t max_parallelism = 0;  ///< node-replay worker cap (0 = pool)
   std::size_t batch = 0;            ///< service-demand block size (0 = default)
   bool group_by_k = false;          ///< subset: bucket responses by k
+
+  /// Fault injection + tail mitigation ("faults" section; src/fault).
+  /// Default-inert: a spec without the key runs the unmodified engines.
+  fault::FaultPlan faults;
 
   bool operator==(const ScenarioSpec&) const = default;
 };

@@ -14,6 +14,35 @@ void Engine::schedule(double time, Handler handler) {
   if (queue_.size() > max_depth_) max_depth_ = queue_.size();
 }
 
+Engine::EventId Engine::schedule_cancellable(double time, Handler handler) {
+  if (time < now_) {
+    throw std::invalid_argument(
+        "Engine::schedule_cancellable: time is in the past");
+  }
+  const EventId id = seq_;
+  queue_.push(Event{time, seq_++, std::move(handler)});
+  if (queue_.size() > max_depth_) max_depth_ = queue_.size();
+  cancellable_.insert(id);
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  // Only a still-pending cancellable event can be cancelled; the id is
+  // moved to the tombstone set so the heap entry is skipped on pop.
+  if (cancellable_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  ++cancelled_count_;
+  static obs::Counter& cancelled =
+      obs::Registry::global().counter("sim.engine.cancelled");
+  cancelled.add(1);
+  return true;
+}
+
+bool Engine::consume_cancellation(const Event& ev) {
+  if (cancelled_.empty()) return false;
+  return cancelled_.erase(ev.seq) > 0;
+}
+
 void Engine::publish_metrics(std::uint64_t events) const {
   // One registry touch per run() call, not per event: the run loop itself
   // stays untouched, so the engine's cost profile is identical with
@@ -34,6 +63,10 @@ void Engine::run() {
     // before pop, so copy the POD fields and steal the handler.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    // A cancelled event is a tombstone: skip it without advancing now_ or
+    // the processed count (cancellation must be observationally free).
+    if (consume_cancellation(ev)) continue;
+    cancellable_.erase(ev.seq);
     now_ = ev.time;
     ++processed_;
     ev.handler();
@@ -47,6 +80,8 @@ void Engine::run_until(double t_end) {
   while (!queue_.empty() && !stopped_ && queue_.top().time <= t_end) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    if (consume_cancellation(ev)) continue;
+    cancellable_.erase(ev.seq);
     now_ = ev.time;
     ++processed_;
     ev.handler();

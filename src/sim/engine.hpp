@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace forktail::sim {
@@ -16,9 +17,12 @@ namespace forktail::sim {
 class Engine {
  public:
   using Handler = std::function<void()>;
+  /// Identifies one cancellable event (see schedule_cancellable).
+  using EventId = std::uint64_t;
 
   double now() const noexcept { return now_; }
   std::uint64_t events_processed() const noexcept { return processed_; }
+  std::uint64_t events_cancelled() const noexcept { return cancelled_count_; }
 
   /// High-water mark of the event calendar over this engine's lifetime.
   std::size_t max_queue_depth() const noexcept { return max_depth_; }
@@ -31,6 +35,18 @@ class Engine {
   void schedule_in(double delay, Handler handler) {
     schedule(now_ + delay, std::move(handler));
   }
+
+  /// Schedule a *cancellable* event (timeout deadlines, hedge launches:
+  /// anything that a cancel-on-first-complete race may retract).  The
+  /// returned id stays valid until the event fires or is cancelled.
+  /// Cancellation is lazy -- the heap entry is skipped on pop without
+  /// advancing simulated time or the processed count -- so cancel is O(1)
+  /// and the calendar needs no removal support.
+  EventId schedule_cancellable(double time, Handler handler);
+
+  /// Cancel a pending cancellable event.  Returns false (harmlessly) when
+  /// the event already fired, was already cancelled, or never existed.
+  bool cancel(EventId id);
 
   /// Run until the event queue empties or `stop()` is called.
   void run();
@@ -61,12 +77,20 @@ class Engine {
   /// observability is compiled out).  `events` is this run's delta.
   void publish_metrics(std::uint64_t events) const;
 
+  /// True (and consumes the tombstone) when a popped event was cancelled.
+  bool consume_cancellation(const Event& ev);
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t max_depth_ = 0;
   bool stopped_ = false;
+  /// Sequence numbers of live cancellable events / of cancelled-but-still-
+  /// queued tombstones.  Ordinary schedule() events appear in neither.
+  std::unordered_set<std::uint64_t> cancellable_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t cancelled_count_ = 0;
 };
 
 }  // namespace forktail::sim

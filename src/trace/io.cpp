@@ -27,6 +27,108 @@ void write_trace_file(const std::string& path,
   if (!os) throw std::runtime_error("write_trace_file: write failed for " + path);
 }
 
+namespace {
+
+/// Parse one numeric field in full: trailing garbage ("1.5abc"), empty
+/// fields, and out-of-range values all raise TraceError with the line.
+double parse_double_field(const std::string& field, std::size_t line_no,
+                          const char* what) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(field, &used);
+  } catch (const std::exception&) {
+    throw TraceError(line_no, std::string("bad ") + what + ": '" + field + "'");
+  }
+  if (used != field.size()) {
+    throw TraceError(line_no, std::string("bad ") + what + ": '" + field + "'");
+  }
+  return v;
+}
+
+std::uint32_t parse_count_field(const std::string& field, std::size_t line_no,
+                                const char* what) {
+  // stoul accepts a leading '-' (wrapping modulo 2^64); reject it here.
+  if (field.empty() || field[0] == '-') {
+    throw TraceError(line_no, std::string("bad ") + what + ": '" + field + "'");
+  }
+  std::size_t used = 0;
+  unsigned long v = 0;
+  try {
+    v = std::stoul(field, &used);
+  } catch (const std::exception&) {
+    throw TraceError(line_no, std::string("bad ") + what + ": '" + field + "'");
+  }
+  if (used != field.size() || v > 0xFFFFFFFFul) {
+    throw TraceError(line_no, std::string("bad ") + what + ": '" + field + "'");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Parse one CSV line into a record; throws TraceError on any defect.
+JobRecord parse_record(const std::string& line, std::size_t line_no) {
+  std::istringstream ls(line);
+  JobRecord rec;
+  std::string field;
+  auto next_field = [&](bool required) -> bool {
+    if (!std::getline(ls, field, ',')) {
+      if (required) {
+        throw TraceError(line_no,
+                         "truncated record (want arrival,tasks,mean,times)");
+      }
+      return false;
+    }
+    return true;
+  };
+  next_field(true);
+  rec.arrival_time = parse_double_field(field, line_no, "arrival_time");
+  next_field(true);
+  rec.num_tasks = parse_count_field(field, line_no, "num_tasks");
+  next_field(true);
+  rec.mean_task_time = parse_double_field(field, line_no, "mean_task_time");
+  if (next_field(false) && !field.empty()) {
+    std::istringstream ts(field);
+    std::string item;
+    while (std::getline(ts, item, ';')) {
+      rec.task_times.push_back(parse_double_field(item, line_no, "task time"));
+    }
+    if (rec.task_times.size() != rec.num_tasks) {
+      throw TraceError(line_no, "task-time count mismatch: " +
+                                    std::to_string(rec.task_times.size()) +
+                                    " times for " +
+                                    std::to_string(rec.num_tasks) + " tasks");
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+TraceReadResult read_trace_partial(std::istream& is) {
+  TraceReadResult result;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      result.records.push_back(parse_record(line, line_no));
+    } catch (const TraceError& e) {
+      result.complete = false;
+      result.error_line = e.line();
+      result.error = e.what();
+      break;
+    }
+  }
+  return result;
+}
+
+TraceReadResult read_trace_partial_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_trace_partial_file: cannot open " + path);
+  return read_trace_partial(is);
+}
+
 std::vector<JobRecord> read_trace(std::istream& is) {
   std::vector<JobRecord> records;
   std::string line;
@@ -34,37 +136,7 @@ std::vector<JobRecord> read_trace(std::istream& is) {
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
-    std::istringstream ls(line);
-    JobRecord rec;
-    std::string field;
-    auto next_field = [&](bool required) -> bool {
-      if (!std::getline(ls, field, ',')) {
-        if (required) {
-          throw std::runtime_error("read_trace: malformed line " +
-                                   std::to_string(line_no));
-        }
-        return false;
-      }
-      return true;
-    };
-    next_field(true);
-    rec.arrival_time = std::stod(field);
-    next_field(true);
-    rec.num_tasks = static_cast<std::uint32_t>(std::stoul(field));
-    next_field(true);
-    rec.mean_task_time = std::stod(field);
-    if (next_field(false) && !field.empty()) {
-      std::istringstream ts(field);
-      std::string item;
-      while (std::getline(ts, item, ';')) {
-        rec.task_times.push_back(std::stod(item));
-      }
-      if (rec.task_times.size() != rec.num_tasks) {
-        throw std::runtime_error("read_trace: task-time count mismatch at line " +
-                                 std::to_string(line_no));
-      }
-    }
-    records.push_back(std::move(rec));
+    records.push_back(parse_record(line, line_no));
   }
   return records;
 }

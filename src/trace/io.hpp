@@ -7,6 +7,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -14,10 +15,40 @@
 
 namespace forktail::trace {
 
+/// Thrown on malformed trace input.  `line()` is the 1-based line number of
+/// the offending record; the what() string already includes it.
+class TraceError : public std::runtime_error {
+ public:
+  TraceError(std::size_t line, const std::string& why)
+      : std::runtime_error("trace: line " + std::to_string(line) + ": " + why),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Outcome of a best-effort trace read: every record that parsed cleanly
+/// before the first malformed line is kept, so a mid-file truncation (e.g.
+/// a collector killed mid-write) degrades to "records so far + error"
+/// instead of losing the whole file.
+struct TraceReadResult {
+  std::vector<JobRecord> records;
+  bool complete = true;        ///< false when a malformed line stopped the read
+  std::size_t error_line = 0;  ///< 1-based line of the first error (0 if none)
+  std::string error;           ///< description of the first error (empty if none)
+};
+
 void write_trace(std::ostream& os, const std::vector<JobRecord>& records);
 void write_trace_file(const std::string& path, const std::vector<JobRecord>& records);
 
+/// Strict read: throws TraceError at the first malformed line.
 std::vector<JobRecord> read_trace(std::istream& is);
 std::vector<JobRecord> read_trace_file(const std::string& path);
+
+/// Best-effort read: never throws on malformed *content* (file-open
+/// failures in the _file variant still throw std::runtime_error).
+TraceReadResult read_trace_partial(std::istream& is);
+TraceReadResult read_trace_partial_file(const std::string& path);
 
 }  // namespace forktail::trace

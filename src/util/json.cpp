@@ -1,6 +1,7 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -24,10 +25,10 @@ class Parser {
  private:
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 
   [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("json parse error at byte " +
-                             std::to_string(pos_) + ": " + why);
+    throw JsonParseError(pos_, why);
   }
   void skip_ws() {
     while (pos_ < text_.size() &&
@@ -47,10 +48,23 @@ class Parser {
 
   Json value() {
     switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
+      case '{': {
+        // Bounded recursion: the parser is recursive-descent, so depth is
+        // stack usage.  The cap turns a hostile ~100k-bracket document into
+        // a typed error instead of a stack overflow.
+        if (depth_ >= kMaxJsonDepth) fail("nesting too deep");
+        ++depth_;
+        Json v = object();
+        --depth_;
+        return v;
+      }
+      case '[': {
+        if (depth_ >= kMaxJsonDepth) fail("nesting too deep");
+        ++depth_;
+        Json v = array();
+        --depth_;
+        return v;
+      }
       case '"':
         return Json(raw_string());
       case 't':
@@ -73,6 +87,7 @@ class Parser {
     while (true) {
       if (peek() != '"') fail("expected object key");
       const std::string key = raw_string();
+      if (v.contains(key)) fail("duplicate key: " + key);
       expect(':');
       v.set(key, value());
       if (peek() == ',') {
@@ -102,6 +117,23 @@ class Parser {
     }
   }
 
+  /// Read the 4 hex digits of a \u escape.  On entry pos_ is at the 'u';
+  /// on return pos_ is at the last digit (the caller's ++pos_ steps past).
+  unsigned hex4() {
+    if (pos_ + 4 >= text_.size()) fail("bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + 1 + static_cast<std::size_t>(i)];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    pos_ += 4;
+    return code;
+  }
+
   std::string raw_string() {
     expect('"');
     std::string out;
@@ -120,26 +152,35 @@ class Parser {
           case 'r': out.push_back('\r'); break;
           case 't': out.push_back('\t'); break;
           case 'u': {
-            if (pos_ + 4 >= text_.size()) fail("bad \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_ + 1 + static_cast<std::size_t>(i)];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else fail("bad \\u escape digit");
+            unsigned code = hex4();
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              fail("lone low surrogate");
             }
-            pos_ += 4;
-            // Encode the code point as UTF-8 (BMP only; surrogate pairs are
-            // not needed by any document this repo emits).
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: a \uDC00-\uDFFF low half must follow, and
+              // the pair decodes to one supplementary-plane code point.
+              if (pos_ + 2 >= text_.size() || text_[pos_ + 1] != '\\' ||
+                  text_[pos_ + 2] != 'u') {
+                fail("lone high surrogate");
+              }
+              pos_ += 2;
+              const unsigned low = hex4();
+              if (low < 0xDC00 || low > 0xDFFF) fail("lone high surrogate");
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
+            // Encode the code point as UTF-8.
             if (code < 0x80) {
               out.push_back(static_cast<char>(code));
             } else if (code < 0x800) {
               out.push_back(static_cast<char>(0xC0 | (code >> 6)));
               out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-            } else {
+            } else if (code < 0x10000) {
               out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
               out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
               out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
             }
@@ -150,6 +191,9 @@ class Parser {
         }
         ++pos_;
         continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
       }
       out.push_back(c);
       ++pos_;
@@ -186,11 +230,18 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) fail("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    std::size_t used = 0;
+    double v = 0.0;
     try {
-      return Json(std::stod(text_.substr(start, pos_ - start)));
+      v = std::stod(token, &used);
     } catch (const std::exception&) {
+      // invalid_argument ("--1") and out_of_range ("1e999") both land here.
       fail("malformed number");
     }
+    // stod parses the longest valid prefix; "1e+e" must not pass as 1.
+    if (used != token.size() || !std::isfinite(v)) fail("malformed number");
+    return Json(v);
   }
 };
 

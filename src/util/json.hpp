@@ -13,10 +13,30 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace forktail::util {
+
+/// Maximum nesting depth the parser accepts.  Bounds the recursion of the
+/// recursive-descent parser so adversarial input (e.g. 100k open brackets)
+/// raises a typed error instead of overflowing the stack.
+inline constexpr int kMaxJsonDepth = 200;
+
+/// Thrown on malformed JSON input.  `offset()` is the byte position the
+/// parser had reached; the what() string already includes it.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::size_t offset, const std::string& why)
+      : std::runtime_error("json parse error at byte " +
+                           std::to_string(offset) + ": " + why),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
 
 class Json {
  public:
@@ -43,8 +63,11 @@ class Json {
     return j;
   }
 
-  /// Parse a complete JSON document.  Throws std::runtime_error with a
-  /// byte offset on malformed input.
+  /// Parse a complete JSON document.  Throws JsonParseError (which carries
+  /// the byte offset) on malformed input: syntax errors, nesting deeper
+  /// than kMaxJsonDepth, duplicate object keys, numbers that do not fit a
+  /// double, invalid escapes, and lone UTF-16 surrogates are all rejected
+  /// with a typed error -- never undefined behaviour.
   static Json parse(const std::string& text);
 
   // ----------------------------------------------------------- accessors

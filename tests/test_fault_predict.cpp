@@ -1,0 +1,200 @@
+// Degraded-mode predictor: closed-form mitigation transforms over the GE
+// fit, the degraded-flag contract, and the issue's acceptance criterion --
+// hedging at the p95 delay quantile on a homogeneous scenario at 80% load
+// must measurably drop the simulated p99, and the degraded-mode predictor
+// must track that mitigated p99 within 25%.
+#include "fault/predict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/genexp.hpp"
+#include "dist/basic.hpp"
+#include "fault/sim.hpp"
+#include "scenario/run.hpp"
+#include "stats/percentile.hpp"
+
+namespace forktail::fault {
+namespace {
+
+MitigatedStats healthy_stats() {
+  MitigatedStats s;
+  s.attempt_mean = 20.0;
+  s.attempt_variance = 500.0;
+  s.attempt_count = 10000;
+  return s;
+}
+
+TEST(FaultPredict, InertPolicyReducesToForkTailMaxOrderStatistic) {
+  const MitigatedStats s = healthy_stats();
+  const MitigationPolicy inert;
+  const int fanout = 50;
+  const auto p = predict_mitigated(s, inert, fanout, 0.99);
+  EXPECT_FALSE(p.degraded);
+  EXPECT_TRUE(p.reasons.empty());
+  const auto ge = core::GenExp::fit_moments(s.attempt_mean, s.attempt_variance);
+  EXPECT_NEAR(p.value, ge.max_quantile(0.99, fanout),
+              1e-5 * ge.max_quantile(0.99, fanout));
+}
+
+TEST(FaultPredict, HedgingLowersThePrediction) {
+  MitigatedStats s = healthy_stats();
+  s.hedge_mean = s.attempt_mean;
+  s.hedge_variance = s.attempt_variance;
+  s.hedge_count = 10000;
+  s.hedge_delay = 50.0;
+  MitigationPolicy hedged;
+  hedged.hedge_quantile = 0.95;
+  const auto with = predict_mitigated(s, hedged, 50, 0.99);
+  const auto without = predict_mitigated(s, MitigationPolicy{}, 50, 0.99);
+  EXPECT_FALSE(with.degraded);
+  EXPECT_LT(with.value, without.value);
+}
+
+TEST(FaultPredict, EarlyReturnLowersThePrediction) {
+  const MitigatedStats s = healthy_stats();
+  MitigationPolicy partial;
+  partial.early_k = 40;
+  const auto some = predict_mitigated(s, partial, 50, 0.99);
+  const auto all = predict_mitigated(s, MitigationPolicy{}, 50, 0.99);
+  EXPECT_LT(some.value, all.value);
+  // early_k == fanout is exactly the full barrier.
+  MitigationPolicy full;
+  full.early_k = 50;
+  const auto same = predict_mitigated(s, full, 50, 0.99);
+  EXPECT_NEAR(same.value, all.value, 1e-6 * all.value);
+}
+
+TEST(FaultPredict, TimeoutWithoutRetriesDefectsAndDegrades) {
+  // A timeout with no retries loses mass: completion never reaches 1, so
+  // extreme percentiles must be conditioned -- a stated degradation.
+  const MitigatedStats s = healthy_stats();
+  MitigationPolicy policy;
+  policy.timeout = 25.0;  // ~p71 of an exponential with mean 20
+  const auto p = predict_mitigated(s, policy, 50, 0.99);
+  EXPECT_TRUE(p.degraded);
+  EXPECT_FALSE(p.reasons.empty());
+  EXPECT_TRUE(std::isfinite(p.value));
+}
+
+TEST(FaultPredict, RetriesRecoverMassAndBoundThePrediction) {
+  const MitigatedStats s = healthy_stats();
+  MitigationPolicy policy;
+  policy.timeout = 60.0;
+  policy.max_retries = 3;
+  policy.backoff_base = 5.0;
+  const auto p = predict_mitigated(s, policy, 50, 0.99);
+  EXPECT_TRUE(std::isfinite(p.value));
+  // The retry mixture can never predict below the no-timeout law's value
+  // truncated at the timeout, nor above the full retry ladder's end.
+  EXPECT_GT(p.value, 0.0);
+  EXPECT_LT(p.value, 4.0 * (policy.timeout + policy.backoff_base * 7) + 200.0);
+}
+
+TEST(FaultPredict, ThinTelemetryDegradesInsteadOfAborting) {
+  MitigatedStats s = healthy_stats();
+  s.attempt_count = kMinMomentSamples - 1;
+  const auto p = predict_mitigated(s, MitigationPolicy{}, 50, 0.99);
+  EXPECT_TRUE(p.degraded);
+  EXPECT_FALSE(p.reasons.empty());
+  EXPECT_TRUE(std::isfinite(p.value));
+}
+
+TEST(FaultPredict, MissingHedgeTelemetryFallsBackToAttemptLaw) {
+  MitigatedStats s = healthy_stats();
+  s.hedge_count = 0;  // hedging on, but no hedge-lane samples measured
+  MitigationPolicy policy;
+  policy.hedge_quantile = 0.95;
+  s.hedge_delay = 50.0;
+  const auto p = predict_mitigated(s, policy, 50, 0.99);
+  EXPECT_TRUE(p.degraded);
+  EXPECT_TRUE(std::isfinite(p.value));
+}
+
+TEST(FaultPredict, NonPositiveVarianceFallsBackToExponential) {
+  MitigatedStats s = healthy_stats();
+  s.attempt_variance = 0.0;
+  const auto p = predict_mitigated(s, MitigationPolicy{}, 50, 0.99);
+  EXPECT_TRUE(p.degraded);
+  EXPECT_TRUE(std::isfinite(p.value));
+}
+
+TEST(FaultPredict, UselessTelemetryYieldsNanNotThrow) {
+  MitigatedStats s;  // zero everything: no mean at all
+  const auto p = predict_mitigated(s, MitigationPolicy{}, 50, 0.99);
+  EXPECT_TRUE(p.degraded);
+  EXPECT_TRUE(std::isnan(p.value));
+}
+
+// --------------------------------------------------------------------------
+// Acceptance: hedged p99 drop + degraded predictor accuracy at 80% load.
+// --------------------------------------------------------------------------
+
+TEST(FaultPredictAcceptance, HedgingAtP95DropsSimulatedP99AndPredictorTracksIt) {
+  fjsim::HomogeneousConfig config;
+  config.num_nodes = 10;
+  config.service = std::make_shared<dist::Exponential>(10.0);
+  config.load = 0.8;
+  config.num_requests = 20000;
+  config.seed = 42;
+
+  // Baseline: the unmitigated engine at the same load.
+  const auto plain = fjsim::run_homogeneous(config);
+  const double p99_plain = stats::percentile(plain.responses, 99.0);
+
+  // Hedge every task once it has been outstanding for the service p95.
+  FaultPlan plan;
+  plan.mitigation.hedge_quantile = 0.95;
+  const auto hedged = run_mitigated_homogeneous(config, plan);
+  const double p99_hedged = stats::percentile(hedged.responses, 99.0);
+
+  // "Drops measurably": at least 10% off the unmitigated p99.
+  EXPECT_LT(p99_hedged, 0.9 * p99_plain)
+      << "p99 plain " << p99_plain << " vs hedged " << p99_hedged;
+  EXPECT_GT(hedged.counters.hedges_launched, 0u);
+  EXPECT_GT(hedged.counters.hedges_won, 0u);
+
+  // The degraded-mode predictor, fed only black-box mitigated telemetry,
+  // must land within 25% of the simulated mitigated p99.
+  MitigatedStats stats;
+  stats.attempt_mean = hedged.attempt_stats.mean();
+  stats.attempt_variance = hedged.attempt_stats.variance();
+  stats.attempt_count = hedged.attempt_stats.count();
+  stats.hedge_mean = hedged.hedge_stats.mean();
+  stats.hedge_variance = hedged.hedge_stats.variance();
+  stats.hedge_count = hedged.hedge_stats.count();
+  stats.hedge_delay = hedged.hedge_delay;
+  const auto prediction = predict_mitigated(
+      stats, plan.mitigation, static_cast<int>(config.num_nodes), 0.99);
+  ASSERT_TRUE(std::isfinite(prediction.value));
+  const double err = std::abs(prediction.value - p99_hedged) / p99_hedged;
+  EXPECT_LT(err, 0.25) << "predicted " << prediction.value << " vs simulated "
+                       << p99_hedged;
+}
+
+TEST(FaultPredictAcceptance, ScenarioLayerEndToEnd) {
+  // Same acceptance through the declarative path: spec -> registry ->
+  // forktail-degraded predictor row in the report.
+  scenario::ScenarioSpec spec;
+  spec.name = "hedged-acceptance";
+  spec.nodes = 10;
+  spec.service.dist = "Exponential";
+  spec.service.mean = 10.0;
+  spec.load = 0.8;
+  spec.requests = 20000;
+  spec.seed = 42;
+  spec.faults.mitigation.hedge_quantile = 0.95;
+
+  const auto report =
+      scenario::run_scenario(spec, {"forktail-degraded"}, {99.0});
+  ASSERT_EQ(report.predictions.size(), 1u);
+  EXPECT_EQ(report.predictions[0].predictor, "forktail-degraded");
+  EXPECT_LT(std::abs(report.predictions[0].error_pct[0]), 25.0)
+      << "predicted " << report.predictions[0].predicted_ms[0]
+      << " vs measured " << report.measured_ms[0];
+}
+
+}  // namespace
+}  // namespace forktail::fault

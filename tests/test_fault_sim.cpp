@@ -1,0 +1,272 @@
+// Mitigated homogeneous simulator: determinism, bit-identity of the
+// mitigation-free paths, mitigation effectiveness, and fault counters.
+#include "fault/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "dist/basic.hpp"
+#include "fjsim/subset.hpp"
+#include "scenario/run.hpp"
+#include "stats/percentile.hpp"
+
+namespace forktail::fault {
+namespace {
+
+fjsim::HomogeneousConfig base_config() {
+  fjsim::HomogeneousConfig c;
+  c.num_nodes = 8;
+  c.service = std::make_shared<dist::Exponential>(10.0);
+  c.load = 0.6;
+  c.num_requests = 4000;
+  c.seed = 42;
+  return c;
+}
+
+FaultPlan injection_plan() {
+  FaultPlan plan;
+  plan.inject.slowdown_rate = 0.002;
+  plan.inject.slowdown_mean_duration = 100.0;
+  plan.inject.slowdown_factor = 3.0;
+  plan.inject.blip_rate = 0.002;
+  plan.inject.blip_duration = 20.0;
+  return plan;
+}
+
+TEST(FaultSim, MitigationFreePathIsBitIdenticalToPlainEngine) {
+  // A plan whose only active knob is early_k = N (wait for every task,
+  // stated explicitly) must reproduce the fault-free engine exactly: same
+  // arrival stream, same service draws, same responses to the last bit.
+  const auto config = base_config();
+  FaultPlan plan;
+  plan.mitigation.early_k = static_cast<int>(config.num_nodes);
+
+  const auto plain = fjsim::run_homogeneous(config);
+  const auto mitigated = run_mitigated_homogeneous(config, plan);
+
+  ASSERT_EQ(mitigated.responses.size(), plain.responses.size());
+  for (std::size_t i = 0; i < plain.responses.size(); ++i) {
+    ASSERT_EQ(mitigated.responses[i], plain.responses[i]) << "request " << i;
+  }
+  EXPECT_EQ(mitigated.task_stats.count(), plain.task_stats.count());
+  EXPECT_DOUBLE_EQ(mitigated.task_stats.mean(), plain.task_stats.mean());
+  EXPECT_DOUBLE_EQ(mitigated.lambda, plain.lambda);
+  EXPECT_EQ(mitigated.counters.crashes, 0u);
+  EXPECT_EQ(mitigated.counters.timeouts, 0u);
+  EXPECT_EQ(mitigated.counters.hedges_launched, 0u);
+  EXPECT_EQ(mitigated.counters.dropped_requests, 0u);
+}
+
+TEST(FaultSim, SameSeedSamePlanIsBitReproducible) {
+  const auto config = base_config();
+  FaultPlan plan = injection_plan();
+  plan.inject.crash_rate = 0.0005;
+  plan.inject.crash_mean_duration = 40.0;
+  plan.mitigation.timeout = 120.0;
+  plan.mitigation.max_retries = 2;
+  plan.mitigation.backoff_base = 5.0;
+  plan.mitigation.hedge_quantile = 0.9;
+
+  const auto a = run_mitigated_homogeneous(config, plan);
+  const auto b = run_mitigated_homogeneous(config, plan);
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    ASSERT_EQ(a.responses[i], b.responses[i]);
+  }
+  EXPECT_EQ(a.counters.crashes, b.counters.crashes);
+  EXPECT_EQ(a.counters.timeouts, b.counters.timeouts);
+  EXPECT_EQ(a.counters.retries, b.counters.retries);
+  EXPECT_EQ(a.counters.hedges_launched, b.counters.hedges_launched);
+  EXPECT_EQ(a.counters.hedges_won, b.counters.hedges_won);
+  EXPECT_EQ(a.counters.dropped_requests, b.counters.dropped_requests);
+}
+
+TEST(FaultSim, InjectionCountersFireAndTailInflates) {
+  const auto config = base_config();
+  const auto plain = fjsim::run_homogeneous(config);
+  const auto faulty = run_mitigated_homogeneous(config, injection_plan());
+
+  EXPECT_GT(faulty.counters.slowdowns, 0u);
+  EXPECT_GT(faulty.counters.blips, 0u);
+  EXPECT_EQ(faulty.counters.crashes, 0u);
+
+  const double p99_plain = stats::percentile(plain.responses, 99.0);
+  const double p99_faulty = stats::percentile(faulty.responses, 99.0);
+  EXPECT_GT(p99_faulty, p99_plain);
+}
+
+TEST(FaultSim, UnmitigatedCrashesDropRequests) {
+  auto config = base_config();
+  config.num_requests = 2000;
+  FaultPlan plan;
+  plan.inject.crash_rate = 0.002;
+  plan.inject.crash_mean_duration = 30.0;
+  // Make the plan non-inert on the mitigation side without recovering
+  // lost tasks: early return still needs every task.
+  plan.mitigation.early_k = static_cast<int>(config.num_nodes);
+  const auto result = run_mitigated_homogeneous(config, plan);
+  EXPECT_GT(result.counters.crashes, 0u);
+  EXPECT_GT(result.counters.dropped_requests, 0u);
+  EXPECT_EQ(result.responses.size() + result.counters.dropped_requests,
+            config.num_requests);
+}
+
+TEST(FaultSim, TimeoutRetriesRecoverCrashedTasks) {
+  auto config = base_config();
+  config.num_requests = 2000;
+  FaultPlan plan;
+  plan.inject.crash_rate = 0.002;
+  plan.inject.crash_mean_duration = 30.0;
+  plan.mitigation.timeout = 100.0;
+  plan.mitigation.max_retries = 3;
+  plan.mitigation.backoff_base = 1.0;
+  const auto result = run_mitigated_homogeneous(config, plan);
+  EXPECT_GT(result.counters.timeouts, 0u);
+  EXPECT_GT(result.counters.retries, 0u);
+
+  // The same injection with no mitigation drops far more requests.
+  FaultPlan bare;
+  bare.inject = plan.inject;
+  bare.mitigation.early_k = static_cast<int>(config.num_nodes);
+  const auto unmitigated = run_mitigated_homogeneous(config, bare);
+  EXPECT_LT(result.counters.dropped_requests,
+            unmitigated.counters.dropped_requests);
+}
+
+TEST(FaultSim, EarlyReturnNeverSlowerThanFullBarrier) {
+  const auto config = base_config();
+  FaultPlan full;
+  full.mitigation.early_k = static_cast<int>(config.num_nodes);
+  FaultPlan partial;
+  partial.mitigation.early_k = static_cast<int>(config.num_nodes) - 2;
+
+  const auto all = run_mitigated_homogeneous(config, full);
+  const auto some = run_mitigated_homogeneous(config, partial);
+  ASSERT_EQ(all.responses.size(), some.responses.size());
+  for (std::size_t i = 0; i < all.responses.size(); ++i) {
+    ASSERT_LE(some.responses[i], all.responses[i]);
+  }
+  EXPECT_LT(stats::percentile(some.responses, 99.0),
+            stats::percentile(all.responses, 99.0));
+}
+
+TEST(FaultSim, RejectsReplicatedNodes) {
+  auto config = base_config();
+  config.replicas = 2;
+  config.policy = fjsim::Policy::kRoundRobin;
+  EXPECT_THROW(run_mitigated_homogeneous(config, injection_plan()),
+               fjsim::ConfigError);
+}
+
+TEST(FaultSim, RejectsEarlyKAboveNodeCount) {
+  const auto config = base_config();
+  FaultPlan plan;
+  plan.mitigation.early_k = static_cast<int>(config.num_nodes) + 1;
+  EXPECT_THROW(run_mitigated_homogeneous(config, plan), fjsim::ConfigError);
+}
+
+TEST(FaultSubset, EarlyKAtFullFanoutIsBitIdenticalToZero) {
+  // early_k == k waits for every task, so the aggregation must reproduce
+  // the pre-knob engine exactly (the goldens' bit-identity guarantee).
+  fjsim::SubsetConfig c;
+  c.num_nodes = 50;
+  c.service = std::make_shared<dist::Exponential>(5.0);
+  c.load = 0.5;
+  c.k_mode = fjsim::KMode::kFixed;
+  c.k_fixed = 10;
+  c.num_requests = 3000;
+  c.seed = 7;
+
+  const auto baseline = fjsim::run_subset(c);
+  c.early_k = c.k_fixed;
+  const auto early = fjsim::run_subset(c);
+  ASSERT_EQ(early.responses.size(), baseline.responses.size());
+  for (std::size_t i = 0; i < baseline.responses.size(); ++i) {
+    ASSERT_EQ(early.responses[i], baseline.responses[i]) << "request " << i;
+  }
+}
+
+TEST(FaultSubset, EarlyKTrimsTheTail) {
+  fjsim::SubsetConfig c;
+  c.num_nodes = 50;
+  c.service = std::make_shared<dist::Exponential>(5.0);
+  c.load = 0.5;
+  c.k_mode = fjsim::KMode::kFixed;
+  c.k_fixed = 10;
+  c.num_requests = 3000;
+  c.seed = 7;
+  const auto all = fjsim::run_subset(c);
+  c.early_k = 8;
+  const auto some = fjsim::run_subset(c);
+  EXPECT_LT(stats::percentile(some.responses, 99.0),
+            stats::percentile(all.responses, 99.0));
+}
+
+TEST(FaultSubset, EarlyKValidation) {
+  fjsim::SubsetConfig c;
+  c.num_nodes = 50;
+  c.service = std::make_shared<dist::Exponential>(5.0);
+  c.k_mode = fjsim::KMode::kFixed;
+  c.k_fixed = 10;
+  c.early_k = 11;
+  EXPECT_THROW(fjsim::validate(c), fjsim::ConfigError);
+  c.early_k = -1;
+  EXPECT_THROW(fjsim::validate(c), fjsim::ConfigError);
+}
+
+TEST(FaultScenario, RegistryRoutesFaultyHomogeneousSpecs) {
+  scenario::ScenarioSpec spec;
+  spec.name = "faulty-routing";
+  spec.nodes = 6;
+  spec.service.dist = "Exponential";
+  spec.service.mean = 10.0;
+  spec.load = 0.5;
+  spec.requests = 1500;
+  spec.seed = 11;
+  spec.faults.inject.blip_rate = 0.01;
+  spec.faults.inject.blip_duration = 15.0;
+
+  const auto outcome = scenario::SimulatorRegistry::global().run(spec);
+  EXPECT_TRUE(outcome.faulty);
+  EXPECT_GT(outcome.fault_counters.blips, 0u);
+  EXPECT_GT(outcome.attempt_count, 0u);
+
+  // The same spec with an inert plan routes through the plain engine.
+  scenario::ScenarioSpec plain = spec;
+  plain.faults = FaultPlan{};
+  const auto clean = scenario::SimulatorRegistry::global().run(plain);
+  EXPECT_FALSE(clean.faulty);
+  EXPECT_EQ(clean.fault_counters.blips, 0u);
+}
+
+TEST(FaultScenario, ReportEmitsFaultSectionOnlyWhenFaulty) {
+  scenario::ScenarioSpec spec;
+  spec.nodes = 4;
+  spec.service.mean = 10.0;
+  spec.load = 0.5;
+  spec.requests = 800;
+  const auto clean = scenario::run_scenario(spec, {}, {99.0});
+  EXPECT_FALSE(scenario::to_json(clean).contains("fault"));
+
+  spec.faults.inject.blip_rate = 0.01;
+  spec.faults.inject.blip_duration = 15.0;
+  const auto faulty = scenario::run_scenario(spec, {}, {99.0});
+  const auto doc = scenario::to_json(faulty);
+  ASSERT_TRUE(doc.contains("fault"));
+  EXPECT_GT(doc.at("fault").at("injected_blips").as_number(), 0.0);
+  EXPECT_TRUE(doc.at("fault").contains("degraded"));
+}
+
+TEST(FaultSim, DistQuantileInvertsCdf) {
+  const dist::Exponential d(10.0);
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double x = dist_quantile(d, q);
+    EXPECT_NEAR(d.cdf(x), q, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(dist_quantile(d, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace forktail::fault

@@ -123,6 +123,25 @@ TEST(ReportSchema, RunReportScenarioLabel) {
   EXPECT_FALSE(Json::parse(unlabeled.to_json()).contains("scenario"));
 }
 
+// The degraded flag mirrors the scenario-label rule: a degraded run adds
+// exactly one key, and clean runs keep the v1 key set byte-compatible.
+TEST(ReportSchema, RunReportDegradedFlag) {
+  obs::Registry registry;
+  const obs::RunReport degraded = obs::RunReport::capture(
+      registry, "forktail run", "faulty-homogeneous", /*degraded=*/true);
+  const Json doc = Json::parse(degraded.to_json());
+  const std::set<std::string> expected_top = {
+      "schema",   "version",  "tool",     "observability_enabled",
+      "scenario", "degraded", "counters", "gauges",
+      "histograms"};
+  EXPECT_EQ(doc.keys(), expected_top);
+  EXPECT_TRUE(doc.at("degraded").as_bool());
+
+  const obs::RunReport clean =
+      obs::RunReport::capture(registry, "forktail run", "plain");
+  EXPECT_FALSE(Json::parse(clean.to_json()).contains("degraded"));
+}
+
 TEST(ReportSchema, RunReportJsonIsParseableAfterRealRun) {
   // End-to-end: snapshot the GLOBAL registry (whatever other tests have
   // recorded into it) and require the document to stay well-formed.

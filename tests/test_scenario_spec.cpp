@@ -269,10 +269,13 @@ TEST(ScenarioSpec, RejectsNonIntegerCounts) {
                ConfigError);
 }
 
-TEST(ScenarioSpec, MalformedJsonIsARuntimeError) {
-  EXPECT_THROW(scenario::parse_scenario_text("{\"topology\": "), std::runtime_error);
+TEST(ScenarioSpec, MalformedJsonIsAConfigError) {
+  // Truncated JSON surfaces the parser's typed error; an unreadable file is
+  // wrapped into ConfigError so the CLI maps both to its config exit code.
+  EXPECT_THROW(scenario::parse_scenario_text("{\"topology\": "),
+               util::JsonParseError);
   EXPECT_THROW(scenario::load_scenario_file("/nonexistent/scenario.json"),
-               std::runtime_error);
+               ConfigError);
 }
 
 }  // namespace

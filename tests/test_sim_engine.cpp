@@ -83,5 +83,93 @@ TEST(Engine, ScheduleInIsRelative) {
   EXPECT_DOUBLE_EQ(seen, 5.0);
 }
 
+TEST(Engine, CancelledEventNeverFires) {
+  Engine e;
+  int fired = 0;
+  const Engine::EventId id = e.schedule_cancellable(2.0, [&] { ++fired; });
+  e.schedule(1.0, [&] { EXPECT_TRUE(e.cancel(id)); });
+  e.schedule(3.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.events_cancelled(), 1u);
+}
+
+TEST(Engine, CancellationIsObservationallyFree) {
+  // A cancelled tombstone must not advance simulated time or the processed
+  // count: the run looks exactly like one where the event never existed.
+  Engine e;
+  const Engine::EventId id = e.schedule_cancellable(10.0, [] { FAIL(); });
+  e.schedule(1.0, [&] { e.cancel(id); });
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+  EXPECT_EQ(e.events_processed(), 1u);
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine e;
+  int fired = 0;
+  const Engine::EventId id = e.schedule_cancellable(1.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_EQ(e.events_cancelled(), 0u);
+}
+
+TEST(Engine, DoubleCancelReturnsFalse) {
+  Engine e;
+  const Engine::EventId id = e.schedule_cancellable(5.0, [] { FAIL(); });
+  e.schedule(1.0, [&] {
+    EXPECT_TRUE(e.cancel(id));
+    EXPECT_FALSE(e.cancel(id));
+  });
+  e.run();
+  EXPECT_EQ(e.events_cancelled(), 1u);
+}
+
+TEST(Engine, CancelUnknownIdReturnsFalse) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(12345));
+  // Ordinary schedule() events are not cancellable either.
+  e.schedule(1.0, [] {});
+  EXPECT_FALSE(e.cancel(0));
+  e.run();
+  EXPECT_EQ(e.events_processed(), 1u);
+}
+
+TEST(Engine, HedgeRacePattern) {
+  // The cancel-on-first-complete pattern the fault layer uses: primary and
+  // hedge race; whichever fires first cancels the other.
+  Engine e;
+  int primary = 0;
+  int hedge = 0;
+  Engine::EventId primary_id = 0;
+  Engine::EventId hedge_id = 0;
+  primary_id = e.schedule_cancellable(5.0, [&] {
+    ++primary;
+    e.cancel(hedge_id);
+  });
+  hedge_id = e.schedule_cancellable(3.0, [&] {
+    ++hedge;
+    e.cancel(primary_id);
+  });
+  e.run();
+  EXPECT_EQ(hedge, 1);
+  EXPECT_EQ(primary, 0);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_cancelled(), 1u);
+}
+
+TEST(Engine, RunUntilSkipsCancelledTombstones) {
+  Engine e;
+  const Engine::EventId id = e.schedule_cancellable(2.0, [] { FAIL(); });
+  e.cancel(id);
+  e.schedule(4.0, [] {});
+  e.run_until(3.0);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_processed(), 0u);
+  e.run();
+  EXPECT_EQ(e.events_processed(), 1u);
+}
+
 }  // namespace
 }  // namespace forktail::sim

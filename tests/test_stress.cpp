@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
+#include <thread>
 
 #include "core/forktail.hpp"
 #include "dist/basic.hpp"
@@ -12,6 +15,7 @@
 #include "sim/engine.hpp"
 #include "stats/percentile.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace forktail {
 namespace {
@@ -125,6 +129,66 @@ TEST(MixtureStress, ManyGroupQuantileStable) {
   ASSERT_TRUE(std::isfinite(x));
   EXPECT_GT(x, core::homogeneous_quantile({5.0, 50.0}, 1.0, 99.9));
   EXPECT_LT(x, core::homogeneous_quantile({5.0, 50.0}, 100000.0, 99.9));
+}
+
+TEST(StressThreadPool, DestructionWhileTasksThrowNeverHangs) {
+  // A worker that throws during pool teardown must neither terminate the
+  // process nor leave the destructor joining forever.  50 rounds of
+  // destroy-with-throwing-backlog; the test passes by finishing.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    {
+      util::ThreadPool pool(4);
+      for (int i = 0; i < 64; ++i) {
+        pool.submit([&ran, i] {
+          ++ran;
+          if (i % 3 == 0) throw std::runtime_error("task failure");
+        });
+      }
+      // No wait_idle(): the destructor itself must drain the queue (some
+      // tasks still pending, several already thrown) and join cleanly.
+    }
+    EXPECT_EQ(ran.load(), 64) << "round " << round;
+  }
+}
+
+TEST(StressThreadPool, WaitIdleRethrowsFirstErrorAndPoolStaysUsable) {
+  util::ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // The pool must remain fully usable after a rethrow.
+    std::atomic<int> ok{0};
+    for (int i = 0; i < 8; ++i) pool.submit([&ok] { ++ok; });
+    pool.wait_idle();
+    EXPECT_EQ(ok.load(), 8);
+  }
+}
+
+TEST(StressThreadPool, ConcurrentSubmittersAndThrowersDrainExactly) {
+  // Several threads hammer submit() while half the tasks throw; every task
+  // must run exactly once and wait_idle must always return.
+  util::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  constexpr int kPerThread = 500;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &ran] {
+      for (int i = 0; i < kPerThread; ++i) {
+        pool.submit([&ran, i] {
+          ++ran;
+          if (i % 2 == 0) throw std::runtime_error("x");
+        });
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  try {
+    pool.wait_idle();
+  } catch (const std::runtime_error&) {
+    // expected: at least one captured failure
+  }
+  EXPECT_EQ(ran.load(), 4 * kPerThread);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/forktail.hpp"
+#include "fjsim/config.hpp"
 #include "obs/report.hpp"
 #include "replay_bench.hpp"
 #include "scenario/run.hpp"
@@ -351,7 +352,8 @@ int cmd_run(int argc, const char* const* argv) {
   }
   const std::string metrics_out = flags.get_string("metrics-out");
   if (!metrics_out.empty()) {
-    obs::RunReport::capture(obs::Registry::global(), "run", spec.name)
+    obs::RunReport::capture(obs::Registry::global(), "run", spec.name,
+                            report.degraded)
         .write(metrics_out);
     std::printf("wrote %s (run telemetry)\n", metrics_out.c_str());
   }
@@ -413,10 +415,18 @@ void usage() {
 
 }  // namespace
 
+// Exit codes (pinned by tests/cli/run_cli_errors.cmake):
+//   0  success
+//   1  usage error    -- bad command line (missing command, unknown command
+//                        or predictor, malformed flag values)
+//   2  config error   -- unreadable / malformed / invalid scenario or JSON
+//                        input (fjsim::ConfigError, util::JsonParseError)
+//   3  runtime error  -- everything else (I/O failures, simulation errors)
+// Every failure path prints exactly one diagnostic line to stderr.
 int main(int argc, char** argv) {
   if (argc < 2) {
     usage();
-    return 2;
+    return 1;
   }
   const std::string command = argv[1];
   try {
@@ -428,11 +438,19 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "run") return cmd_run(argc - 1, argv + 1);
     if (command == "bench") return cmd_bench(argc - 1, argv + 1);
-    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-    usage();
-    return 2;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "forktail: unknown command: %s\n", command.c_str());
     return 1;
+  } catch (const fjsim::ConfigError& e) {
+    std::fprintf(stderr, "forktail: config error: %s\n", e.what());
+    return 2;
+  } catch (const util::JsonParseError& e) {
+    std::fprintf(stderr, "forktail: config error: %s\n", e.what());
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "forktail: usage error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "forktail: runtime error: %s\n", e.what());
+    return 3;
   }
 }
