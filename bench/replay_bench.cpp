@@ -1,6 +1,7 @@
 #include "replay_bench.hpp"
 
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -20,6 +21,7 @@
 #include "fjsim/pipeline.hpp"
 #include "fjsim/replay.hpp"
 #include "fjsim/subset.hpp"
+#include "fjsim/vector_engine.hpp"
 #include "stats/percentile.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -28,14 +30,24 @@ namespace forktail::bench {
 
 namespace {
 
-/// Which replay pipeline a run exercises.  The benchmark compares the two
-/// end to end, because that is what the batched-engine work changed:
-///  * kScalar  -- the pre-change pipeline: one virtual sample() per task,
+/// Which replay pipeline a run exercises:
+///  * kScalar   -- the pre-batching pipeline: one virtual sample() per task,
 ///    tail quantiles via copy + full sort (stats::percentiles).
-///  * kBatched -- the batched pipeline: fused/block demand draws, tail
-///    quantiles via partitioned selection (stats::percentiles_inplace).
-/// Both must produce bit-identical quantiles (asserted per run).
-enum class Path { kScalar, kBatched };
+///  * kBatched  -- the batched legacy pipeline: fused/block demand draws,
+///    tail quantiles via partitioned selection (stats::percentiles_inplace).
+///  * kVector   -- the SIMD engine (fjsim/vector_engine.hpp): lockstep
+///    xoshiro lanes, block inverse-CDF sampling, vectorized Lindley tiles.
+///  * kVectorT2 -- the same engine sharded across 2 worker threads, the
+///    determinism demonstrator (bit-identical to kVector by contract).
+/// kScalar and kBatched must produce bit-identical quantiles (asserted per
+/// run), and so must kVector and kVectorT2; the vector family's quantiles
+/// differ from legacy within sampling noise (documented golden change,
+/// docs/performance.md) and the relative p99 gap is recorded in the JSON.
+enum class Path { kScalar, kBatched, kVector, kVectorT2 };
+
+constexpr bool is_vector(Path path) {
+  return path == Path::kVector || path == Path::kVectorT2;
+}
 
 /// One simulation run of a workload through one pipeline.
 struct RunOutcome {
@@ -65,6 +77,14 @@ std::array<double, 3> tail_percentiles(Path path,
 
 std::size_t batch_for(Path path) {
   return path == Path::kScalar ? 1 : 0;  // 0 = default block size
+}
+
+fjsim::Engine engine_for(Path path) {
+  return is_vector(path) ? fjsim::Engine::kVector : fjsim::Engine::kLegacy;
+}
+
+std::size_t threads_for(Path path, std::size_t base_threads) {
+  return path == Path::kVectorT2 ? 2 : base_threads;
 }
 
 /// Timing summary of one (workload, path): per-rep task throughput.
@@ -163,7 +183,8 @@ std::vector<Workload> build_workloads(const ReplayBenchOptions& options) {
       // high-load rows discard a larger warm-up prefix before measuring.
       if (load >= 0.9) cfg.warmup_fraction = 1.0 / 3.0;
       cfg.seed = seed;
-      cfg.max_parallelism = threads;
+      cfg.engine = engine_for(path);
+      cfg.max_parallelism = threads_for(path, threads);
       cfg.batch = batch_for(path);
       util::Stopwatch watch;
       auto sim = fjsim::run_homogeneous(cfg);
@@ -197,7 +218,8 @@ std::vector<Workload> build_workloads(const ReplayBenchOptions& options) {
         cfg.lambda = fjsim::lambda_for_max_load(cfg.services, 0.85);
         cfg.num_requests = scaled(20000, scale);
         cfg.seed = seed;
-        cfg.max_parallelism = threads;
+        cfg.engine = engine_for(path);
+        cfg.max_parallelism = threads_for(path, threads);
         cfg.batch = batch_for(path);
         const std::uint64_t tasks =
             (warmup_requests(cfg.warmup_fraction, cfg.num_requests) +
@@ -219,6 +241,8 @@ std::vector<Workload> build_workloads(const ReplayBenchOptions& options) {
         cfg.load = 0.80;
         cfg.num_requests = scaled(30000, scale);
         cfg.seed = seed;
+        cfg.engine = engine_for(path);
+        cfg.max_parallelism = threads_for(path, threads);
         cfg.batch = batch_for(path);
         util::Stopwatch watch;
         auto sim = fjsim::run_subset(cfg);
@@ -236,6 +260,8 @@ std::vector<Workload> build_workloads(const ReplayBenchOptions& options) {
         cfg.load = 0.80;
         cfg.num_requests = scaled(20000, scale);
         cfg.seed = seed;
+        cfg.engine = engine_for(path);
+        cfg.max_parallelism = threads_for(path, threads);
         cfg.batch = batch_for(path);
         std::uint64_t nodes = 0;
         for (const auto& s : cfg.stages) nodes += s.num_nodes;
@@ -256,8 +282,18 @@ struct WorkloadResult {
   const Workload* workload = nullptr;
   PathResult scalar;
   PathResult batched;
-  bool identical = false;
+  PathResult vec;
+  PathResult vec_t2;
+  bool identical = false;         ///< scalar == batched (bitwise)
+  bool vector_identical = false;  ///< vector == vector_t2 (bitwise)
+  /// Relative p99 gap between the vector and batched engines; a golden
+  /// change, expected within sampling noise (|gap| well under 15%).
+  double vector_p99_rel = 0.0;
   double speedup() const { return batched.rate_p50 / scalar.rate_p50; }
+  double speedup_vector() const { return vec.rate_p50 / batched.rate_p50; }
+  double speedup_vector_t2() const {
+    return vec_t2.rate_p50 / batched.rate_p50;
+  }
 };
 
 void write_json(const std::string& path, const ReplayBenchOptions& options,
@@ -275,6 +311,11 @@ void write_json(const std::string& path, const ReplayBenchOptions& options,
         "percentiles (pre-change)\",\n";
   os << "  \"batched_pipeline\": \"fused/block demand draws + selection-based "
         "percentiles\",\n";
+  os << "  \"vector_pipeline\": \"SIMD lane engine (lockstep xoshiro blocks, "
+        "inverse-CDF sampling, vectorized Lindley tiles) + selection-based "
+        "percentiles\",\n";
+  os << "  \"simd_dispatch\": \"" << fjsim::vector_dispatch_level()
+     << "\",\n";
   os << "  \"peak_rss_kib\": " << peak_rss_kib() << ",\n";
   os << "  \"workloads\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -293,11 +334,23 @@ void write_json(const std::string& path, const ReplayBenchOptions& options,
     os << "      \"p99_response\": " << json_num(r.scalar.p99) << ",\n";
     os << "      \"paths_identical\": " << (r.identical ? "true" : "false")
        << ",\n";
+    os << "      \"vector_paths_identical\": "
+       << (r.vector_identical ? "true" : "false") << ",\n";
+    os << "      \"vector_vs_batched_p99_rel\": "
+       << json_num(r.vector_p99_rel) << ",\n";
     path_json("scalar", r.scalar);
     os << ",\n";
     path_json("batched", r.batched);
     os << ",\n";
-    os << "      \"speedup_p50\": " << json_num(r.speedup()) << "\n";
+    path_json("vector", r.vec);
+    os << ",\n";
+    path_json("vector_t2", r.vec_t2);
+    os << ",\n";
+    os << "      \"speedup_p50\": " << json_num(r.speedup()) << ",\n";
+    os << "      \"speedup_vector_p50\": " << json_num(r.speedup_vector())
+       << ",\n";
+    os << "      \"speedup_vector_t2_p50\": "
+       << json_num(r.speedup_vector_t2()) << "\n";
     os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
@@ -320,31 +373,45 @@ int run_replay_bench(const ReplayBenchOptions& options) {
     r.workload = &w;
     PathAccumulator scalar(w, Path::kScalar, options.reps);
     PathAccumulator batched(w, Path::kBatched, options.reps);
-    // Interleave the reps so slow clock / turbo drift hits both paths
-    // equally: the speedup is a ratio of medians over the same window.
+    PathAccumulator vec(w, Path::kVector, options.reps);
+    PathAccumulator vec_t2(w, Path::kVectorT2, options.reps);
+    // Interleave the reps so slow clock / turbo drift hits every path
+    // equally: each speedup is a ratio of medians over the same window.
     for (std::size_t rep = 0; rep < options.reps; ++rep) {
       scalar.rep();
       batched.rep();
+      vec.rep();
+      vec_t2.rep();
     }
-    // Bitwise cross-check: the batched pipeline must reproduce the scalar
-    // pipeline's tail quantiles exactly (== on the doubles, no tolerance).
+    // Bitwise cross-checks: the batched pipeline must reproduce the scalar
+    // pipeline's tail quantiles exactly (== on the doubles, no tolerance),
+    // and the sharded vector run must reproduce the single-thread vector
+    // run exactly -- that is the engine's determinism contract.
     r.identical = scalar.warm().tail == batched.warm().tail;
+    r.vector_identical = vec.warm().tail == vec_t2.warm().tail;
+    const double p99_legacy = batched.warm().tail[2];
+    r.vector_p99_rel = (vec.warm().tail[2] - p99_legacy) / p99_legacy;
     r.scalar = scalar.finish();
     r.batched = batched.finish();
-    all_identical = all_identical && r.identical;
+    r.vec = vec.finish();
+    r.vec_t2 = vec_t2.finish();
+    all_identical = all_identical && r.identical && r.vector_identical;
     results.push_back(r);
   }
 
   util::Table table({"workload", "tasks/run", "scalar_Mt/s", "batched_Mt/s",
-                     "speedup", "identical"});
+                     "vector_Mt/s", "vec_t2_Mt/s", "vec_speedup",
+                     "identical"});
   for (const WorkloadResult& r : results) {
     table.row()
         .str(r.workload->name)
         .integer(static_cast<long long>(r.scalar.tasks))
         .num(r.scalar.rate_p50 / 1e6, 2)
         .num(r.batched.rate_p50 / 1e6, 2)
-        .num(r.speedup(), 2)
-        .str(r.identical ? "yes" : "NO");
+        .num(r.vec.rate_p50 / 1e6, 2)
+        .num(r.vec_t2.rate_p50 / 1e6, 2)
+        .num(r.speedup_vector(), 2)
+        .str(r.identical && r.vector_identical ? "yes" : "NO");
   }
   BenchOptions print_options;
   print_options.csv = options.csv;
@@ -364,9 +431,22 @@ int run_replay_bench(const ReplayBenchOptions& options) {
   }
   if (!all_identical) {
     std::fprintf(stderr,
-                 "replay_bench: batched path diverged from the scalar "
-                 "reference -- determinism regression\n");
+                 "replay_bench: a pipeline diverged from its bit-identity "
+                 "partner (scalar/batched or vector/vector_t2) -- "
+                 "determinism regression\n");
     return 1;
+  }
+  for (const WorkloadResult& r : results) {
+    // The vector family is a documented golden change, not a free-for-all:
+    // a p99 further than 15% from legacy means a sampler or kernel bug, not
+    // sampling noise (observed gaps are ~2%).
+    if (std::abs(r.vector_p99_rel) > 0.15) {
+      std::fprintf(stderr,
+                   "replay_bench: %s vector p99 is %+.1f%% from the legacy "
+                   "engine -- outside the documented equivalence band\n",
+                   r.workload->name.c_str(), 100.0 * r.vector_p99_rel);
+      return 1;
+    }
   }
   return 0;
 }

@@ -48,6 +48,7 @@ class Erlang final : public Distribution {
   std::complex<double> lst(std::complex<double> s) const override;
 
   int stages() const noexcept { return stages_; }
+  double stage_rate() const noexcept { return stage_rate_; }
 
  private:
   int stages_;
@@ -100,6 +101,8 @@ class Deterministic final : public Distribution {
   bool has_lst() const override { return true; }
   std::complex<double> lst(std::complex<double> s) const override;
 
+  double value() const noexcept { return value_; }
+
  private:
   double value_;
 };
@@ -116,6 +119,9 @@ class UniformReal final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "Uniform"; }
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
 
  private:
   double lo_;

@@ -37,6 +37,11 @@ class Empirical final : public Distribution {
   double max() const { return values_.back(); }
   std::size_t num_knots() const noexcept { return probs_.size(); }
 
+  /// Knot arrays (read-only).  The batched sampler builds an O(1) bucket
+  /// lookup table over these instead of binary-searching per draw.
+  std::span<const double> knot_probs() const noexcept { return probs_; }
+  std::span<const double> knot_values() const noexcept { return values_; }
+
   /// Return a copy with all values multiplied by `factor` (moment
   /// calibration helper).
   Empirical scaled(double factor) const;

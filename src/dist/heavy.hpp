@@ -63,6 +63,7 @@ class TruncatedPareto final : public Distribution {
   double alpha() const noexcept { return alpha_; }
   double lower() const noexcept { return lower_; }
   double upper() const noexcept { return upper_; }
+  double trunc_mass() const noexcept { return trunc_mass_; }
 
  private:
   double alpha_;

@@ -1,0 +1,135 @@
+#include "dist/vec_sampler.hpp"
+
+#include <stdexcept>
+
+#include "dist/basic.hpp"
+#include "dist/empirical.hpp"
+#include "dist/heavy.hpp"
+#include "stats/special_functions.hpp"
+
+namespace forktail::dist {
+
+VecClass classify_vec(const Distribution& d) {
+  if (const auto* e = dynamic_cast<const Erlang*>(&d)) {
+    return {VecKind::kErlang, e->stages()};
+  }
+  if (dynamic_cast<const Exponential*>(&d)) return {VecKind::kExponential, 0};
+  if (dynamic_cast<const HyperExp2*>(&d)) return {VecKind::kHyperExp2, 0};
+  if (dynamic_cast<const Weibull*>(&d)) return {VecKind::kWeibull, 0};
+  if (dynamic_cast<const TruncatedPareto*>(&d)) {
+    return {VecKind::kTruncPareto, 0};
+  }
+  if (dynamic_cast<const LogNormal*>(&d)) return {VecKind::kLogNormal, 0};
+  if (dynamic_cast<const Deterministic*>(&d)) {
+    return {VecKind::kDeterministic, 0};
+  }
+  if (dynamic_cast<const UniformReal*>(&d)) return {VecKind::kUniform, 0};
+  if (dynamic_cast<const Empirical*>(&d)) return {VecKind::kEmpirical, 0};
+  return {VecKind::kGeneric, 0};
+}
+
+EmpiricalGrid::EmpiricalGrid(const Empirical& e)
+    : probs_(e.knot_probs().begin(), e.knot_probs().end()),
+      values_(e.knot_values().begin(), e.knot_values().end()) {
+  // ~4 buckets per knot keeps the expected forward scan below one step.
+  buckets_ = probs_.size() * 4;
+  if (buckets_ < 64) buckets_ = 64;
+  start_.resize(buckets_);
+  std::size_t k = 0;
+  for (std::size_t b = 0; b < buckets_; ++b) {
+    const double edge =
+        static_cast<double>(b) / static_cast<double>(buckets_);
+    while (k + 1 < probs_.size() && probs_[k + 1] <= edge) ++k;
+    start_[b] = static_cast<std::uint32_t>(k);
+  }
+}
+
+LaneSampler::LaneSampler(std::span<const Lane> lanes) {
+  if (lanes.empty() || lanes.size() > kL) {
+    throw std::invalid_argument("LaneSampler: need 1..8 lanes");
+  }
+  active_ = lanes.size();
+  cls_ = classify_vec(*lanes[0].dist);
+  for (std::size_t l = 0; l < active_; ++l) {
+    const Distribution& d = *lanes[l].dist;
+    if (!(classify_vec(d) == cls_)) {
+      throw std::invalid_argument("LaneSampler: lanes must share a VecClass");
+    }
+    dists_[l] = &d;
+    xo_.seed_lane(l, lanes[l].seed);
+    switch (cls_.kind) {
+      case VecKind::kDeterministic:
+        p0_[l] = static_cast<const Deterministic&>(d).value();
+        break;
+      case VecKind::kUniform: {
+        const auto& u = static_cast<const UniformReal&>(d);
+        p0_[l] = u.lo();
+        p1_[l] = u.hi() - u.lo();
+        break;
+      }
+      case VecKind::kExponential:
+        p0_[l] = -d.mean();
+        break;
+      case VecKind::kErlang:
+        p0_[l] = -1.0 / static_cast<const Erlang&>(d).stage_rate();
+        break;
+      case VecKind::kHyperExp2: {
+        const auto& h = static_cast<const HyperExp2&>(d);
+        p0_[l] = h.p1();
+        p1_[l] = -1.0 / h.rate1();
+        p2_[l] = -1.0 / h.rate2();
+        break;
+      }
+      case VecKind::kWeibull: {
+        const auto& w = static_cast<const Weibull&>(d);
+        p0_[l] = 1.0 / w.shape();
+        p1_[l] = w.scale();
+        break;
+      }
+      case VecKind::kTruncPareto: {
+        const auto& t = static_cast<const TruncatedPareto&>(d);
+        p0_[l] = t.trunc_mass();
+        p1_[l] = -1.0 / t.alpha();
+        p2_[l] = t.lower();
+        break;
+      }
+      case VecKind::kLogNormal: {
+        const auto& ln = static_cast<const LogNormal&>(d);
+        p0_[l] = ln.mu();
+        p1_[l] = ln.sigma();
+        break;
+      }
+      case VecKind::kEmpirical:
+        if (grids_.empty()) grids_.resize(kL);
+        grids_[l] = std::make_shared<EmpiricalGrid>(
+            static_cast<const Empirical&>(d));
+        break;
+      case VecKind::kGeneric:
+        if (rngs_.empty()) rngs_.reserve(kL);
+        break;
+    }
+  }
+  if (cls_.kind == VecKind::kGeneric) {
+    for (std::size_t l = 0; l < active_; ++l) {
+      rngs_.emplace_back(lanes[l].seed);
+    }
+  }
+  if (cls_.kind == VecKind::kWeibull) {
+    // When every lane shares a small exact-integer 1/shape (shape 1/2,
+    // 1/3, 1/4 -- the paper's heavy-tail calibrations), x^(1/shape) is a
+    // repeated multiply and fill_weibull skips its second log/exp round
+    // trip entirely.
+    const double m = p0_[0];
+    bool uniform_m = (m == 2.0 || m == 3.0 || m == 4.0);
+    for (std::size_t l = 1; l < active_ && uniform_m; ++l) {
+      uniform_m = (p0_[l] == m);
+    }
+    if (uniform_m) weibull_ipow_ = static_cast<int>(m);
+  }
+}
+
+double LaneSampler::tail_normal_quantile(double u) {
+  return stats::normal_quantile(u);
+}
+
+}  // namespace forktail::dist

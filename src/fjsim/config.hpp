@@ -10,12 +10,28 @@
 // std::invalid_argument thrown mid-construction.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 #include "fjsim/node.hpp"
 
 namespace forktail::fjsim {
+
+/// Which replay implementation a simulator config selects.
+///
+///  * kLegacy -- the scalar/batched engines that have carried every golden
+///    so far.  Bit-identical for any batch size; the default.
+///  * kVector -- the SIMD engine (fjsim/vector_engine.hpp): lockstep
+///    xoshiro lanes, batched inverse-CDF sampling, sharded whole-replay
+///    execution.  Internally deterministic (bit-identical for any thread
+///    count, batch size, and dispatch ISA level) but NOT bit-identical to
+///    kLegacy -- its polynomial log/exp kernels differ from libm in the
+///    last ulp.  Every deviation is documented in docs/performance.md.
+enum class Engine : std::uint8_t {
+  kLegacy = 0,
+  kVector = 1,
+};
 
 /// How one fork node's servers are organised: how many replica servers it
 /// has, how tasks are dispatched to them, and (for the redundant-issue

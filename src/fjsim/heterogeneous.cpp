@@ -5,6 +5,7 @@
 
 #include "fjsim/replay.hpp"
 #include "fjsim/telemetry.hpp"
+#include "fjsim/vector_engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace forktail::fjsim {
@@ -26,6 +27,9 @@ double lambda_for_max_load(const std::vector<dist::DistPtr>& services,
 }
 
 HeterogeneousResult run_heterogeneous(const HeterogeneousConfig& config) {
+  if (config.engine == Engine::kVector) {
+    return run_heterogeneous_vector(config);
+  }
   const std::size_t n = config.services.size();
   if (n == 0) throw std::invalid_argument("run_heterogeneous: no nodes");
   if (!(config.lambda > 0.0)) {

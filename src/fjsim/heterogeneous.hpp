@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "fjsim/config.hpp"
 #include "fjsim/node.hpp"
 #include "stats/welford.hpp"
 
@@ -34,6 +35,8 @@ struct HeterogeneousConfig {
   /// Service-demand block size: 0 = default, 1 = scalar reference path
   /// (see HomogeneousConfig::batch).  Bit-identical for every value.
   std::size_t batch = 0;
+  /// Replay implementation (see fjsim/config.hpp::Engine).
+  Engine engine = Engine::kLegacy;
 };
 
 struct HeterogeneousResult {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fjsim/redundant_node.hpp"
+#include "fjsim/vector_engine.hpp"
 #include "fjsim/replay.hpp"
 #include "fjsim/telemetry.hpp"
 #include "util/thread_pool.hpp"
@@ -33,6 +34,7 @@ std::uint64_t replay_node(Node& node, const std::vector<double>& arrivals,
 }  // namespace
 
 HomogeneousResult run_homogeneous(const HomogeneousConfig& config) {
+  if (config.engine == Engine::kVector) return run_homogeneous_vector(config);
   validate(config);  // throws a field-typed ConfigError (fjsim/config.hpp)
 
   const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);

@@ -44,6 +44,10 @@ struct HomogeneousConfig : NodeGroupConfig {
   /// sample per task, the pre-batching code), else an explicit block size.
   /// Results are bit-identical for every value.
   std::size_t batch = 0;
+  /// Replay implementation: kLegacy (scalar/batched, all historical
+  /// goldens) or kVector (SIMD engine; see fjsim/config.hpp::Engine and
+  /// docs/performance.md).  kVector rejects Policy::kRedundant.
+  Engine engine = Engine::kLegacy;
 };
 
 struct HomogeneousResult {

@@ -6,10 +6,12 @@
 
 #include "fjsim/replay.hpp"
 #include "fjsim/telemetry.hpp"
+#include "fjsim/vector_engine.hpp"
 
 namespace forktail::fjsim {
 
 PipelineResult run_pipeline(const PipelineConfig& config) {
+  if (config.engine == Engine::kVector) return run_pipeline_vector(config);
   const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);
   if (config.stages.empty()) {
     throw std::invalid_argument("run_pipeline: no stages");

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "fjsim/config.hpp"
 #include "fjsim/node.hpp"
 #include "stats/welford.hpp"
 
@@ -34,6 +35,12 @@ struct PipelineConfig {
   /// Service-demand block size: 0 = default, 1 = scalar reference path
   /// (see HomogeneousConfig::batch).  Bit-identical for every value.
   std::size_t batch = 0;
+  /// Replay implementation (see fjsim/config.hpp::Engine).
+  Engine engine = Engine::kLegacy;
+  /// Upper bound on worker parallelism for the vector engine's per-stage
+  /// node sharding; 0 = pool width, 1 = inline.  Results are bit-identical
+  /// for every value.  The legacy engine replays serially and ignores it.
+  std::size_t max_parallelism = 0;
 };
 
 struct PipelineResult {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fjsim/redundant_node.hpp"
+#include "fjsim/vector_engine.hpp"
 #include "fjsim/replay.hpp"
 #include "fjsim/telemetry.hpp"
 
@@ -53,6 +54,7 @@ void run_loop(const SubsetConfig& config, std::vector<Node>& nodes,
 }  // namespace
 
 SubsetResult run_subset(const SubsetConfig& config) {
+  if (config.engine == Engine::kVector) return run_subset_vector(config);
   const obs::ScopedSpan run_span(ReplayMetrics::get().run_seconds);
   validate(config);  // k-bounds etc., as a field-typed ConfigError
   const double mean_k =

@@ -49,6 +49,14 @@ struct SubsetConfig : NodeGroupConfig {
   /// replay state and every RNG stream are untouched, so early_k = 0 is
   /// bit-identical to the pre-knob engine.
   int early_k = 0;
+  /// Replay implementation (see fjsim/config.hpp::Engine).  kVector
+  /// requires replicas == 1, Policy::kSingle, early_k == 0.
+  Engine engine = Engine::kLegacy;
+  /// Accepted for API uniformity with the other simulators: the vector
+  /// subset engine replays request-major over shared node state, which is
+  /// inherently sequential, so this knob does not change the execution
+  /// schedule — results are (trivially) bit-identical for every value.
+  std::size_t max_parallelism = 0;
 };
 
 struct SubsetResult {

@@ -1,0 +1,17 @@
+// Vector engine, x86-64-v3 level (AVX2 + FMA + BMI2).  The TU itself
+// builds at the baseline -march; only the engine's hot functions carry the
+// target attribute, so no shared inline symbol (std::vector internals,
+// Welford methods, ...) is ever emitted with AVX encodings that linker
+// COMDAT merging could route into a baseline code path on an older CPU.
+// FMA is available to the target functions but never used: the whole TU is
+// compiled with -ffp-contract=off, keeping results bit-identical to the
+// generic level.
+#include "fjsim/vector_engine.hpp"
+
+#if FORKTAIL_VE_X86
+
+#define FORKTAIL_VE_NS ve_avx2
+#define FORKTAIL_VE_TARGET __attribute__((target("avx2,fma,bmi2")))
+#include "fjsim/vector_engine_impl.hpp"
+
+#endif  // FORKTAIL_VE_X86

@@ -1,0 +1,15 @@
+// Vector engine, x86-64-v4 level (AVX-512 F/DQ/BW/VL/CD on top of v3).
+// Same single-implementation scheme as the avx2 TU: baseline -march for the
+// TU, per-function target attributes for the hot loops, -ffp-contract=off
+// for cross-level bit identity.
+#include "fjsim/vector_engine.hpp"
+
+#if FORKTAIL_VE_X86
+
+#define FORKTAIL_VE_NS ve_avx512
+#define FORKTAIL_VE_TARGET                                                  \
+  __attribute__((target(                                                    \
+      "avx2,fma,bmi2,avx512f,avx512dq,avx512bw,avx512vl,avx512cd")))
+#include "fjsim/vector_engine_impl.hpp"
+
+#endif  // FORKTAIL_VE_X86

@@ -1,0 +1,9 @@
+// Vector engine, baseline ISA level.  Available on every target; the hot
+// functions carry no target attribute, so they compile at the build's
+// default -march (with -ffp-contract=off from this file's compile options,
+// which is what makes the level bit-identical to avx2/avx512).
+#include "fjsim/vector_engine.hpp"
+
+#define FORKTAIL_VE_NS ve_generic
+#define FORKTAIL_VE_TARGET
+#include "fjsim/vector_engine_impl.hpp"

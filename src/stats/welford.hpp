@@ -74,6 +74,23 @@ class Welford {
 
   void reset() noexcept { *this = Welford{}; }
 
+  /// Reconstitute an accumulator from externally maintained state.  The
+  /// vector replay engine keeps (count, mean, m2, min, max) in SIMD lane
+  /// arrays and folds the lanes back into Welford objects for the standard
+  /// merge path; `from_parts(0, ...)` yields the default (empty) state so
+  /// idle lanes merge as no-ops.
+  static Welford from_parts(std::uint64_t n, double mean, double m2,
+                            double min, double max) noexcept {
+    Welford w;
+    if (n == 0) return w;
+    w.n_ = n;
+    w.mean_ = mean;
+    w.m2_ = m2;
+    w.min_ = min;
+    w.max_ = max;
+    return w;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;

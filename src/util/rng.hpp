@@ -107,9 +107,17 @@ class Rng {
   /// derivation — no linear relation lets two different (seed, index) pairs
   /// collide or a child coincide with its parent's raw seed.
   Rng split(std::uint64_t stream_index) const noexcept {
+    return Rng(split_seed(seed_, stream_index));
+  }
+
+  /// Seed of the child stream `split(stream_index)` would return.  Exposed so
+  /// batch engines can reconstruct the exact same per-node streams (e.g. one
+  /// SIMD lane per node) without materializing intermediate Rng objects.
+  static constexpr std::uint64_t split_seed(std::uint64_t parent_seed,
+                                            std::uint64_t stream_index) noexcept {
     SplitMix64 index_mix(stream_index);
-    SplitMix64 pair_mix(seed_ ^ index_mix.next());
-    return Rng(pair_mix.next());
+    SplitMix64 pair_mix(parent_seed ^ index_mix.next());
+    return pair_mix.next();
   }
 
   std::uint64_t next_u64() noexcept { return engine_(); }

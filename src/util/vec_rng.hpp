@@ -1,0 +1,185 @@
+// Lane-parallel pseudo-random number generation for the vector replay
+// engine.
+//
+// Two generation styles, both plain C++ written so GCC/Clang auto-vectorize
+// them (no intrinsics; the fjsim vector engine compiles this header in
+// per-ISA translation units):
+//
+//  * XoshiroBlock: 8 lanes of xoshiro256++ advanced in lockstep,
+//    structure-of-arrays state.  Lane `l` seeded with seed `s` produces
+//    EXACTLY the u64 stream of `util::Xoshiro256pp(s)` — so a lane seeded
+//    with `Rng::split_seed(master, idx)` replays the same raw stream as the
+//    scalar per-node `Rng` the legacy engines use.  (The *transforms* applied
+//    to the stream by the vector engine differ in the last ulp from libm;
+//    see docs/performance.md for the golden-change policy.)
+//
+//  * counter_hash: a stateless splitmix64-style finalizer over a (seed,
+//    counter) pair.  Random-access — any element of the stream can be
+//    produced independently — which is what the subset engine's
+//    distinct-pick fixup loop needs.
+//
+// `bits_to_unit` maps a u64 to the same double `Rng::uniform()` produces
+// from that u64.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+// See vec_math.hpp: helpers used inside per-ISA target-attributed functions
+// must be force-inlined so their hot loops compile at the caller's ISA.
+#ifndef FORKTAIL_VEC_INLINE
+#if defined(__GNUC__) || defined(__clang__)
+#define FORKTAIL_VEC_INLINE inline __attribute__((always_inline))
+#endif
+#ifndef FORKTAIL_VEC_INLINE
+#define FORKTAIL_VEC_INLINE inline
+#endif
+#endif
+
+namespace forktail::util {
+
+/// Uniform in [0, 1) from a raw u64 draw; bit-identical to
+/// `Rng::uniform()` consuming the same u64: (x >> 11) * 2^-53.
+FORKTAIL_VEC_INLINE double bits_to_unit(std::uint64_t x) noexcept {
+  // Plain integer convert, matching Rng::uniform() exactly.  (x >> 11) fits
+  // in 53 bits, so the conversion is exact on every ISA level.  NOT the
+  // 0x433-magic exponent splice: (x >> 11) occupies bit 52, which collides
+  // with an exponent bit the magic already has set, so OR-ing silently drops
+  // the top bit and folds the uniform into [0, 1/2).
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Stateless counter-based stream: splitmix64's output function applied to
+/// seed + (counter+1) * golden-gamma.  Element `c` of stream `seed` is
+/// reproducible in isolation; distinct counters give distinct inputs to the
+/// bijective finalizer.
+FORKTAIL_VEC_INLINE std::uint64_t counter_hash(std::uint64_t seed,
+                                  std::uint64_t counter) noexcept {
+  std::uint64_t z = seed + (counter + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Fill out[0..n) with counter_hash(seed, base+i).  Auto-vectorizes.
+FORKTAIL_VEC_INLINE void counter_hash_block(std::uint64_t seed, std::uint64_t base,
+                               std::uint64_t* __restrict out,
+                               std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = counter_hash(seed, base + static_cast<std::uint64_t>(i));
+  }
+}
+
+/// 32-bit stateless counter hash over a (seed, stream, counter) triple:
+/// murmur3's fmix32 finalizer on a linear combination of the inputs.
+/// Random-access like counter_hash, but every op is 32-bit -- on AVX-512 a
+/// block of these is 16 lanes per vector with cheap vpmulld multiplies,
+/// roughly twice the throughput of the 64-bit path (vpmullq is 3 uops).
+/// Quality is ample for simulation-grade sampling; it is NOT a bijection
+/// over the combined input (collisions across (stream, counter) pairs are
+/// possible but statistically negligible).
+FORKTAIL_VEC_INLINE std::uint32_t pick_hash32(std::uint32_t seed,
+                                              std::uint32_t stream,
+                                              std::uint32_t counter) noexcept {
+  std::uint32_t h = seed + stream * 0x9E3779B1u + counter * 0x85EBCA77u;
+  h ^= h >> 16;
+  h *= 0x85EBCA6Bu;
+  h ^= h >> 13;
+  h *= 0xC2B2AE35u;
+  h ^= h >> 16;
+  return h;
+}
+
+/// Map a 32-bit hash to [0, n) by the Lemire multiply-shift reduction:
+/// (h * n) >> 32.  No float round trip, no clamp; bias is O(n / 2^32).
+FORKTAIL_VEC_INLINE std::uint32_t hash_to_range(std::uint32_t h,
+                                                std::uint32_t n) noexcept {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(h) * static_cast<std::uint64_t>(n)) >> 32);
+}
+
+/// kVecLanes lanes of xoshiro256++ advanced in lockstep.  State is
+/// structure-of-arrays so the per-step update is 8 independent identical
+/// u64 dataflows — exactly the shape auto-vectorizers want.
+inline constexpr std::size_t kVecLanes = 8;
+
+class XoshiroBlock {
+ public:
+  XoshiroBlock() noexcept {
+    for (std::size_t l = 0; l < kVecLanes; ++l) seed_lane(l, 0);
+  }
+
+  /// Seed lane `l` exactly as `Xoshiro256pp(seed)` seeds itself
+  /// (splitmix64 expansion), so the lane's u64 stream equals the scalar
+  /// engine's stream.
+  void seed_lane(std::size_t l, std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    s0_[l] = sm.next();
+    s1_[l] = sm.next();
+    s2_[l] = sm.next();
+    s3_[l] = sm.next();
+  }
+
+  /// Produce `rows` steps from every lane into a row-major [rows][kVecLanes]
+  /// block: out[i*8 + l] is lane l's i-th draw.  The state round-trips
+  /// through local arrays so the compiler keeps it in vector registers for
+  /// the whole block.
+  FORKTAIL_VEC_INLINE void fill(std::uint64_t* __restrict out,
+                                std::size_t rows) noexcept {
+    std::uint64_t a0[kVecLanes], a1[kVecLanes], a2[kVecLanes], a3[kVecLanes];
+    for (std::size_t l = 0; l < kVecLanes; ++l) {
+      a0[l] = s0_[l];
+      a1[l] = s1_[l];
+      a2[l] = s2_[l];
+      a3[l] = s3_[l];
+    }
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t l = 0; l < kVecLanes; ++l) {
+        const std::uint64_t r = std::rotl(a0[l] + a3[l], 23) + a0[l];
+        const std::uint64_t t = a1[l] << 17;
+        a2[l] ^= a0[l];
+        a3[l] ^= a1[l];
+        a1[l] ^= a2[l];
+        a0[l] ^= a3[l];
+        a2[l] ^= t;
+        a3[l] = std::rotl(a3[l], 45);
+        out[i * kVecLanes + l] = r;
+      }
+    }
+    for (std::size_t l = 0; l < kVecLanes; ++l) {
+      s0_[l] = a0[l];
+      s1_[l] = a1[l];
+      s2_[l] = a2[l];
+      s3_[l] = a3[l];
+    }
+  }
+
+ private:
+  std::uint64_t s0_[kVecLanes], s1_[kVecLanes], s2_[kVecLanes],
+      s3_[kVecLanes];
+};
+
+/// raw u64 block -> uniforms in [0, 1); bit-identical per element to
+/// `Rng::uniform()` on the same u64s.
+FORKTAIL_VEC_INLINE void unit_block(const std::uint64_t* __restrict in,
+                       double* __restrict out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = bits_to_unit(in[i]);
+}
+
+/// raw u64 block -> uniforms clamped into [2^-53, 1).  This is the vector
+/// engine's branch-free stand-in for `Rng::uniform_pos()` (which rejects
+/// u == 0 and redraws): the zero draw has probability 2^-53 per element and
+/// is mapped to the smallest representable draw instead of consuming an
+/// extra stream element.  Documented golden-affecting deviation.
+FORKTAIL_VEC_INLINE void unit_pos_block(const std::uint64_t* __restrict in,
+                           double* __restrict out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = bits_to_unit(in[i]);
+    out[i] = u < 0x1.0p-53 ? 0x1.0p-53 : u;
+  }
+}
+
+}  // namespace forktail::util

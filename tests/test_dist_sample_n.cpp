@@ -13,6 +13,10 @@
 
 #include "dist/basic.hpp"
 #include "dist/distribution.hpp"
+#include "dist/empirical.hpp"
+#include "dist/factory.hpp"
+#include "dist/gamma.hpp"
+#include "dist/google_leaf.hpp"
 #include "dist/heavy.hpp"
 #include "util/rng.hpp"
 
@@ -91,6 +95,32 @@ TEST(SampleN, TruncatedNormal) {
   // Rejection sampling consumes a data-dependent number of uniforms per
   // draw; the contract must hold regardless.
   check_sample_n(TruncatedNormal(4.0, 8.0, 0.0), "TruncNormal");
+}
+
+TEST(SampleN, Gamma) {
+  // Marsaglia-Tsang is also rejection-based, and switches algorithm at
+  // shape < 1; cover both regimes.
+  check_sample_n(Gamma(0.7, 2.0), "Gamma(shape<1)");
+  check_sample_n(Gamma(3.4, 0.5), "Gamma(shape>1)");
+}
+
+TEST(SampleN, Empirical) {
+  check_sample_n(Empirical({0.0, 0.25, 0.5, 0.9, 1.0},
+                           {1.0, 2.0, 2.0, 7.5, 30.0}),
+                 "Empirical");
+}
+
+TEST(SampleN, GoogleLeaf) { check_sample_n(google_leaf(), "GoogleLeaf"); }
+
+// Every distribution reachable through the factory registry, by name: a new
+// roster entry cannot ship without the block/scalar stream pin.
+TEST(SampleN, FactoryRoster) {
+  const auto names = named_distributions();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    check_sample_n(*make_named(name), name.c_str());
+  }
 }
 
 // A distribution that does NOT override sample_n gets the base-class loop,

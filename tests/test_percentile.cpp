@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -186,6 +187,56 @@ TEST(PercentilesInplace, EndpointAndSingleSampleEdges) {
   EXPECT_THROW(percentiles_inplace(empty, std::span<const double>(ps, 3)),
                std::invalid_argument);
   EXPECT_THROW(percentile_inplace(empty, 50.0), std::invalid_argument);
+}
+
+// Randomized cross-check of the nth_element selection path against the
+// full-sort oracle.  The selection path's soundness rests on two claimed
+// invariants -- ascending-p processing restricts each selection to the
+// still-unpartitioned suffix, and the degenerate nth_element at lo+1 yields
+// the exact interpolation neighbor -- which this fuzz pins over the inputs
+// most likely to break a partial ordering: tiny samples (n = 1..4 hit every
+// branch), duplicate-heavy draws (ties in strict-weak-order comparisons),
+// and unsorted / duplicated ps hammering the cached_lo fast path.
+TEST(PercentilesInplace, RandomizedFullSortOracle) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 400; ++trial) {
+    // Sizes biased toward tiny; every trial < 100 uses n in [1, 8].
+    const std::size_t n =
+        trial < 100 ? 1 + rng.uniform_int(std::uint64_t{8})
+                    : 1 + rng.uniform_int(std::uint64_t{200});
+    std::vector<double> v(n);
+    const bool duplicate_heavy = (trial % 2) == 0;
+    for (double& x : v) {
+      // Duplicate-heavy: values from {0..4}, so runs of equal elements
+      // straddle the selection pivots.  Otherwise continuous draws.
+      x = duplicate_heavy
+              ? static_cast<double>(rng.uniform_int(std::uint64_t{5}))
+              : rng.exponential(1.0);
+    }
+    const std::size_t np = 1 + rng.uniform_int(std::uint64_t{6});
+    std::vector<double> ps(np);
+    for (double& p : ps) {
+      switch (rng.uniform_int(std::uint64_t{4})) {
+        case 0: p = 0.0; break;
+        case 1: p = 100.0; break;
+        default: p = rng.uniform(0.0, 100.0); break;
+      }
+    }
+    if (np > 1 && rng.bernoulli(0.3)) ps[np - 1] = ps[0];  // duplicate p
+
+    const auto oracle = percentiles(v, ps);
+    std::vector<double> scratch = v;
+    const auto selected = percentiles_inplace(scratch, ps);
+    ASSERT_EQ(oracle.size(), selected.size());
+    for (std::size_t i = 0; i < oracle.size(); ++i) {
+      ASSERT_EQ(oracle[i], selected[i])
+          << "trial " << trial << " n=" << n << " ps[" << i << "]=" << ps[i];
+    }
+    // The selection only reorders; it must not lose or invent samples.
+    std::sort(scratch.begin(), scratch.end());
+    std::sort(v.begin(), v.end());
+    ASSERT_EQ(scratch, v) << "trial " << trial << ": sample multiset changed";
+  }
 }
 
 TEST(P2Quantile, TracksMedianOfNormal) {

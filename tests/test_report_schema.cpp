@@ -8,6 +8,7 @@
 // in-test reader this file used to carry was promoted to src/util/json).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <string>
 
@@ -34,8 +35,8 @@ TEST(ReportSchema, BenchReplayBaselineKeySet) {
   const std::set<std::string> expected_top = {
       "benchmark",       "scale",          "seed",
       "reps",            "threads",        "default_batch",
-      "scalar_pipeline", "batched_pipeline", "peak_rss_kib",
-      "workloads"};
+      "scalar_pipeline", "batched_pipeline", "vector_pipeline",
+      "simd_dispatch",   "peak_rss_kib",   "workloads"};
   EXPECT_EQ(doc.keys(), expected_top);
   EXPECT_EQ(doc.at("benchmark").as_string(), "bench_replay");
 
@@ -43,19 +44,41 @@ TEST(ReportSchema, BenchReplayBaselineKeySet) {
   ASSERT_TRUE(workloads.is_array());
   ASSERT_FALSE(workloads.items().empty());
   const std::set<std::string> expected_workload = {
-      "name",   "kind",    "tasks_per_run", "p99_response",
-      "paths_identical", "scalar", "batched",      "speedup_p50"};
+      "name",
+      "kind",
+      "tasks_per_run",
+      "p99_response",
+      "paths_identical",
+      "vector_paths_identical",
+      "vector_vs_batched_p99_rel",
+      "scalar",
+      "batched",
+      "vector",
+      "vector_t2",
+      "speedup_p50",
+      "speedup_vector_p50",
+      "speedup_vector_t2_p50"};
   const std::set<std::string> expected_path = {
       "seconds_p50", "tasks_per_sec_p50", "tasks_per_sec_p95"};
   for (const Json& w : workloads.items()) {
     EXPECT_EQ(w.keys(), expected_workload) << "workload " << w.at("name").as_string();
     EXPECT_EQ(w.at("scalar").keys(), expected_path);
     EXPECT_EQ(w.at("batched").keys(), expected_path);
-    // The contract the benchmark enforces at runtime must hold in the
-    // tracked baseline too.
+    EXPECT_EQ(w.at("vector").keys(), expected_path);
+    EXPECT_EQ(w.at("vector_t2").keys(), expected_path);
+    // The contracts the benchmark enforces at runtime must hold in the
+    // tracked baseline too: scalar == batched bitwise, vector threads=1 ==
+    // threads=2 bitwise, and the vector tail within the golden-change band
+    // of the batched tail.
     EXPECT_TRUE(w.at("paths_identical").as_bool())
         << "workload " << w.at("name").as_string();
+    EXPECT_TRUE(w.at("vector_paths_identical").as_bool())
+        << "workload " << w.at("name").as_string();
+    EXPECT_LE(std::abs(w.at("vector_vs_batched_p99_rel").as_number()), 0.15)
+        << "workload " << w.at("name").as_string();
     EXPECT_GT(w.at("speedup_p50").as_number(), 0.0);
+    EXPECT_GT(w.at("speedup_vector_p50").as_number(), 0.0);
+    EXPECT_GT(w.at("speedup_vector_t2_p50").as_number(), 0.0);
   }
 }
 

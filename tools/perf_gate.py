@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over BENCH_replay.json.
+
+Compares a candidate benchmark report against the tracked baseline and
+fails (exit 1) when any (workload, path) throughput regresses by more than
+the allowed fraction.  Structural invariants -- the determinism flags the
+benchmark asserts at runtime -- are enforced unconditionally on the
+candidate, so a run that silently lost bit-identity fails the gate even if
+it got faster.
+
+Throughput comparisons are only meaningful between runs of the same shape:
+if the baseline and candidate differ in scale or SIMD dispatch level (CI
+runners rarely match the machine that produced the tracked baseline), the
+relative-rate check is SKIPPED with a note and only the structural checks
+apply.
+
+Usage:
+  python3 tools/perf_gate.py BASELINE.json CANDIDATE.json [--max-regression 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+PATHS = ("scalar", "batched", "vector", "vector_t2")
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def structural_errors(doc: dict, label: str) -> list[str]:
+    errors = []
+    for w in doc.get("workloads", []):
+        name = w.get("name", "<unnamed>")
+        if not w.get("paths_identical", False):
+            errors.append(f"{label}: {name}: scalar/batched paths not bit-identical")
+        if not w.get("vector_paths_identical", False):
+            errors.append(
+                f"{label}: {name}: vector threads=1 vs threads=2 not bit-identical")
+        rel = w.get("vector_vs_batched_p99_rel")
+        if rel is None:
+            errors.append(f"{label}: {name}: missing vector_vs_batched_p99_rel")
+        elif abs(rel) > 0.15:
+            errors.append(
+                f"{label}: {name}: vector p99 deviates {rel:+.3f} from batched "
+                "(golden-change band is +/-15%)")
+        for p in PATHS:
+            if p not in w:
+                errors.append(f"{label}: {name}: missing path '{p}'")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="allowed fractional throughput drop per (workload, path)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    errors = structural_errors(cand, "candidate")
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}")
+        return 1
+
+    comparable = True
+    for key in ("scale", "simd_dispatch"):
+        if base.get(key) != cand.get(key):
+            print(f"SKIP rate comparison: {key} differs "
+                  f"(baseline={base.get(key)!r}, candidate={cand.get(key)!r})")
+            comparable = False
+    if not comparable:
+        print("OK   structural invariants hold; throughput not compared")
+        return 0
+
+    base_rows = {w["name"]: w for w in base.get("workloads", [])}
+    failures = []
+    for w in cand.get("workloads", []):
+        name = w["name"]
+        ref = base_rows.get(name)
+        if ref is None:
+            print(f"NOTE {name}: not in baseline, skipping rates")
+            continue
+        for p in PATHS:
+            if p not in ref:
+                # Baseline predates this path family; nothing to regress from.
+                continue
+            b = ref[p]["tasks_per_sec_p50"]
+            c = w[p]["tasks_per_sec_p50"]
+            if b <= 0:
+                continue
+            drop = (b - c) / b
+            status = "FAIL" if drop > args.max_regression else "ok  "
+            print(f"{status} {name:28s} {p:10s} "
+                  f"{b / 1e6:8.2f} -> {c / 1e6:8.2f} Mt/s ({-drop:+.1%})")
+            if drop > args.max_regression:
+                failures.append((name, p, drop))
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.max_regression:.0%} threshold")
+        return 1
+    print("\nOK   no regressions beyond threshold; structural invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
