@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fjsim/node.hpp"
+#include "sim/cluster_stats.hpp"
 #include "util/rng.hpp"
 
 namespace forktail::sched {
@@ -47,9 +48,23 @@ ClosedLoopResult run_closed_loop(const ClosedLoopConfig& config) {
   ClosedLoopResult result;
   double predicted_acc = 0.0;
 
+  // Sharded per-node task-time registry (measured tasks): feeds the
+  // node_tasks summary without touching any pre-existing output.
+  sim::ClusterStats cluster(config.num_nodes, config.stats_shards);
+
   // Scratch permutation for random placement (bootstrap / baseline).
   std::vector<std::size_t> fallback(config.num_nodes);
   for (std::size_t i = 0; i < config.num_nodes; ++i) fallback[i] = i;
+
+  // Per-request scratch, hoisted out of the loop: at cluster scale
+  // (1k nodes, 10M+ requests) per-request vector churn dominated the
+  // admission path.
+  std::vector<std::size_t> candidate;
+  candidate.reserve(config.tasks_per_request);
+  std::vector<core::TaskStats> candidate_stats;
+  candidate_stats.reserve(config.tasks_per_request);
+  std::vector<std::size_t> chosen;
+  chosen.reserve(config.num_nodes);
 
   double t = 0.0;
   double next_report = config.report_interval;
@@ -73,15 +88,14 @@ ClosedLoopResult run_closed_loop(const ClosedLoopConfig& config) {
     }
 
     const bool measured = j >= warmup;
-    std::vector<std::size_t> chosen;
+    chosen.clear();
     bool admitted = true;
     if (config.admission_enabled && measured) {
       // Stage 1: RANDOM placement checked against the SLO (Eq. 5 on the
       // sampled subset).  Random-first placement is essential: always
       // routing to the currently-best k nodes herds the whole offered load
       // onto them between registry refreshes and saturates them.
-      std::vector<std::size_t> candidate;
-      candidate.reserve(config.tasks_per_request);
+      candidate.clear();
       for (std::size_t i = 0; i < config.tasks_per_request; ++i) {
         const std::size_t pick =
             i + static_cast<std::size_t>(
@@ -89,8 +103,7 @@ ClosedLoopResult run_closed_loop(const ClosedLoopConfig& config) {
         std::swap(fallback[i], fallback[pick]);
         candidate.push_back(fallback[i]);
       }
-      std::vector<core::TaskStats> candidate_stats;
-      candidate_stats.reserve(candidate.size());
+      candidate_stats.clear();
       bool have_stats = true;
       for (std::size_t n : candidate) {
         if (const auto s = registry.fresh_stats(n, t)) {
@@ -155,11 +168,15 @@ ClosedLoopResult run_closed_loop(const ClosedLoopConfig& config) {
           t, j, [&](std::uint64_t, double arrival, double completion) {
             completion_max = std::max(completion_max, completion);
             monitors.record(node_id, completion, completion - arrival);
+            if (measured) cluster.record(node_id, completion - arrival);
           });
     }
     if (measured) {
       const double response = completion_max - t;
-      result.admitted_responses.push_back(response);
+      if (config.record_responses) {
+        result.admitted_responses.push_back(response);
+      }
+      result.response_histogram.record(response);
       if (response > config.slo.latency) ++result.violations;
     }
   }
@@ -174,6 +191,7 @@ ClosedLoopResult run_closed_loop(const ClosedLoopConfig& config) {
     result.admit_rate = static_cast<double>(result.admitted) /
                         static_cast<double>(result.offered);
   }
+  result.node_tasks = cluster.summary();
   return result;
 }
 

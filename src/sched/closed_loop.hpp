@@ -22,6 +22,7 @@
 
 #include "core/forktail.hpp"
 #include "dist/distribution.hpp"
+#include "sim/cluster_stats.hpp"
 
 namespace forktail::sched {
 
@@ -39,6 +40,14 @@ struct ClosedLoopConfig {
                                  ///< and excluded from the statistics
   std::uint64_t seed = 1;
   bool admission_enabled = true;  ///< false = admit everything (baseline)
+  /// Keep the per-request response vector (the historical result shape).
+  /// Cluster-scale runs (>= 10M requests) set this false and read the
+  /// response histogram instead; every other output is unchanged.
+  bool record_responses = true;
+  /// Shard count for the per-node task-stats registry (sim::ClusterStats);
+  /// 0 picks one shard per 64 nodes.  Every output is bit-identical for
+  /// every value -- pinned by the determinism suite.
+  std::size_t stats_shards = 0;
 };
 
 struct ClosedLoopResult {
@@ -50,6 +59,13 @@ struct ClosedLoopResult {
   double violation_rate = 0.0;   ///< violations / admitted
   double admit_rate = 0.0;       ///< admitted / offered
   double mean_predicted_latency = 0.0;  ///< average Eq. 5 value at admission
+  /// Admitted (measured) responses pooled into the fixed log2-linear grid:
+  /// tail percentiles without keeping every sample.
+  sim::LatencyHistogram response_histogram;
+  /// Deterministic roll-up of the sharded per-node task-time registry
+  /// (measured tasks only): exact per-node moments, node-order pooled
+  /// merge, pooled task-time histogram.
+  sim::ClusterSummary node_tasks;
 };
 
 ClosedLoopResult run_closed_loop(const ClosedLoopConfig& config);

@@ -1,6 +1,9 @@
 #include "sim/forknode.hpp"
 
+#include "dist/basic.hpp"
+
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace forktail::sim {
@@ -24,16 +27,26 @@ ForkNode::ForkNode(Engine& engine, dist::DistPtr service, int replicas,
         service_.get(), replicas, redundant_delay, rng_);
   }
   servers_.resize(static_cast<std::size_t>(replicas));
+  if (const auto* exp = dynamic_cast<const dist::Exponential*>(service_.get())) {
+    exp_mean_ = exp->moment(1);
+  }
 }
 
 void ForkNode::resolve(std::uint64_t id, double arrival, double completion) {
-  const auto it = pending_callbacks_.find(id);
-  if (it == pending_callbacks_.end()) {
-    throw std::logic_error("ForkNode: completion for unknown task");
+  if (const auto it = pending_callbacks_.find(id);
+      it != pending_callbacks_.end()) {
+    TaskCallback cb = std::move(it->second);
+    pending_callbacks_.erase(it);
+    cb(arrival, completion);
+    return;
   }
-  TaskCallback cb = std::move(it->second);
-  pending_callbacks_.erase(it);
-  cb(arrival, completion);
+  if (const auto it = pending_cookies_.find(id); it != pending_cookies_.end()) {
+    const std::uint64_t cookie = it->second;
+    pending_cookies_.erase(it);
+    completion_fn_(completion_ctx_, cookie, arrival, completion);
+    return;
+  }
+  throw std::logic_error("ForkNode: completion for unknown task");
 }
 
 void ForkNode::submit(TaskCallback on_complete) {
@@ -47,12 +60,36 @@ void ForkNode::submit(TaskCallback on_complete) {
         });
     return;
   }
-  const double service = service_->sample(rng_);
+  const double service = draw_service();
   const std::size_t server = next_server();
   const double done = servers_[server].submit(arrival, service);
   engine_.schedule(done, [arrival, done, cb = std::move(on_complete)] {
     cb(arrival, done);
   });
+}
+
+void ForkNode::submit_task(std::uint64_t cookie) {
+  const double arrival = engine_.now();
+  if (policy_ == DispatchPolicy::kRedundant) {
+    const std::uint64_t id = next_task_id_++;
+    pending_cookies_.emplace(id, cookie);
+    redundant_->submit_task(
+        arrival, id, [this](std::uint64_t tid, double arr, double done) {
+          resolve(tid, arr, done);
+        });
+    return;
+  }
+  const double service = draw_service();
+  const std::size_t server = next_server();
+  const double done = servers_[server].submit(arrival, service);
+  // The payload carries the cookie plus the arrival time's bit pattern;
+  // completion time is the event's own timestamp.  No allocation, no
+  // capture -- this is the whole fast path.
+  EventPayload payload;
+  payload.raw.a = cookie;
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::memcpy(&payload.raw.b, &arrival, sizeof(double));
+  engine_.schedule_event(done, EventKind::kTaskComplete, payload);
 }
 
 void ForkNode::flush() {

@@ -59,12 +59,35 @@ class ForkNode {
   /// point differs, which no consumer depends on).
   using TaskCallback = std::function<void(double arrival, double completion)>;
 
+  /// Typed-path completion sink: `fn(ctx, cookie, arrival, completion)`
+  /// fires exactly once per submit_task(cookie).  A raw function pointer,
+  /// not std::function: one indirect call, no type erasure, no allocation.
+  using CompletionFn = void (*)(void* ctx, std::uint64_t cookie,
+                                double arrival, double completion);
+
   ForkNode(Engine& engine, dist::DistPtr service, int replicas,
            DispatchPolicy policy, double redundant_delay, util::Rng rng);
 
   /// Submit a task arriving now (engine time).  The service demand is drawn
   /// internally; the callback fires at completion.
   void submit(TaskCallback on_complete);
+
+  /// Bind the typed-path completion sink (required before submit_task).
+  /// FIFO-policy completions are delivered through a kTaskComplete engine
+  /// event whose payload carries (cookie, arrival-bits) -- the driver's
+  /// dispatcher decodes it (see network.cpp) -- while redundant-policy
+  /// completions call `fn` directly from a later submit_task() or
+  /// flush(), exactly where the legacy callback path fired them.
+  void bind_completions(void* ctx, CompletionFn fn) noexcept {
+    completion_ctx_ = ctx;
+    completion_fn_ = fn;
+  }
+
+  /// Typed fast path of submit(): submit a task arriving now, tagged with
+  /// an opaque driver cookie.  Consumes the same RNG draws and engine
+  /// sequence numbers as submit(), so the two paths fire completions in
+  /// bit-identical order.
+  void submit_task(std::uint64_t cookie);
 
   /// Resolve any still-pending redundant completions (call after the event
   /// loop drains).  No-op for the FIFO policies.
@@ -83,16 +106,33 @@ class ForkNode {
   DispatchPolicy policy_;
   util::Rng rng_;
   std::size_t rr_next_ = 0;
+  /// Monomorphic fast path: when the service distribution is the (by far
+  /// most common) exponential, draw it inline instead of through the
+  /// vtable.  Negative when the general path must be used.  Draws are
+  /// identical either way (Exponential::sample == rng.exponential(mean)).
+  double exp_mean_ = -1.0;
+
+  double draw_service() noexcept {
+    return exp_mean_ > 0.0 ? rng_.exponential(exp_mean_)
+                           : service_->sample(rng_);
+  }
+
+  // Typed-path sink (bind_completions).
+  void* completion_ctx_ = nullptr;
+  CompletionFn completion_fn_ = nullptr;
 
   // Redundant policy state: the shared queued-server node plus the pending
-  // callbacks keyed by task id.
+  // callbacks (legacy path) / cookies (typed path) keyed by task id.
   std::unique_ptr<fjsim::RedundantNode> redundant_;
   std::unordered_map<std::uint64_t, TaskCallback> pending_callbacks_;
+  std::unordered_map<std::uint64_t, std::uint64_t> pending_cookies_;
   std::uint64_t next_task_id_ = 0;
 
   std::size_t next_server() noexcept {
+    // Wrap with a compare, not a modulo: an integer division per task is
+    // measurable at cluster scale.
     const std::size_t s = rr_next_;
-    rr_next_ = (rr_next_ + 1) % servers_.size();
+    rr_next_ = s + 1 == servers_.size() ? 0 : s + 1;
     return s;
   }
 

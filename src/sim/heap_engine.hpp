@@ -1,0 +1,97 @@
+// The pre-calendar-queue discrete-event engine: a binary heap of
+// (time, sequence, std::function) events.
+//
+// Kept as the reference implementation the rebuilt `sim::Engine` (a
+// two-level calendar queue over arena-allocated typed events, engine.hpp)
+// is cross-validated and benchmarked against: the determinism suite pins
+// run_fj_simulation() on the new engine bit-identical to
+// run_fj_simulation_baseline() on this one, and bench_cluster reports the
+// new engine's events/sec as a multiple of this engine's (the
+// BENCH_cluster.json acceptance row).  Semantics are frozen -- do not
+// optimise this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace forktail::sim {
+
+class HeapEngine {
+ public:
+  using Handler = std::function<void()>;
+  /// Identifies one cancellable event (see schedule_cancellable).
+  using EventId = std::uint64_t;
+
+  double now() const noexcept { return now_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+  std::uint64_t events_cancelled() const noexcept { return cancelled_count_; }
+
+  /// High-water mark of the event calendar over this engine's lifetime.
+  std::size_t max_queue_depth() const noexcept { return max_depth_; }
+
+  /// Schedule `handler` at absolute time `time` (>= now).  Events at equal
+  /// times fire in scheduling order.
+  void schedule(double time, Handler handler);
+
+  /// Schedule at now + delay.
+  void schedule_in(double delay, Handler handler) {
+    schedule(now_ + delay, std::move(handler));
+  }
+
+  /// Schedule a *cancellable* event (timeout deadlines, hedge launches:
+  /// anything that a cancel-on-first-complete race may retract).  The
+  /// returned id stays valid until the event fires or is cancelled.
+  /// Cancellation is lazy -- the heap entry is skipped on pop without
+  /// advancing simulated time or the processed count -- so cancel is O(1)
+  /// and the calendar needs no removal support.
+  EventId schedule_cancellable(double time, Handler handler);
+
+  /// Cancel a pending cancellable event.  Returns false (harmlessly) when
+  /// the event already fired, was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Run until the event queue empties or `stop()` is called.
+  void run();
+
+  /// Run until simulated time exceeds `t_end` (events after t_end stay
+  /// queued).
+  void run_until(double t_end);
+
+  /// Request termination from inside a handler.
+  void stop() noexcept { stopped_ = true; }
+
+  bool empty() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// True (and consumes the tombstone) when a popped event was cancelled.
+  bool consume_cancellation(const Event& ev);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t max_depth_ = 0;
+  bool stopped_ = false;
+  /// Sequence numbers of live cancellable events / of cancelled-but-still-
+  /// queued tombstones.  Ordinary schedule() events appear in neither.
+  std::unordered_set<std::uint64_t> cancellable_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t cancelled_count_ = 0;
+};
+
+}  // namespace forktail::sim

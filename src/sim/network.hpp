@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "sim/cluster_stats.hpp"
 #include "sim/forknode.hpp"
 #include "stats/welford.hpp"
 
@@ -36,19 +37,41 @@ struct FjConfig {
   std::uint64_t num_requests = 10000;   ///< measured requests (post warm-up)
   double warmup_fraction = 0.2;         ///< extra requests run before measuring
   std::uint64_t seed = 1;
+  /// Keep the per-request response vector (true, the default, preserves the
+  /// historical result shape).  Cluster-scale runs (10M+ requests) set this
+  /// false and read the pooled stats / histogram instead, so memory stays
+  /// bounded by the number of *in-flight* requests, not the request count.
+  bool record_responses = true;
+  /// Shard count for the per-node stats registry; 0 picks one shard per 64
+  /// nodes.  Results are bit-identical for every value (see cluster_stats).
+  std::size_t stats_shards = 0;
 };
 
 struct FjResult {
   std::vector<double> request_responses;     ///< one per measured request
+                                             ///< (empty if !record_responses)
   stats::Welford pooled_task_stats;          ///< task response times, pooled
   std::vector<stats::Welford> node_task_stats;  ///< per fork node
+  /// Request response times pooled into the fixed log2-linear histogram
+  /// (tail percentiles without keeping every sample).  Measured requests
+  /// only; filled whether or not responses are recorded.
+  LatencyHistogram response_histogram;
   double sim_end_time = 0.0;
   std::uint64_t total_tasks = 0;
   std::uint64_t redundant_issues = 0;
+  std::uint64_t measured_requests = 0;
+  std::uint64_t events_processed = 0;
 };
 
 /// Run the system to completion (all requests joined).
 FjResult run_fj_simulation(const FjConfig& config);
+
+/// The pre-calendar-queue implementation of run_fj_simulation: the original
+/// callback driver on the binary-heap engine (sim/heap_engine.hpp).  Frozen
+/// as the determinism reference and the bench_cluster speedup baseline; it
+/// honours `record_responses` but ignores `stats_shards` (it has no
+/// sharding) and leaves `response_histogram` empty.
+FjResult run_fj_simulation_baseline(const FjConfig& config);
 
 /// Nominal per-server utilization implied by a config (ignores redundant
 /// replicas): rho = lambda * E[k]/N * E[S] / replicas.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "dist/basic.hpp"
 #include "stats/percentile.hpp"
 
@@ -115,6 +117,43 @@ TEST(ClosedLoop, DeterministicUnderSeed) {
   const auto b = run_closed_loop(cfg);
   EXPECT_EQ(a.admitted, b.admitted);
   EXPECT_EQ(a.violations, b.violations);
+}
+
+TEST(ClosedLoop, ClusterScaleThousandNodes) {
+  // 1000 nodes in memory-bounded mode (no response vector, 16 stats
+  // shards): the configuration family the 10M-request bench_cluster row
+  // runs, scaled down to test-suite budget.  The histogram and the sharded
+  // per-node roll-up must carry the statistics the vector would have.
+  ClosedLoopConfig cfg;
+  cfg.num_nodes = 1000;
+  cfg.service = std::make_shared<dist::Exponential>(1.0);
+  cfg.tasks_per_request = 16;
+  cfg.lambda = 0.6 * 1000.0 / 16.0;
+  cfg.slo = {99.0, 25.0};
+  cfg.num_requests = 40000;
+  cfg.seed = 2;
+  cfg.record_responses = false;
+  cfg.stats_shards = 16;
+  const auto r = run_closed_loop(cfg);
+  EXPECT_TRUE(r.admitted_responses.empty());
+  ASSERT_GT(r.admitted, 0u);
+  // The histogram saw exactly the measured admitted requests.
+  EXPECT_EQ(r.response_histogram.total(), r.admitted);
+  const double p99 = r.response_histogram.percentile(99.0);
+  EXPECT_GT(p99, 0.0);
+  EXPECT_TRUE(std::isfinite(p99));
+  // Per-node roll-up: every node served work, and the pooled sample count
+  // is the total number of measured tasks.
+  ASSERT_EQ(r.node_tasks.per_node.size(), 1000u);
+  std::uint64_t tasks = 0;
+  for (const auto& w : r.node_tasks.per_node) {
+    EXPECT_GT(w.count(), 0u);
+    tasks += w.count();
+  }
+  EXPECT_EQ(r.node_tasks.pooled.count(), tasks);
+  EXPECT_EQ(r.node_tasks.samples, tasks);
+  EXPECT_EQ(tasks, r.admitted * cfg.tasks_per_request);
+  EXPECT_GT(r.node_tasks.pooled.mean(), 0.0);
 }
 
 TEST(ClosedLoop, Validation) {

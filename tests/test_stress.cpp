@@ -13,6 +13,7 @@
 #include "dist/factory.hpp"
 #include "fjsim/homogeneous.hpp"
 #include "sim/engine.hpp"
+#include "sim/heap_engine.hpp"
 #include "stats/percentile.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -43,6 +44,72 @@ TEST(EngineStress, RandomizedScheduleProcessesInOrder) {
     ASSERT_GE(fired[i], fired[i - 1]) << "out-of-order at " << i;
   }
   EXPECT_EQ(engine.events_processed(), fired.size());
+}
+
+TEST(EngineStress, CancelHeavyHedgingRaceCompactsAndStaysOrdered) {
+  // ~50% of scheduled events are hedging-style cancellables that get
+  // retracted before firing, interleaved with the run (not batched up
+  // front): every fired "primary" cancels its pending "hedge" twin and
+  // schedules the next pair.  Tombstones must be compacted (bounded
+  // memory), firing stays time-ordered, and the calendar engine's final
+  // state matches the frozen binary-heap reference bit for bit.
+  const auto drive = [](auto& engine) {
+    util::Rng rng(77);
+    std::vector<double> fired;
+    fired.reserve(60000);
+    using Id = typename std::decay_t<decltype(engine)>::EventId;
+    std::vector<Id> hedges;
+    std::function<void()> primary = [&] {
+      fired.push_back(engine.now());
+      // Retract the most recent still-pending hedge (it may already have
+      // been consumed -- cancel is harmlessly false then).
+      if (!hedges.empty()) {
+        engine.cancel(hedges.back());
+        hedges.pop_back();
+      }
+      if (fired.size() < 50000) {
+        const double dt = rng.exponential(1.0);
+        engine.schedule_in(dt, primary);
+        // The hedge twin launches strictly later than the primary, so the
+        // primary always wins the race and the hedge is pure tombstone
+        // load: a steady ~50% cancel rate.
+        hedges.push_back(
+            engine.schedule_cancellable(engine.now() + dt + 1000.0, [] {}));
+      }
+    };
+    for (int i = 0; i < 64; ++i) {
+      engine.schedule(rng.uniform(0.0, 10.0), primary);
+    }
+    engine.run();
+    return std::pair<std::vector<double>, std::uint64_t>(
+        std::move(fired), engine.events_cancelled());
+  };
+
+  sim::Engine calendar;
+  const auto [fired, cancelled] = drive(calendar);
+  ASSERT_GE(fired.size(), 50000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_GE(fired[i], fired[i - 1]) << "out-of-order at " << i;
+  }
+  // Roughly half of all scheduled events were cancelled hedges...
+  EXPECT_GT(cancelled, fired.size() / 3);
+  // ...and the tombstone sweep actually ran, keeping the calendar bounded.
+  EXPECT_GE(calendar.compactions(), 1u);
+  // Every primary firing was processed; at most a stray end-of-run hedge
+  // (never cancelled because no primary fired after it) adds no-op events.
+  EXPECT_GE(calendar.events_processed(), fired.size());
+
+  // The frozen heap engine replays the identical script: bit-identical
+  // firing schedule and matching cancel/process accounting.
+  sim::HeapEngine heap;
+  const auto [fired_heap, cancelled_heap] = drive(heap);
+  ASSERT_EQ(fired.size(), fired_heap.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    ASSERT_EQ(fired[i], fired_heap[i]) << "diverged at " << i;
+  }
+  EXPECT_EQ(cancelled, cancelled_heap);
+  EXPECT_EQ(calendar.events_processed(), heap.events_processed());
+  EXPECT_EQ(calendar.now(), heap.now());
 }
 
 TEST(SimStress, NearSaturationStaysFiniteAndOrdered) {

@@ -1,21 +1,30 @@
 #!/usr/bin/env python3
-"""Performance-regression gate over BENCH_replay.json.
+"""Performance-regression gate over the tracked benchmark reports.
 
-Compares a candidate benchmark report against the tracked baseline and
-fails (exit 1) when any (workload, path) throughput regresses by more than
-the allowed fraction.  Structural invariants -- the determinism flags the
-benchmark asserts at runtime -- are enforced unconditionally on the
-candidate, so a run that silently lost bit-identity fails the gate even if
-it got faster.
+Understands two report schemas, detected from the "benchmark" field:
 
-Throughput comparisons are only meaningful between runs of the same shape:
-if the baseline and candidate differ in scale or SIMD dispatch level (CI
-runners rarely match the machine that produced the tracked baseline), the
-relative-rate check is SKIPPED with a note and only the structural checks
-apply.
+* BENCH_replay.json  ("bench_replay")  -- batched-vs-scalar replay paths.
+* BENCH_cluster.json ("bench_cluster") -- calendar-queue engine vs the
+  frozen binary-heap baseline (baseline/candidate paths per workload).
+
+Compares a candidate report against the tracked baseline and fails
+(exit 1) when any (workload, path) throughput regresses by more than the
+allowed fraction, or when peak RSS grows by more than --max-rss-growth.
+Structural invariants -- the determinism flags the benchmarks assert at
+runtime -- are enforced unconditionally on the candidate, so a run that
+silently lost bit-identity fails the gate even if it got faster.  For
+bench_cluster that includes the acceptance row's speedup bar (>= 3x over
+the heap engine) whenever the candidate was produced at full scale.
+
+Throughput and RSS comparisons are only meaningful between runs of the
+same shape: if the baseline and candidate differ in scale or SIMD dispatch
+level (CI runners rarely match the machine that produced the tracked
+baseline), the relative checks are SKIPPED with a note and only the
+structural checks apply.
 
 Usage:
-  python3 tools/perf_gate.py BASELINE.json CANDIDATE.json [--max-regression 0.10]
+  python3 tools/perf_gate.py BASELINE.json CANDIDATE.json \
+      [--max-regression 0.10] [--max-rss-growth 0.25]
 """
 
 from __future__ import annotations
@@ -24,7 +33,9 @@ import argparse
 import json
 import sys
 
-PATHS = ("scalar", "batched", "vector", "vector_t2")
+REPLAY_PATHS = ("scalar", "batched", "vector", "vector_t2")
+CLUSTER_PATHS = ("baseline", "candidate")
+CLUSTER_ACCEPTANCE_SPEEDUP = 3.0
 
 
 def load(path: str) -> dict:
@@ -32,7 +43,22 @@ def load(path: str) -> dict:
         return json.load(fh)
 
 
-def structural_errors(doc: dict, label: str) -> list[str]:
+def schema_of(doc: dict, label: str) -> str:
+    name = doc.get("benchmark")
+    if name not in ("bench_replay", "bench_cluster"):
+        raise SystemExit(f"FAIL {label}: unknown benchmark schema {name!r}")
+    return name
+
+
+def rate_field(schema: str) -> str:
+    return "tasks_per_sec_p50" if schema == "bench_replay" else "events_per_sec_p50"
+
+
+def paths_for(schema: str) -> tuple[str, ...]:
+    return REPLAY_PATHS if schema == "bench_replay" else CLUSTER_PATHS
+
+
+def replay_structural_errors(doc: dict, label: str) -> list[str]:
     errors = []
     for w in doc.get("workloads", []):
         name = w.get("name", "<unnamed>")
@@ -48,10 +74,51 @@ def structural_errors(doc: dict, label: str) -> list[str]:
             errors.append(
                 f"{label}: {name}: vector p99 deviates {rel:+.3f} from batched "
                 "(golden-change band is +/-15%)")
-        for p in PATHS:
+        for p in REPLAY_PATHS:
             if p not in w:
                 errors.append(f"{label}: {name}: missing path '{p}'")
     return errors
+
+
+def cluster_structural_errors(doc: dict, label: str) -> list[str]:
+    errors = []
+    saw_acceptance = False
+    for w in doc.get("workloads", []):
+        name = w.get("name", "<unnamed>")
+        if not w.get("identical", False):
+            errors.append(
+                f"{label}: {name}: heap and calendar paths not bit-identical")
+        for p in CLUSTER_PATHS:
+            if p not in w:
+                errors.append(f"{label}: {name}: missing path '{p}'")
+        if w.get("acceptance", False):
+            saw_acceptance = True
+            # The >= 3x bar is defined at the acceptance configuration
+            # (1000 nodes / 10M requests == --scale full); smaller runs are
+            # too short to gate on a ratio.
+            if doc.get("scale") == "full":
+                speedup = w.get("speedup_p50", 0.0)
+                if speedup < CLUSTER_ACCEPTANCE_SPEEDUP:
+                    errors.append(
+                        f"{label}: {name}: acceptance speedup {speedup:.2f}x is "
+                        f"under the {CLUSTER_ACCEPTANCE_SPEEDUP:.0f}x bar")
+    if not saw_acceptance:
+        errors.append(f"{label}: no acceptance workload in report")
+    return errors
+
+
+def structural_errors(doc: dict, label: str) -> list[str]:
+    if schema_of(doc, label) == "bench_replay":
+        return replay_structural_errors(doc, label)
+    return cluster_structural_errors(doc, label)
+
+
+def comparable_keys(schema: str) -> tuple[str, ...]:
+    # SIMD dispatch only shapes the replay benchmark; the event engines are
+    # scalar code.
+    if schema == "bench_replay":
+        return ("scale", "simd_dispatch")
+    return ("scale",)
 
 
 def main() -> int:
@@ -60,10 +127,18 @@ def main() -> int:
     ap.add_argument("candidate")
     ap.add_argument("--max-regression", type=float, default=0.10,
                     help="allowed fractional throughput drop per (workload, path)")
+    ap.add_argument("--max-rss-growth", type=float, default=0.25,
+                    help="allowed fractional peak-RSS growth vs the baseline")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cand = load(args.candidate)
+
+    schema = schema_of(cand, "candidate")
+    if schema_of(base, "baseline") != schema:
+        print(f"FAIL baseline schema {base.get('benchmark')!r} != "
+              f"candidate schema {schema!r}")
+        return 1
 
     errors = structural_errors(cand, "candidate")
     if errors:
@@ -72,7 +147,7 @@ def main() -> int:
         return 1
 
     comparable = True
-    for key in ("scale", "simd_dispatch"):
+    for key in comparable_keys(schema):
         if base.get(key) != cand.get(key):
             print(f"SKIP rate comparison: {key} differs "
                   f"(baseline={base.get(key)!r}, candidate={cand.get(key)!r})")
@@ -81,32 +156,45 @@ def main() -> int:
         print("OK   structural invariants hold; throughput not compared")
         return 0
 
-    base_rows = {w["name"]: w for w in base.get("workloads", [])}
     failures = []
+
+    # Peak RSS: same scale means same working set by construction, so
+    # growth beyond the band is a memory regression (an unbounded buffer or
+    # a leaked arena), not noise.
+    base_rss = base.get("peak_rss_kib", -1)
+    cand_rss = cand.get("peak_rss_kib", -1)
+    if base_rss and cand_rss and base_rss > 0 and cand_rss > 0:
+        growth = (cand_rss - base_rss) / base_rss
+        status = "FAIL" if growth > args.max_rss_growth else "ok  "
+        print(f"{status} peak_rss_kib {base_rss} -> {cand_rss} ({growth:+.1%})")
+        if growth > args.max_rss_growth:
+            failures.append(("peak_rss_kib", "-", growth))
+
+    field = rate_field(schema)
+    base_rows = {w["name"]: w for w in base.get("workloads", [])}
     for w in cand.get("workloads", []):
         name = w["name"]
         ref = base_rows.get(name)
         if ref is None:
             print(f"NOTE {name}: not in baseline, skipping rates")
             continue
-        for p in PATHS:
+        for p in paths_for(schema):
             if p not in ref:
                 # Baseline predates this path family; nothing to regress from.
                 continue
-            b = ref[p]["tasks_per_sec_p50"]
-            c = w[p]["tasks_per_sec_p50"]
+            b = ref[p][field]
+            c = w[p][field]
             if b <= 0:
                 continue
             drop = (b - c) / b
             status = "FAIL" if drop > args.max_regression else "ok  "
             print(f"{status} {name:28s} {p:10s} "
-                  f"{b / 1e6:8.2f} -> {c / 1e6:8.2f} Mt/s ({-drop:+.1%})")
+                  f"{b / 1e6:8.2f} -> {c / 1e6:8.2f} M/s ({-drop:+.1%})")
             if drop > args.max_regression:
                 failures.append((name, p, drop))
 
     if failures:
-        print(f"\n{len(failures)} regression(s) beyond "
-              f"{args.max_regression:.0%} threshold")
+        print(f"\n{len(failures)} regression(s) beyond threshold")
         return 1
     print("\nOK   no regressions beyond threshold; structural invariants hold")
     return 0
