@@ -1,0 +1,49 @@
+// Real exponential-moment transforms of the service-time roster: the
+// moment generating function E[e^{theta S}] and the Lundberg (adjustment)
+// root of the associated M/G/1 reversed random walk.
+//
+// Two consumers need real-argument transforms that the complex LST of
+// dist::Distribution does not expose safely:
+//
+//   * the perfect sampler (fjsim/perfect_sampler.hpp) certifies its
+//     coupling-from-the-past stopping rule with the Lundberg tail bound
+//     P(sup of the reversed walk beyond the horizon > g) <= e^{-theta* g},
+//     which requires the positive root of E[e^{theta (S - A)}] = 1;
+//   * the linear-transformation bounds (baselines/linear_bounds.hpp) build
+//     their certified upper quantile from a Chernoff bound on the
+//     Pollaczek-Khinchine transform evaluated at real negative arguments.
+//
+// MGFs are evaluated per family: closed forms for the phase-type roster
+// (Exponential, Erlang, HyperExp2, Gamma, Deterministic, Uniform), the
+// exact mixture-of-uniforms form for Empirical tables, Gauss-Legendre
+// quadrature over the bounded support of TruncatedPareto, and the standard
+// Mills-ratio form for TruncatedNormal.  Heavy-tailed families without an
+// MGF (the paper's Weibull with shape < 1, LogNormal) report
+// mgf_available() == false and their consumers refuse with a typed error
+// instead of silently producing an uncertified number.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace forktail::dist {
+
+/// True when mgf() below can evaluate E[e^{theta S}] for this distribution
+/// (equivalently: the service tail is light enough for a Lundberg root).
+bool mgf_available(const Distribution& d);
+
+/// E[e^{theta S}] for theta >= 0.  Returns +infinity at and beyond the
+/// convergence abscissa (phase-type poles); never throws for theta >= 0
+/// when mgf_available(d).  Throws std::invalid_argument otherwise.
+double mgf(const Distribution& d, double theta);
+
+/// Largest theta in [0, theta*] such that E[e^{theta (B S - A)}] <= 1,
+/// where A ~ Exp(1/lambda) is an interarrival time, S the service draw and
+/// B an independent Bernoulli(mark_prob) thinning mark (mark_prob = 1 for
+/// the homogeneous walk; E[k]/N for the subset walk).  This is the
+/// adjustment coefficient of the reversed Loynes walk: for every g >= 0,
+/// P(sup over the unseen past > g) <= e^{-theta g} (Lundberg's
+/// inequality).  Requires a stable walk (mark_prob * lambda * E[S] < 1)
+/// and mgf_available(d); throws std::invalid_argument otherwise.
+double lundberg_root(const Distribution& d, double lambda, double mark_prob);
+
+}  // namespace forktail::dist

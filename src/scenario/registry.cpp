@@ -4,11 +4,12 @@
 #include <stdexcept>
 #include <utility>
 
-#include "baselines/eat.hpp"
-#include "baselines/expfit.hpp"
+#include "baselines/baseline.hpp"
+#include "baselines/linear_bounds.hpp"
 #include "fjsim/consolidated.hpp"
 #include "fjsim/heterogeneous.hpp"
 #include "fjsim/homogeneous.hpp"
+#include "fjsim/perfect_sampler.hpp"
 #include "fjsim/pipeline.hpp"
 #include "fjsim/subset.hpp"
 
@@ -20,6 +21,22 @@ core::TaskStats to_task_stats(const stats::Welford& w) {
   return core::TaskStats{w.mean(), w.variance()};
 }
 
+/// Shared by the homogeneous and subset simulators: exact-stationary
+/// responses from the certified CFTP sampler instead of warm-up + replay.
+Outcome run_perfect_sampler(const ScenarioSpec& spec) {
+  const fjsim::PerfectSamplerConfig config = to_perfect_config(spec);
+  auto result = fjsim::run_perfect(config);
+  Outcome outcome;
+  outcome.spec = spec;
+  outcome.service = config.service;
+  outcome.responses = std::move(result.responses);
+  outcome.task_stats = to_task_stats(result.task_stats);
+  outcome.lambda = result.lambda;
+  outcome.mean_k = result.mean_k;
+  outcome.total_tasks = result.total_tasks;
+  return outcome;
+}
+
 // ------------------------------------------------------------- simulators
 
 class HomogeneousSimulator final : public Simulator {
@@ -27,6 +44,7 @@ class HomogeneousSimulator final : public Simulator {
   std::string name() const override { return "fjsim.homogeneous"; }
 
   Outcome run(const ScenarioSpec& spec) const override {
+    if (spec.sampler == Sampler::kPerfect) return run_perfect_sampler(spec);
     const fjsim::HomogeneousConfig config = to_homogeneous_config(spec);
     Outcome outcome;
     outcome.spec = spec;
@@ -86,6 +104,7 @@ class SubsetSimulator final : public Simulator {
   std::string name() const override { return "fjsim.subset"; }
 
   Outcome run(const ScenarioSpec& spec) const override {
+    if (spec.sampler == Sampler::kPerfect) return run_perfect_sampler(spec);
     const fjsim::SubsetConfig config = to_subset_config(spec);
     auto result = fjsim::run_subset(config);
     Outcome outcome;
@@ -266,32 +285,25 @@ class WhiteboxMg1Predictor final : public Predictor {
   }
 };
 
-class ExpFitPredictor final : public Predictor {
+/// Adapter exposing one baselines::Baseline through the predictor
+/// interface.  The registry used to re-implement each baseline's
+/// applicability gate and construction here (hand-built EatPredictor,
+/// inline expfit); dispatch now goes through BaselineRegistry so the
+/// benches, the report layer, and the CLI all see the same roster.
+class BaselinePredictor final : public Predictor {
  public:
-  std::string name() const override { return "expfit"; }
+  explicit BaselinePredictor(const baselines::Baseline* baseline)
+      : baseline_(baseline) {}
+  std::string name() const override { return baseline_->name(); }
   bool applicable(const Outcome& outcome) const override {
-    return pooled_stats_available(outcome);
+    return baseline_->applicable(baseline_input(outcome));
   }
   double predict(const Outcome& outcome, double p) const override {
-    return baselines::exponential_fit_quantile(outcome.task_stats,
-                                               outcome.mean_k, p);
+    return baseline_->predict(baseline_input(outcome), p);
   }
-};
 
-class EatBaselinePredictor final : public Predictor {
- public:
-  std::string name() const override { return "eat"; }
-  bool applicable(const Outcome& outcome) const override {
-    return outcome.spec.topology == Topology::kHomogeneous &&
-           outcome.service != nullptr && outcome.service->has_lst() &&
-           outcome.spec.group.replicas == 1 &&
-           outcome.spec.group.policy == fjsim::Policy::kSingle;
-  }
-  double predict(const Outcome& outcome, double p) const override {
-    return baselines::EatPredictor(outcome.lambda, outcome.service,
-                                   outcome.spec.nodes)
-        .quantile(p);
-  }
+ private:
+  const baselines::Baseline* baseline_;
 };
 
 /// Degraded-mode model: GE order statistics composed with the retry /
@@ -310,6 +322,68 @@ class DegradedPredictor final : public Predictor {
 };
 
 }  // namespace
+
+baselines::BaselineInput baseline_input(const Outcome& outcome) {
+  const ScenarioSpec& spec = outcome.spec;
+  baselines::BaselineInput in;
+  in.task_stats = outcome.task_stats;
+  in.service = outcome.service;
+  in.responses = std::span<const double>(outcome.responses);
+  in.lambda = outcome.lambda;
+  in.load = spec.load;
+  in.cluster_nodes = spec.nodes;
+  in.mean_fanout = outcome.mean_k;
+  in.single_server_fifo = spec.group.replicas == 1 &&
+                          spec.group.policy == fjsim::Policy::kSingle;
+  in.homogeneous_topology = spec.topology == Topology::kHomogeneous;
+  switch (spec.topology) {
+    case Topology::kHomogeneous:
+      in.fanout = static_cast<int>(spec.nodes);
+      in.join = in.fanout;
+      // Active fault plans reshape the engine (retries, hedges, early
+      // return); no certified (n, k) claim is made for them.
+      in.nk_clean = in.single_server_fifo && spec.faults.inert();
+      break;
+    case Topology::kSubset: {
+      // Early return at k maps exactly onto the (n, k) join index; the
+      // subset validator admits no other fault knob, so the system stays a
+      // clean fork-join queue.
+      const int early = spec.faults.mitigation.early_k;
+      if (spec.k.mode == KSpec::Mode::kUniform) {
+        in.k_lo = spec.k.lo;
+        in.k_hi = spec.k.hi;
+        in.fanout = static_cast<int>(std::llround(outcome.mean_k));
+        in.join = early > 0 ? early : in.fanout;
+      } else {
+        in.fanout = spec.k.fixed;
+        in.join = early > 0 ? early : spec.k.fixed;
+      }
+      in.nk_clean = in.single_server_fifo;
+      break;
+    }
+    case Topology::kConsolidated:
+      in.fanout = static_cast<int>(spec.workload.target_tasks);
+      in.join = in.fanout;
+      in.nk_clean = false;  // shared cluster, non-Poisson per-node arrivals
+      break;
+    case Topology::kHeterogeneous:
+    case Topology::kPipeline:
+      in.nk_clean = false;
+      break;
+  }
+  return in;
+}
+
+baselines::Bracket certified_bracket(const Outcome& outcome,
+                                     double percentile) {
+  static const baselines::LinearBoundsBaseline bounds;
+  const baselines::BaselineInput in = baseline_input(outcome);
+  if (!bounds.applicable(in)) {
+    return baselines::Bracket{0.0,
+                              std::numeric_limits<double>::infinity(), false};
+  }
+  return bounds.bracket(in, percentile);
+}
 
 fault::DegradedPrediction predict_degraded(const Outcome& outcome,
                                            double percentile) {
@@ -377,8 +451,15 @@ PredictorRegistry& PredictorRegistry::global() {
     r->register_predictor(std::make_unique<MixturePredictor>());
     r->register_predictor(std::make_unique<PipelineStagePredictor>());
     r->register_predictor(std::make_unique<WhiteboxMg1Predictor>());
-    r->register_predictor(std::make_unique<ExpFitPredictor>());
-    r->register_predictor(std::make_unique<EatBaselinePredictor>());
+    for (const char* name : {"expfit", "eat", "linear-bounds"}) {
+      const baselines::Baseline* baseline =
+          baselines::BaselineRegistry::global().find(name);
+      if (baseline == nullptr) {
+        throw std::logic_error(std::string("baseline roster is missing ") +
+                               name);
+      }
+      r->register_predictor(std::make_unique<BaselinePredictor>(baseline));
+    }
     r->register_predictor(std::make_unique<DegradedPredictor>());
     return r;
   }();

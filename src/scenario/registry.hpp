@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "baselines/baseline.hpp"
 #include "core/pipeline.hpp"
 #include "core/predictor.hpp"
 #include "dist/distribution.hpp"
@@ -100,6 +101,20 @@ class Predictor {
 /// `percentile` in (0, 100).  Requires outcome.faulty.
 fault::DegradedPrediction predict_degraded(const Outcome& outcome,
                                            double percentile);
+
+/// Normalise an Outcome into the shape the baselines consume: the (n, k)
+/// fork-join structure (homogeneous: (N, N); subset: (k, early_k | k);
+/// uniform-k mixtures carry their range), the measurements, and the
+/// structural flags the applicability gates check.  The returned input
+/// borrows `outcome.responses` -- keep the outcome alive while using it.
+baselines::BaselineInput baseline_input(const Outcome& outcome);
+
+/// The certified [lower, upper] bracket for the outcome's percentile from
+/// the linear-bounds baseline, or a nullopt-style uncertified sentinel
+/// (lower 0, upper +inf, certified false) when the baseline does not apply
+/// (dirty topology, heavy-tailed service, ...).
+baselines::Bracket certified_bracket(const Outcome& outcome,
+                                     double percentile);
 
 /// Name -> model dispatch: the ForkTail predictors (homogeneous /
 /// inhomogeneous / mixture / white-box M/G/1 / pipeline), the baselines

@@ -23,6 +23,9 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
   report.percentiles = percentiles;
   report.measured_ms =
       stats::percentiles(report.outcome.responses, percentiles);
+  for (const double p : percentiles) {
+    report.brackets.push_back(certified_bracket(report.outcome, p));
+  }
 
   const PredictorRegistry& registry = PredictorRegistry::global();
   std::vector<const Predictor*> selected;
@@ -56,6 +59,9 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
       row.predicted_ms.push_back(predicted);
       row.error_pct.push_back(
           stats::relative_error_pct(predicted, report.measured_ms[i]));
+      const baselines::Bracket& bracket = report.brackets[i];
+      row.in_bracket.push_back(!bracket.certified ||
+                               bracket.contains(predicted));
     }
     report.predictions.push_back(std::move(row));
   }
@@ -95,6 +101,11 @@ util::Json to_json(const ScenarioReport& report) {
     util::Json row = util::Json::object();
     row.set("p", report.percentiles[i]);
     row.set("measured_ms", report.measured_ms[i]);
+    if (i < report.brackets.size() && report.brackets[i].certified) {
+      row.set("lower_ms", report.brackets[i].lower);
+      row.set("upper_ms", report.brackets[i].upper);
+      row.set("certified", true);
+    }
     percentiles.push_back(std::move(row));
   }
   doc.set("measured", std::move(percentiles));
@@ -109,6 +120,10 @@ util::Json to_json(const ScenarioReport& report) {
       cell.set("p", report.percentiles[i]);
       cell.set("predicted_ms", row.predicted_ms[i]);
       cell.set("error_pct", row.error_pct[i]);
+      if (i < report.brackets.size() && report.brackets[i].certified) {
+        cell.set("in_bracket",
+                 i < row.in_bracket.size() && row.in_bracket[i]);
+      }
       values.push_back(std::move(cell));
     }
     p.set("values", std::move(values));

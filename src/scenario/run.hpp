@@ -17,12 +17,21 @@ struct PredictionRow {
   std::string predictor;
   std::vector<double> predicted_ms;
   std::vector<double> error_pct;  ///< 100 * (pred - measured) / measured
+  /// Whether each prediction lies inside the certified bracket for its
+  /// percentile.  Always true when no bracket is certified (an uncertified
+  /// bracket constrains nothing); a certified false flags a prediction
+  /// that is provably wrong, not merely far from the sample estimate.
+  std::vector<bool> in_bracket;
 };
 
 struct ScenarioReport {
   Outcome outcome;                 ///< outcome.spec is the executed spec
   std::vector<double> percentiles; ///< requested p values (in (0, 100))
   std::vector<double> measured_ms; ///< simulated percentiles, same order
+  /// Certified [lower, upper] percentile brackets from the linear-bounds
+  /// baseline, parallel to `percentiles`.  Sentinel (0, +inf, certified
+  /// false) entries when the scenario is outside the certified regime.
+  std::vector<baselines::Bracket> brackets;
   std::vector<PredictionRow> predictions;
 
   /// Degraded-mode confidence flag: true when the fault-aware predictor

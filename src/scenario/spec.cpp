@@ -5,6 +5,7 @@
 
 #include "dist/basic.hpp"
 #include "dist/factory.hpp"
+#include "dist/transforms.hpp"
 #include "trace/facebook.hpp"
 #include "util/rng.hpp"
 
@@ -34,6 +35,21 @@ Topology topology_from_name(const std::string& name) {
   throw ConfigError("topology", "unknown topology: " + name +
                                     " (want homogeneous | heterogeneous | "
                                     "subset | consolidated | pipeline)");
+}
+
+std::string sampler_name(Sampler sampler) {
+  switch (sampler) {
+    case Sampler::kReplay: return "replay";
+    case Sampler::kPerfect: return "perfect";
+  }
+  throw ConfigError("sampler", "unhandled sampler enum value");
+}
+
+Sampler sampler_from_name(const std::string& name) {
+  if (name == "replay") return Sampler::kReplay;
+  if (name == "perfect") return Sampler::kPerfect;
+  throw ConfigError("sampler",
+                    "unknown sampler: " + name + " (want replay | perfect)");
 }
 
 namespace {
@@ -193,6 +209,7 @@ util::Json to_json(const ScenarioSpec& spec) {
   samples.set("warmup_fraction", spec.warmup_fraction);
   doc.set("samples", std::move(samples));
 
+  doc.set("sampler", sampler_name(spec.sampler));
   doc.set("seed", spec.seed);
 
   util::Json execution = util::Json::object();
@@ -214,7 +231,8 @@ ScenarioSpec parse_scenario(const util::Json& doc) {
   check_keys(doc, "",
              {"schema", "name", "topology", "nodes", "group", "service",
               "services", "heterogeneity", "k", "load", "workload", "stages",
-              "samples", "seed", "execution", "group_by_k", "faults"});
+              "samples", "sampler", "seed", "execution", "group_by_k",
+              "faults"});
   if (doc.contains("schema") &&
       doc.at("schema").as_string() != kScenarioSchema) {
     throw ConfigError("schema", "unsupported schema: " +
@@ -310,6 +328,8 @@ ScenarioSpec parse_scenario(const util::Json& doc) {
     spec.warmup_fraction =
         get_number(samples, "warmup_fraction", spec.warmup_fraction);
   }
+  spec.sampler =
+      sampler_from_name(get_string(doc, "sampler", sampler_name(spec.sampler)));
   spec.seed = get_u64(doc, "seed", spec.seed, "");
   if (doc.contains("execution")) {
     const util::Json& execution = doc.at("execution");
@@ -383,6 +403,40 @@ void validate_common(const ScenarioSpec& spec) {
 void validate(const ScenarioSpec& spec) {
   validate_common(spec);
   fault::validate(spec.faults, "faults");
+  if (spec.sampler == Sampler::kPerfect) {
+    if (spec.topology != Topology::kHomogeneous &&
+        spec.topology != Topology::kSubset) {
+      throw ConfigError("sampler",
+                        "perfect sampling supports only the homogeneous and "
+                        "subset topologies");
+    }
+    if (spec.group.policy != fjsim::Policy::kSingle ||
+        spec.group.replicas != 1) {
+      throw ConfigError("sampler",
+                        "perfect sampling requires plain single-server nodes "
+                        "(group.policy \"single\", replicas = 1)");
+    }
+    if (!spec.faults.inert()) {
+      throw ConfigError("sampler",
+                        "perfect sampling requires an inert fault plan (the "
+                        "coupling certificate covers the unmodified engines)");
+    }
+    if (spec.group_by_k) {
+      throw ConfigError("sampler",
+                        "perfect sampling does not bucket responses by k; "
+                        "drop group_by_k or use sampler \"replay\"");
+    }
+    // The coupling certificate is a Lundberg bound: it only exists for
+    // light-tailed services.  Surface the refusal at validation time, not
+    // mid-run.
+    const dist::DistPtr service = make_service(spec.service);
+    if (!dist::mgf_available(*service)) {
+      throw ConfigError("sampler",
+                        "perfect sampling needs a service with finite "
+                        "exponential moments; " + spec.service.dist +
+                            " is heavy-tailed (use sampler \"replay\")");
+    }
+  }
   if (!spec.faults.inert()) {
     switch (spec.topology) {
       case Topology::kHomogeneous:
@@ -584,6 +638,29 @@ fjsim::SubsetConfig to_subset_config(const ScenarioSpec& spec) {
   config.group_by_k = spec.group_by_k;
   config.batch = spec.batch;
   config.early_k = spec.faults.mitigation.early_k;
+  return config;
+}
+
+fjsim::PerfectSamplerConfig to_perfect_config(const ScenarioSpec& spec) {
+  if (spec.topology != Topology::kHomogeneous &&
+      spec.topology != Topology::kSubset) {
+    throw ConfigError("topology",
+                      "to_perfect_config: spec has topology " +
+                          topology_name(spec.topology) +
+                          ", expected homogeneous or subset");
+  }
+  fjsim::PerfectSamplerConfig config;
+  config.num_nodes = spec.nodes;
+  config.service = make_service(spec.service);
+  config.load = spec.load;
+  config.subset = spec.topology == Topology::kSubset;
+  config.k_mode = spec.k.mode == KSpec::Mode::kUniform ? fjsim::KMode::kUniformInt
+                                                       : fjsim::KMode::kFixed;
+  config.k_fixed = spec.k.fixed;
+  config.k_lo = spec.k.lo;
+  config.k_hi = spec.k.hi;
+  config.draws = spec.requests;
+  config.seed = spec.seed;
   return config;
 }
 

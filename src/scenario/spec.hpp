@@ -27,6 +27,7 @@
 #include "fjsim/consolidated.hpp"
 #include "fjsim/heterogeneous.hpp"
 #include "fjsim/homogeneous.hpp"
+#include "fjsim/perfect_sampler.hpp"
 #include "fjsim/pipeline.hpp"
 #include "fjsim/subset.hpp"
 #include "util/json.hpp"
@@ -47,6 +48,16 @@ enum class Topology : std::uint8_t {
 
 std::string topology_name(Topology topology);
 Topology topology_from_name(const std::string& name);
+
+/// How stationary responses are drawn ("sampler" key).
+enum class Sampler : std::uint8_t {
+  kReplay,   ///< warm-up + replay through the fjsim engines (default)
+  kPerfect,  ///< exact-stationary coupling-from-the-past draws
+             ///< (fjsim/perfect_sampler.hpp; homogeneous/subset only)
+};
+
+std::string sampler_name(Sampler sampler);
+Sampler sampler_from_name(const std::string& name);
 
 /// One service-time distribution: a name from the paper's roster
 /// (dist::factory) with an optional mean override (0 = the paper's mean).
@@ -115,6 +126,12 @@ struct ScenarioSpec {
 
   std::uint64_t requests = 10000;  ///< measured requests (jobs) post warm-up
   double warmup_fraction = 0.25;
+  /// Stationary sampling strategy.  kPerfect draws each response from the
+  /// exact stationary law via certified coupling-from-the-past; it
+  /// requires a homogeneous or subset topology with plain single-server
+  /// nodes, an inert fault plan, and a light-tailed service (one with an
+  /// MGF) -- validate() rejects everything else.
+  Sampler sampler = Sampler::kReplay;
   std::uint64_t seed = 1;
   std::size_t max_parallelism = 0;  ///< node-replay worker cap (0 = pool)
   std::size_t batch = 0;            ///< service-demand block size (0 = default)
@@ -161,6 +178,9 @@ std::vector<dist::DistPtr> make_services(const ScenarioSpec& spec);
 /// the equivalent hand-wired one.
 fjsim::HomogeneousConfig to_homogeneous_config(const ScenarioSpec& spec);
 fjsim::SubsetConfig to_subset_config(const ScenarioSpec& spec);
+/// Perfect-sampler materialisation (spec.sampler == kPerfect); valid for
+/// the homogeneous and subset topologies.
+fjsim::PerfectSamplerConfig to_perfect_config(const ScenarioSpec& spec);
 fjsim::HeterogeneousConfig to_heterogeneous_config(const ScenarioSpec& spec);
 fjsim::ConsolidatedConfig to_consolidated_config(const ScenarioSpec& spec);
 fjsim::PipelineConfig to_pipeline_config(const ScenarioSpec& spec);

@@ -116,6 +116,81 @@ double normal_quantile(double p) {
   return x;
 }
 
+namespace {
+
+/// Continued fraction for the incomplete beta (Lentz's method), valid and
+/// fast for x < (a + 1) / (a + b + 2).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kTiny = 1e-300;
+  constexpr double kEps = 1e-15;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    // Even step.
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    // Odd step.
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::domain_error("regularized_incomplete_beta requires a, b > 0");
+  }
+  if (!(x >= 0.0 && x <= 1.0)) {
+    throw std::domain_error("regularized_incomplete_beta requires x in [0, 1]");
+  }
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                           a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  // Use the fraction on the side where it converges fast; the other side
+  // follows from I_x(a, b) = 1 - I_{1-x}(b, a).
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double log_binomial(double n, double r) {
+  if (!(n >= 0.0) || !(r >= 0.0) || r > n) {
+    throw std::domain_error("log_binomial requires 0 <= r <= n");
+  }
+  return std::lgamma(n + 1.0) - std::lgamma(r + 1.0) - std::lgamma(n - r + 1.0);
+}
+
+double harmonic_number(double n) {
+  if (!(n >= 0.0)) throw std::domain_error("harmonic_number requires n >= 0");
+  if (n == 0.0) return 0.0;
+  return digamma(n + 1.0) + kEulerGamma;
+}
+
 double ge_unit_mean(double alpha) {
   return digamma(alpha + 1.0) + kEulerGamma;  // psi(1) = -gamma
 }

@@ -43,4 +43,20 @@ double normal_pdf(double z);
 /// one Halley step; |error| < 1e-13).  Requires p in (0, 1).
 double normal_quantile(double p);
 
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+/// x in [0, 1]: the CDF of the Beta(a, b) distribution, and therefore the
+/// CDF of the r-th order statistic of n iid draws evaluated through the
+/// parent CDF -- P(X_(r:n) <= t) = I_{F(t)}(r, n - r + 1).  The certified
+/// lower bound of the (n, k) fork-join bracket is built on this identity.
+/// Lentz continued fraction with the standard symmetry split; accurate to
+/// ~1e-12 over the integer-parameter ranges the bounds use.
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// ln C(n, r) via lgamma -- the linear-transformation combination weights
+/// (Wang et al., arXiv 1707.08860) need binomials far beyond 2^64.
+double log_binomial(double n, double r);
+
+/// Harmonic number H_n = sum_{i=1..n} 1/i (digamma shortcut for large n).
+double harmonic_number(double n);
+
 }  // namespace forktail::stats

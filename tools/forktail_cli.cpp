@@ -332,14 +332,18 @@ int cmd_run(int argc, const char* const* argv) {
   std::printf("  lambda %.6g, mean fan-out %g, %zu measured responses\n",
               outcome.lambda, outcome.mean_k, outcome.responses.size());
   for (std::size_t i = 0; i < report.percentiles.size(); ++i) {
-    std::printf("  p%-6g measured %12.4g ms\n", report.percentiles[i],
+    std::printf("  p%-6g measured %12.4g ms", report.percentiles[i],
                 report.measured_ms[i]);
+    const baselines::Bracket& b = report.brackets[i];
+    if (b.certified) std::printf("  certified [%.4g, %.4g]", b.lower, b.upper);
+    std::printf("\n");
   }
   for (const auto& row : report.predictions) {
     for (std::size_t i = 0; i < report.percentiles.size(); ++i) {
-      std::printf("  p%-6g %-13s %12.4g ms  (error %+.1f%%)\n",
+      std::printf("  p%-6g %-13s %12.4g ms  (error %+.1f%%)%s\n",
                   report.percentiles[i], row.predictor.c_str(),
-                  row.predicted_ms[i], row.error_pct[i]);
+                  row.predicted_ms[i], row.error_pct[i],
+                  row.in_bracket[i] ? "" : "  ** outside certified bracket **");
     }
   }
 

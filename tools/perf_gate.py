@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
 """Performance-regression gate over the tracked benchmark reports.
 
-Understands two report schemas, detected from the "benchmark" field:
+Understands three report schemas, detected from the "benchmark" field:
 
 * BENCH_replay.json  ("bench_replay")  -- batched-vs-scalar replay paths.
 * BENCH_cluster.json ("bench_cluster") -- calendar-queue engine vs the
   frozen binary-heap baseline (baseline/candidate paths per workload).
+* BENCH_bounds.json  ("bench_bounds")  -- certified (n, k) brackets vs
+  perfect-sampling ground truth.  Structural gate: every row must be
+  certified with lower <= upper, the measured CI must overlap the bracket,
+  and ForkTail's prediction must sit inside it (100% containment on both
+  counts).  Same-scale runs additionally gate relative bracket width
+  (wider brackets = weaker certificates = a regression).
 
 Compares a candidate report against the tracked baseline and fails
 (exit 1) when any (workload, path) throughput regresses by more than the
@@ -45,7 +51,7 @@ def load(path: str) -> dict:
 
 def schema_of(doc: dict, label: str) -> str:
     name = doc.get("benchmark")
-    if name not in ("bench_replay", "bench_cluster"):
+    if name not in ("bench_replay", "bench_cluster", "bench_bounds"):
         raise SystemExit(f"FAIL {label}: unknown benchmark schema {name!r}")
     return name
 
@@ -107,9 +113,39 @@ def cluster_structural_errors(doc: dict, label: str) -> list[str]:
     return errors
 
 
+def bounds_structural_errors(doc: dict, label: str) -> list[str]:
+    errors = []
+    rows = doc.get("rows", [])
+    if not rows:
+        errors.append(f"{label}: no rows in report")
+    for r in rows:
+        name = r.get("name", "<unnamed>")
+        if not r.get("certified", False):
+            errors.append(f"{label}: {name}: bracket is not certified")
+        lower, upper = r.get("lower_ms"), r.get("upper_ms")
+        if lower is None or upper is None or not lower <= upper:
+            errors.append(
+                f"{label}: {name}: degenerate bracket [{lower}, {upper}]")
+        if not r.get("contained", False):
+            errors.append(
+                f"{label}: {name}: measured CI misses the certified bracket "
+                "-- the bounds (or the perfect sampler) are wrong")
+        if not r.get("forktail_contained", False):
+            errors.append(
+                f"{label}: {name}: ForkTail prediction "
+                f"{r.get('forktail_ms')} outside [{lower}, {upper}]")
+    for key in ("containment_rate", "forktail_containment_rate"):
+        if doc.get(key) != 1.0:
+            errors.append(f"{label}: {key} = {doc.get(key)!r}, want 1.0")
+    return errors
+
+
 def structural_errors(doc: dict, label: str) -> list[str]:
-    if schema_of(doc, label) == "bench_replay":
+    schema = schema_of(doc, label)
+    if schema == "bench_replay":
         return replay_structural_errors(doc, label)
+    if schema == "bench_bounds":
+        return bounds_structural_errors(doc, label)
     return cluster_structural_errors(doc, label)
 
 
@@ -157,6 +193,34 @@ def main() -> int:
         return 0
 
     failures = []
+
+    if schema == "bench_bounds":
+        # Bracket-width regression: at the same scale and seed the bounds
+        # are deterministic, so any widening is a real weakening of the
+        # certificates, not noise.  The threshold still leaves room for
+        # intentional row retuning (which replaces the tracked file).
+        base_rows = {r["name"]: r for r in base.get("rows", [])}
+        for r in cand.get("rows", []):
+            name = r["name"]
+            ref = base_rows.get(name)
+            if ref is None:
+                print(f"NOTE {name}: not in baseline, skipping width")
+                continue
+            b, c = ref.get("width_rel", 0.0), r.get("width_rel", 0.0)
+            if b <= 0:
+                continue
+            growth = (c - b) / b
+            status = "FAIL" if growth > args.max_regression else "ok  "
+            print(f"{status} {name:30s} width_rel {b:.4f} -> {c:.4f} "
+                  f"({growth:+.1%})")
+            if growth > args.max_regression:
+                failures.append((name, "width_rel", growth))
+        if failures:
+            print(f"\n{len(failures)} regression(s) beyond threshold")
+            return 1
+        print("\nOK   no regressions beyond threshold; "
+              "containment 100% on every row")
+        return 0
 
     # Peak RSS: same scale means same working set by construction, so
     # growth beyond the band is a memory regression (an unbounded buffer or
