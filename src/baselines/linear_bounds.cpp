@@ -89,28 +89,34 @@ bool build_model(const BaselineInput& in, const LinearBoundsConfig& config,
   const double rho = lambda * es;
   if (!(rho < 1.0)) return false;
 
+  // Tier selection is a pure capability query: memoryless (the exponential
+  // family) admits the exact M/M/1 sojourn law, an LST admits numerical PK
+  // inversion, an MGF admits the Chernoff bound.  Anything heavier has no
+  // certified machinery at all -- and in that case E[S^2] may be infinite,
+  // so the PK mean below must not be computed first.
+  const dist::Capabilities caps = service.capabilities();
+  if (!(caps.memoryless || caps.has_lst || caps.has_mgf)) {
+    return false;
+  }
+
   model.node_lambda = lambda;
   model.rho = rho;
   model.service = &service;
   model.pad = config.inversion_pad;
   model.pk_mean = es + lambda * service.moment(2) / (2.0 * (1.0 - rho));
 
-  const bool exponential =
-      dynamic_cast<const dist::Exponential*>(&service) != nullptr;
-  if (exponential) {
+  if (caps.memoryless) {
     model.kind = SojournModel::Kind::kExact;
     model.exp_rate = 1.0 / es - lambda;
-  } else if (service.has_lst()) {
+  } else if (caps.has_lst) {
     model.kind = SojournModel::Kind::kLst;
-  } else if (dist::mgf_available(service)) {
-    model.kind = SojournModel::Kind::kChernoff;
   } else {
-    return false;  // heavy-tailed: no certified machinery at all
+    model.kind = SojournModel::Kind::kChernoff;
   }
 
   // The Chernoff grid doubles as the robust mean-bound engine for the kLst
   // tier, so build it for every MGF-capable family.
-  if (!exponential && dist::mgf_available(service)) {
+  if (!caps.memoryless && caps.has_mgf) {
     const double theta_star = dist::lundberg_root(service, lambda, 1.0);
     const int grid = std::max(2, config.chernoff_grid);
     model.thetas.reserve(static_cast<std::size_t>(grid));

@@ -1,0 +1,46 @@
+// Extreme-value correction for the fork-join maximum under heavy tails.
+//
+// ForkTail's Eq. 13 treats the request response as the max of k iid GE
+// variables -- a Gumbel-domain model.  When the service time is regularly
+// varying with index alpha (capabilities().tail == kRegularlyVarying), the
+// M/G/1 sojourn is regularly varying with index alpha - 1 (one order
+// heavier: a single huge job delays the whole busy period), the max of k
+// sojourns lives in the FRECHET domain of attraction, and the GE fit
+// underestimates the far tail by an amount that grows with k and the
+// percentile.  Schol/Vlasiou/Zwart (arXiv 2211.02313) make the extreme-
+// value limit of the fork-join maximum precise; the correction used here
+// is the first-order Pakes asymptote of the sojourn tail
+//
+//   P(T > x) ~ lambda c x^{1-alpha} / ((1 - rho)(alpha - 1)) + c x^{-alpha}
+//
+// (P(S > x) ~ c x^{-alpha}), inverted at the per-task level 1 - q^{1/k}.
+// The reported prediction is the max of the GE body quantile and the EVT
+// tail quantile: in the body region (small k, low percentile) the GE fit
+// is sharper and the asymptote undershoots; past the breakdown boundary
+// the asymptote takes over.  Light- and subexponential-tailed services
+// take the Gumbel branch, which IS the plain GE prediction -- so the EVT
+// predictor degrades gracefully to ForkTail where ForkTail is right.
+#pragma once
+
+#include "core/predictor.hpp"
+#include "dist/distribution.hpp"
+
+namespace forktail::core {
+
+struct EvtPrediction {
+  double value = 0.0;       ///< predicted percentile (ms)
+  bool frechet = false;     ///< true when the heavy-tail branch fired
+  double tail_index = 0.0;  ///< service alpha used (0 on the Gumbel branch)
+};
+
+/// Percentile `p` (in (0, 100)) of the max of `k` iid task responses,
+/// selecting the Gumbel or Frechet branch from the service's declared tail
+/// capability.  `stats` are the measured black-box task moments (used for
+/// the GE body), `node_lambda` the per-node task arrival rate, and
+/// `service` the white-box service distribution whose capabilities pick
+/// the branch and provide (alpha, c).
+EvtPrediction evt_max_quantile(const TaskStats& stats, double k, double p,
+                               double node_lambda,
+                               const dist::Distribution& service);
+
+}  // namespace forktail::core

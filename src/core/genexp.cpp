@@ -36,8 +36,18 @@ GenExp::GenExp(double alpha, double beta) : alpha_(alpha), beta_(beta) {
 }
 
 GenExp GenExp::fit_moments(double mean, double variance) {
-  if (!(mean > 0.0 && variance > 0.0)) {
-    throw std::invalid_argument("GenExp::fit_moments: mean and variance must be > 0");
+  // Explicit finiteness check: +infinity passes `> 0`, and an infinite
+  // variance (regularly-varying service with tail index <= 2) would
+  // silently clamp to the heavy boundary and return a garbage fit.
+  // Callers with heavy-tailed services should consult
+  // dist::Capabilities::moment_finite and degrade (see
+  // whitebox_mg1_task_model) instead of reaching this throw.
+  if (!(std::isfinite(mean) && mean > 0.0 &&
+        std::isfinite(variance) && variance > 0.0)) {
+    throw std::invalid_argument(
+        "GenExp::fit_moments: mean and variance must be finite and > 0 "
+        "(infinite moments mean the service tail is too heavy for a GE "
+        "moment fit)");
   }
   const double target_ratio = mean * mean / variance;  // increasing in alpha
   auto ratio_at = [](double log_alpha) {

@@ -145,9 +145,66 @@ double mixture_cdf(const TaskStats& stats, const TaskCountMixture& mixture,
   return f;
 }
 
-TaskStats whitebox_mg1_task_stats(double lambda, const dist::Distribution& service) {
+WhiteboxTaskModel whitebox_mg1_task_model(double lambda,
+                                          const dist::Distribution& service) {
+  const dist::Capabilities caps = service.capabilities();
+  if (!caps.moment_finite(2)) {
+    throw std::invalid_argument(
+        "whitebox_mg1_task_model: " + service.name() +
+        " has an infinite second service moment (" +
+        dist::tail_class_name(caps.tail) + " tail, index " +
+        std::to_string(caps.tail_index) +
+        "): the M/G/1 sojourn mean itself diverges, so no moment-based "
+        "model exists -- use the EVT predictor or a measured baseline");
+  }
+  WhiteboxTaskModel model;
+  if (!caps.moment_finite(3)) {
+    // E[S^3] diverges, so Takacs' E[W^2] (Eq. 11) is unavailable.  The
+    // Pollaczek-Khinchine mean only needs E[S^2] and stays exact; for the
+    // variance, fall back to the exponential-sojourn surrogate
+    // variance = mean^2 (the GE fit then reduces to an exponential fit of
+    // the correct mean).
+    const double es = service.moment(1);
+    const double m2 = service.moment(2);
+    const double rho = lambda * es;
+    if (!(lambda > 0.0) || !(rho < 1.0)) {
+      throw std::invalid_argument(
+          "whitebox_mg1_task_model: need lambda > 0 and rho < 1");
+    }
+    const double mean = es + lambda * m2 / (2.0 * (1.0 - rho));
+    model.stats = {mean, mean * mean};
+    model.degraded = true;
+    model.reasons.push_back(
+        "E[S^3] is infinite for " + service.name() + " (" +
+        dist::tail_class_name(caps.tail) + " tail, index " +
+        std::to_string(caps.tail_index) +
+        "): Takacs variance unavailable; using the exact PK mean with an "
+        "exponential variance surrogate");
+    obs::Registry::global().counter("predict.whitebox_degraded").add(1);
+    return model;
+  }
   const auto r = queueing::mg1_response(lambda, service);
-  return {r.mean, r.variance};
+  model.stats = {r.mean, r.variance};
+  return model;
+}
+
+TaskStats whitebox_mg1_task_stats(double lambda, const dist::Distribution& service) {
+  return whitebox_mg1_task_model(lambda, service).stats;
+}
+
+double redundancy_quantile(const TaskStats& stats, double d, double p) {
+  check_percentile(p);
+  if (!(d >= 1.0)) {
+    throw std::invalid_argument("redundancy_quantile: d must be >= 1");
+  }
+  PredictMetrics::get().calls.add(1);
+  const obs::ScopedSpan span(PredictMetrics::get().seconds);
+  // Min-of-d: invert the per-task CDF at 1 - (1 - q)^{1/d}.  max_quantile
+  // at k = 1 is exactly the per-task GE quantile.
+  const double q = p / 100.0;
+  const double level = -std::expm1(std::log1p(-q) / d);
+  return GenExp::fit_moments(stats.mean, stats.variance)
+      .max_quantile(level, 1.0);
 }
 
 double whitebox_mg1_quantile(double lambda, const dist::Distribution& service,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/genexp.hpp"
@@ -79,8 +80,31 @@ double mixture_cdf(const TaskStats& stats, const TaskCountMixture& mixture,
 double whitebox_mg1_quantile(double lambda, const dist::Distribution& service,
                              double k, double p);
 
+/// White-box task model with capability-aware degradation.  The full
+/// Takacs variance formula (Eq. 11) consumes E[S^3]; when the service
+/// declares that moment infinite the model falls back to the exact
+/// Pollaczek-Khinchine mean plus an exponential-sojourn variance surrogate
+/// (variance = mean^2), and records why.  A service without a finite
+/// E[S^2] has no finite sojourn mean at all and throws
+/// std::invalid_argument.
+struct WhiteboxTaskModel {
+  TaskStats stats;
+  bool degraded = false;                ///< surrogate variance in use
+  std::vector<std::string> reasons;     ///< human-readable degradations
+};
+WhiteboxTaskModel whitebox_mg1_task_model(double lambda,
+                                          const dist::Distribution& service);
+
 /// White-box task stats alone (useful for Table 2-style reporting).
+/// Degrades exactly as whitebox_mg1_task_model.
 TaskStats whitebox_mg1_task_stats(double lambda, const dist::Distribution& service);
+
+/// Redundancy-d tail latency: the request is forked to d nodes and
+/// completes at the FIRST task completion, so the response is the MINIMUM
+/// of d iid GE response times.  P(min <= x) = 1 - (1 - F(x))^d, so the
+/// p-quantile of the minimum is the per-task quantile at level
+/// 1 - (1 - q)^{1/d}.
+double redundancy_quantile(const TaskStats& stats, double d, double p);
 
 /// Reusable predictor object: fits the GE once, answers many quantile /
 /// CDF queries.  This is the type the scheduler and provisioning layers

@@ -1,14 +1,29 @@
 #include "dist/basic.hpp"
 
 #include <cmath>
+#include <limits>
+
+#include "dist/transforms.hpp"
 
 namespace forktail::dist {
 
 namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 double factorial(int n) {
   double f = 1.0;
   for (int i = 2; i <= n; ++i) f *= i;
   return f;
+}
+
+/// Shared profile of the phase-type roster: light tail, all moments
+/// finite, both transforms available, support [0, inf).
+Capabilities phase_type_caps() {
+  Capabilities caps;
+  caps.tail = TailClass::kLight;
+  caps.has_mgf = true;
+  caps.has_lst = true;
+  return caps;
 }
 }  // namespace
 
@@ -25,6 +40,17 @@ double Exponential::moment(int k) const {
 
 double Exponential::cdf(double x) const {
   return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / mean_);
+}
+
+Capabilities Exponential::capabilities() const {
+  Capabilities caps = phase_type_caps();
+  caps.memoryless = true;
+  return caps;
+}
+
+double Exponential::mgf(double theta) const {
+  const double rate = 1.0 / mean_;
+  return theta < rate ? rate / (rate - theta) : kInf;
 }
 
 std::complex<double> Exponential::lst(std::complex<double> s) const {
@@ -66,6 +92,14 @@ double Erlang::cdf(double x) const {
 }
 
 std::string Erlang::name() const { return "Erlang-" + std::to_string(stages_); }
+
+Capabilities Erlang::capabilities() const { return phase_type_caps(); }
+
+double Erlang::mgf(double theta) const {
+  if (theta >= stage_rate_) return kInf;
+  return std::pow(stage_rate_ / (stage_rate_ - theta),
+                  static_cast<double>(stages_));
+}
 
 std::complex<double> Erlang::lst(std::complex<double> s) const {
   std::complex<double> base = stage_rate_ / (stage_rate_ + s);
@@ -113,6 +147,14 @@ double HyperExp2::cdf(double x) const {
          (1.0 - p1_) * (1.0 - std::exp(-rate2_ * x));
 }
 
+Capabilities HyperExp2::capabilities() const { return phase_type_caps(); }
+
+double HyperExp2::mgf(double theta) const {
+  if (theta >= rate1_ || theta >= rate2_) return kInf;
+  return p1_ * rate1_ / (rate1_ - theta) +
+         (1.0 - p1_) * rate2_ / (rate2_ - theta);
+}
+
 std::complex<double> HyperExp2::lst(std::complex<double> s) const {
   return p1_ * (rate1_ / (rate1_ + s)) + (1.0 - p1_) * (rate2_ / (rate2_ + s));
 }
@@ -126,6 +168,18 @@ Deterministic::Deterministic(double value) : value_(value) {
 double Deterministic::moment(int k) const {
   check_moment_order(k);
   return std::pow(value_, k);
+}
+
+Capabilities Deterministic::capabilities() const {
+  Capabilities caps = phase_type_caps();
+  caps.support_lo = value_;
+  caps.support_hi = value_;
+  return caps;
+}
+
+double Deterministic::mgf(double theta) const {
+  const double value = std::exp(theta * value_);
+  return std::isfinite(value) ? value : kInf;
 }
 
 std::complex<double> Deterministic::lst(std::complex<double> s) const {
@@ -149,6 +203,20 @@ double UniformReal::cdf(double x) const {
   if (x <= lo_) return 0.0;
   if (x >= hi_) return 1.0;
   return (x - lo_) / (hi_ - lo_);
+}
+
+Capabilities UniformReal::capabilities() const {
+  Capabilities caps;
+  caps.tail = TailClass::kLight;
+  caps.has_mgf = true;
+  caps.support_lo = lo_;
+  caps.support_hi = hi_;
+  return caps;
+}
+
+double UniformReal::mgf(double theta) const {
+  const double value = uniform_segment_mgf(theta, lo_, hi_);
+  return std::isfinite(value) ? value : kInf;
 }
 
 }  // namespace forktail::dist

@@ -20,7 +20,8 @@ class Exponential final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "Exponential"; }
-  bool has_lst() const override { return true; }
+  Capabilities capabilities() const override;
+  double mgf(double theta) const override;
   std::complex<double> lst(std::complex<double> s) const override;
 
  private:
@@ -44,7 +45,8 @@ class Erlang final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override;
-  bool has_lst() const override { return true; }
+  Capabilities capabilities() const override;
+  double mgf(double theta) const override;
   std::complex<double> lst(std::complex<double> s) const override;
 
   int stages() const noexcept { return stages_; }
@@ -73,7 +75,8 @@ class HyperExp2 final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "HyperExp2"; }
-  bool has_lst() const override { return true; }
+  Capabilities capabilities() const override;
+  double mgf(double theta) const override;
   std::complex<double> lst(std::complex<double> s) const override;
 
   double p1() const noexcept { return p1_; }
@@ -98,7 +101,8 @@ class Deterministic final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override { return x >= value_ ? 1.0 : 0.0; }
   std::string name() const override { return "Deterministic"; }
-  bool has_lst() const override { return true; }
+  Capabilities capabilities() const override;
+  double mgf(double theta) const override;
   std::complex<double> lst(std::complex<double> s) const override;
 
   double value() const noexcept { return value_; }
@@ -119,6 +123,8 @@ class UniformReal final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "Uniform"; }
+  Capabilities capabilities() const override;
+  double mgf(double theta) const override;
 
   double lo() const noexcept { return lo_; }
   double hi() const noexcept { return hi_; }

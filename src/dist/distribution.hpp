@@ -1,13 +1,25 @@
 // Service-time distribution interface.
 //
 // Every distribution used by the simulators and the white-box analysis
-// provides: sampling, analytic raw moments E[S^k] for k = 1..3 (Eq. 11 of
-// the paper needs the third moment), a CDF, and -- for the phase-type
-// family used by the EAT baseline -- the Laplace-Stieltjes transform.
+// provides: sampling, raw moments E[S^k] for k = 1..3 (Eq. 11 of the
+// paper needs the third moment), a CDF, and a Capabilities descriptor.
+//
+// The capability model replaces the old convention where every moment was
+// assumed finite and transform availability was probed with dynamic_cast
+// lists scattered across consumers.  A Distribution now *declares* what it
+// can do -- which raw moments are finite, whether the tail is light,
+// subexponential, or regularly varying (and with what index), whether the
+// MGF/LST converge, and its support -- and consumers query instead of
+// assuming: the GE fit degrades with stated reasons when moment(3) is
+// infinite, the linear bounds pick their exact/PK/Chernoff tier from the
+// flags, and the perfect sampler refuses non-MGF services with a typed
+// error naming the tail class.
 #pragma once
 
+#include <climits>
 #include <cmath>
 #include <complex>
+#include <limits>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -16,6 +28,57 @@
 #include "util/rng.hpp"
 
 namespace forktail::dist {
+
+/// Coarse tail classification, ordered by heaviness.
+enum class TailClass {
+  kLight,             ///< exponential-or-lighter decay; MGF converges near 0
+  kSubexponential,    ///< heavier than exponential, all moments may still
+                      ///< be finite (Weibull shape < 1, LogNormal)
+  kRegularlyVarying,  ///< P(S > x) ~ tail_scale * x^-tail_index (Pareto)
+};
+
+inline const char* tail_class_name(TailClass t) {
+  switch (t) {
+    case TailClass::kLight:
+      return "light";
+    case TailClass::kSubexponential:
+      return "subexponential";
+    case TailClass::kRegularlyVarying:
+      return "regularly-varying";
+  }
+  return "unknown";
+}
+
+/// What a distribution can actually deliver.  The default-constructed
+/// value is the conservative claim -- subexponential tail, no transforms,
+/// all moments finite -- matching what the pre-capability code assumed for
+/// unknown families (mgf_available fell back to false; moments were
+/// trusted).
+struct Capabilities {
+  TailClass tail = TailClass::kSubexponential;
+
+  /// Regular-variation index alpha in P(S > x) ~ tail_scale * x^-alpha.
+  /// +infinity unless tail == kRegularlyVarying.
+  double tail_index = std::numeric_limits<double>::infinity();
+
+  /// The constant c in P(S > x) ~ c * x^-tail_index (meaningful only for
+  /// regularly varying tails; e.g. scale^alpha for a pure Pareto).
+  double tail_scale = 0.0;
+
+  /// Largest k with E[S^k] < infinity.  INT_MAX = all moments finite.
+  int finite_moments = INT_MAX;
+
+  bool has_mgf = false;  ///< E[e^{theta S}] finite on a right-neighbourhood
+                         ///< of 0 (equivalently: a Lundberg root exists)
+  bool has_lst = false;  ///< complex Laplace-Stieltjes transform available
+  bool memoryless = false;  ///< exactly the exponential family
+
+  double support_lo = 0.0;
+  double support_hi = std::numeric_limits<double>::infinity();
+
+  bool moment_finite(int k) const { return k <= finite_moments; }
+  bool bounded_support() const { return std::isfinite(support_hi); }
+};
 
 class Distribution {
  public:
@@ -36,13 +99,19 @@ class Distribution {
     for (double& x : out) x = sample(rng);
   }
 
-  /// Raw moment E[S^k], k in 1..3, computed analytically.
+  /// Raw moment E[S^k], k in 1..3.  Computed analytically; +infinity when
+  /// the moment diverges (capabilities().moment_finite(k) == false).
   virtual double moment(int k) const = 0;
 
   /// P(S <= x).
   virtual double cdf(double x) const = 0;
 
   virtual std::string name() const = 0;
+
+  /// What this distribution can deliver.  The base default is the
+  /// conservative claim (see Capabilities); every concrete family in
+  /// src/dist overrides with its exact profile.
+  virtual Capabilities capabilities() const { return Capabilities{}; }
 
   double mean() const { return moment(1); }
 
@@ -57,15 +126,24 @@ class Distribution {
     return variance() / (m * m);
   }
 
-  double cv() const {
-    const double s = scv();
-    return s > 0.0 ? std::sqrt(s) : 0.0;
+  /// Coefficient of variation.  NaN when catastrophic cancellation drives
+  /// the computed variance negative -- the old behaviour silently returned
+  /// 0, which downstream moment-matching mistook for a deterministic
+  /// service.
+  double cv() const { return std::sqrt(scv()); }
+
+  /// E[e^{theta S}] at real theta >= 0.  Implemented by every family with
+  /// capabilities().has_mgf; returns +infinity at and beyond the
+  /// convergence abscissa.  Callers should go through dist::mgf()
+  /// (transforms.hpp), which adds the capability gate and the theta = 0
+  /// shortcut.
+  virtual double mgf(double /*theta*/) const {
+    throw std::logic_error("MGF not available for " + name());
   }
 
-  /// Laplace-Stieltjes transform E[e^{-sS}] at complex s.  Only the
-  /// phase-type family (exponential, Erlang, hyperexponential,
-  /// deterministic) implements this; others throw.
-  virtual bool has_lst() const { return false; }
+  /// Laplace-Stieltjes transform E[e^{-sS}] at complex s.  Only families
+  /// declaring capabilities().has_lst implement this; others throw.
+  bool has_lst() const { return capabilities().has_lst; }
   virtual std::complex<double> lst(std::complex<double> /*s*/) const {
     throw std::logic_error("LST not available for " + name());
   }
@@ -77,6 +155,21 @@ class Distribution {
     }
   }
 };
+
+/// Uniform (mean, cv) validation for the from_mean_cv constructor family:
+/// every parameterisation by mean and coefficient of variation rejects
+/// non-finite or non-positive values the same way (a CV of 0 is a
+/// Deterministic, not a degenerate member of a continuous family).
+inline void require_mean_cv(const char* family, double mean, double cv) {
+  if (!(std::isfinite(mean) && mean > 0.0)) {
+    throw std::invalid_argument(std::string(family) +
+                                ": mean must be finite and > 0");
+  }
+  if (!(std::isfinite(cv) && cv > 0.0)) {
+    throw std::invalid_argument(std::string(family) +
+                                ": cv must be finite and > 0");
+  }
+}
 
 using DistPtr = std::shared_ptr<const Distribution>;
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "dist/transforms.hpp"
 #include "util/kahan.hpp"
 
 namespace forktail::dist {
@@ -125,6 +127,29 @@ double Empirical::cdf(double x) const {
   if (b - a < 1e-300) return probs_[hi];
   const double frac = (x - a) / (b - a);
   return probs_[lo] + frac * (probs_[hi] - probs_[lo]);
+}
+
+Capabilities Empirical::capabilities() const {
+  Capabilities caps;
+  caps.tail = TailClass::kLight;
+  caps.has_mgf = true;
+  caps.support_lo = values_.front();
+  caps.support_hi = values_.back();
+  return caps;
+}
+
+double Empirical::mgf(double theta) const {
+  // Inverse-transform sampling over a piecewise-linear quantile table is a
+  // mixture of uniforms over the knot segments: the MGF is the exact
+  // probability-weighted sum of segment MGFs.
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < probs_.size(); ++i) {
+    const double mass = probs_[i + 1] - probs_[i];
+    if (mass <= 0.0) continue;
+    total += mass * uniform_segment_mgf(theta, values_[i], values_[i + 1]);
+  }
+  return std::isfinite(total) ? total
+                              : std::numeric_limits<double>::infinity();
 }
 
 Empirical Empirical::scaled(double factor) const {

@@ -31,6 +31,8 @@ class Empirical final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return label_; }
+  Capabilities capabilities() const override;
+  double mgf(double theta) const override;
 
   double quantile(double u) const;
   double min() const { return values_.front(); }

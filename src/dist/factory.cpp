@@ -11,12 +11,22 @@ DistPtr make_named(const std::string& name) {
 }
 
 DistPtr make_named(const std::string& name, double mean) {
+  return make_named(name, mean, 0.0);
+}
+
+DistPtr make_named(const std::string& name, double mean, double tail_index) {
   const double m = mean > 0.0 ? mean : kPaperMeanServiceMs;
   if (name == "Empirical" && m != kPaperMeanServiceMs) {
     throw std::invalid_argument(
         "Empirical distribution has a fixed mean (synthesized Google-leaf "
         "table); omit the mean override");
   }
+  if (tail_index > 0.0 && !takes_tail_index(name)) {
+    throw std::invalid_argument(
+        "tail index only parameterises the regularly-varying families "
+        "(Pareto, HeavyMixture), not " + name);
+  }
+  const double alpha = tail_index > 0.0 ? tail_index : kDefaultTailIndex;
   if (name == "Exponential") return std::make_shared<Exponential>(m);
   if (name == "Erlang-2") return std::make_shared<Erlang>(2, m);
   if (name == "HyperExp2") {
@@ -34,12 +44,23 @@ DistPtr make_named(const std::string& name, double mean) {
         TruncatedPareto::from_mean_cv_upper(m, 1.2, upper));
   }
   if (name == "Empirical") return google_leaf_ptr();
+  if (name == "Pareto") {
+    return std::make_shared<Pareto>(Pareto::from_mean_tail(m, alpha));
+  }
+  if (name == "HeavyMixture") {
+    return std::make_shared<ParetoLogNormalMixture>(
+        ParetoLogNormalMixture::from_mean_tail(m, alpha));
+  }
   throw std::invalid_argument("unknown distribution name: " + name);
 }
 
 std::vector<std::string> named_distributions() {
-  return {"Exponential", "Erlang-2",    "HyperExp2",
-          "Weibull",     "TruncPareto", "Empirical"};
+  return {"Exponential", "Erlang-2",    "HyperExp2", "Weibull",
+          "TruncPareto", "Empirical",   "Pareto",    "HeavyMixture"};
+}
+
+bool takes_tail_index(const std::string& name) {
+  return name == "Pareto" || name == "HeavyMixture";
 }
 
 }  // namespace forktail::dist

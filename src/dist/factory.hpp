@@ -8,6 +8,9 @@
 //   - "Weibull"                (CV = 1.5; shape 0.6848, scale 3.2630)
 //   - "TruncPareto"            (CV = 1.2, H = 276.6 ms; alpha 2.0119, L 2.14)
 //   - "Empirical"              (synthesized Google-leaf table)
+// plus the regularly-varying extensions used by the EVT study:
+//   - "Pareto"                 (untruncated; tail index configurable)
+//   - "HeavyMixture"           (lognormal body + untruncated Pareto tail)
 #pragma once
 
 #include <vector>
@@ -19,6 +22,11 @@ namespace forktail::dist {
 /// The common mean service time used across the paper's experiments (ms).
 inline constexpr double kPaperMeanServiceMs = 4.22;
 
+/// Tail index used for "Pareto"/"HeavyMixture" when none is given: heavy
+/// enough that E[S^3] diverges (the GE fit must degrade) while E[S^2]
+/// stays finite, matching the regime arXiv 2105.13738 analyses.
+inline constexpr double kDefaultTailIndex = 2.2;
+
 /// Build one of the named distributions above at the paper's mean.
 /// Throws std::invalid_argument for unknown names.
 DistPtr make_named(const std::string& name);
@@ -29,7 +37,16 @@ DistPtr make_named(const std::string& name);
 /// "Empirical", whose synthesized table has no free mean parameter.
 DistPtr make_named(const std::string& name, double mean);
 
+/// As above, with an explicit regular-variation tail index for "Pareto" /
+/// "HeavyMixture" (`tail_index <= 0` selects kDefaultTailIndex).  Throws
+/// std::invalid_argument when a tail index is given for any other family.
+DistPtr make_named(const std::string& name, double mean, double tail_index);
+
 /// All names accepted by make_named.
 std::vector<std::string> named_distributions();
+
+/// True when `name` is one of the regularly-varying families that accept
+/// the tail-index parameter of the three-argument make_named overload.
+bool takes_tail_index(const std::string& name);
 
 }  // namespace forktail::dist

@@ -1,6 +1,7 @@
 #include "dist/gamma.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace forktail::dist {
@@ -60,9 +61,7 @@ Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
 }
 
 Gamma Gamma::from_mean_cv(double mean, double cv) {
-  if (!(mean > 0.0 && cv > 0.0)) {
-    throw std::invalid_argument("Gamma: mean and cv must be > 0");
-  }
+  require_mean_cv("Gamma", mean, cv);
   const double shape = 1.0 / (cv * cv);
   return Gamma(shape, mean / shape);
 }
@@ -110,6 +109,19 @@ double Gamma::moment(int k) const {
 
 double Gamma::cdf(double x) const {
   return x <= 0.0 ? 0.0 : regularized_gamma_p(shape_, x / scale_);
+}
+
+Capabilities Gamma::capabilities() const {
+  Capabilities caps;
+  caps.tail = TailClass::kLight;
+  caps.has_mgf = true;
+  caps.has_lst = true;
+  return caps;
+}
+
+double Gamma::mgf(double theta) const {
+  if (theta >= 1.0 / scale_) return std::numeric_limits<double>::infinity();
+  return std::pow(1.0 - scale_ * theta, -shape_);
 }
 
 std::complex<double> Gamma::lst(std::complex<double> s) const {

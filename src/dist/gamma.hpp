@@ -25,7 +25,8 @@ class Gamma final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "Gamma"; }
-  bool has_lst() const override { return true; }
+  Capabilities capabilities() const override;
+  double mgf(double theta) const override;
   std::complex<double> lst(std::complex<double> s) const override;
 
   double shape() const noexcept { return shape_; }

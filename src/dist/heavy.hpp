@@ -1,9 +1,15 @@
 // Heavy-tailed (and trace-modelling) service-time distributions: Weibull,
-// truncated Pareto, lognormal, lower-truncated normal.
+// truncated Pareto, lognormal, lower-truncated normal, untruncated Pareto,
+// and the Pareto-lognormal mixture.
 //
 // Parameterisations follow Section 4.1 of the paper exactly; the
 // `from_mean_cv` constructors re-derive the paper's published shape/scale
-// values from (mean, CV) so tests can assert agreement.
+// values from (mean, CV) so tests can assert agreement.  The untruncated
+// Pareto and the mixture are the regularly-varying regime (arXiv
+// 2105.13738, 2211.02313): raw moments E[S^k] diverge for k >= alpha, so
+// their capabilities() report a finite-moment cutoff and the tail index,
+// and consumers (GE fit, linear bounds, perfect sampler) degrade or refuse
+// instead of computing garbage.
 #pragma once
 
 #include <cmath>
@@ -30,6 +36,7 @@ class Weibull final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "Weibull"; }
+  Capabilities capabilities() const override;
 
   double shape() const noexcept { return shape_; }
   double scale() const noexcept { return scale_; }
@@ -59,6 +66,8 @@ class TruncatedPareto final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "TruncPareto"; }
+  Capabilities capabilities() const override;
+  double mgf(double theta) const override;
 
   double alpha() const noexcept { return alpha_; }
   double lower() const noexcept { return lower_; }
@@ -86,6 +95,7 @@ class LogNormal final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "LogNormal"; }
+  Capabilities capabilities() const override;
 
   double mu() const noexcept { return mu_; }
   double sigma() const noexcept { return sigma_; }
@@ -107,6 +117,7 @@ class TruncatedNormal final : public Distribution {
   double moment(int k) const override;
   double cdf(double x) const override;
   std::string name() const override { return "TruncNormal"; }
+  Capabilities capabilities() const override;
 
  private:
   double mu_;
@@ -116,6 +127,77 @@ class TruncatedNormal final : public Distribution {
   double tail_mass_;    // 1 - Phi(alpha0)
   double hazard_;       // phi(alpha0) / tail_mass_
   double moments_[3];   // precomputed E[X^k]
+};
+
+/// Untruncated Pareto: P(S > x) = (scale/x)^alpha for x >= scale.
+/// Regularly varying with index alpha; E[S^k] = +infinity for k >= alpha,
+/// no MGF, no Lundberg root.  This is the regime where the paper's GE
+/// moment matching breaks and the EVT predictor takes over.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double alpha, double scale);
+
+  /// Calibrate the scale from a target mean at a given tail index:
+  /// E[S] = alpha scale / (alpha - 1), so scale = mean (alpha - 1) / alpha.
+  /// Requires alpha > 1 (otherwise the mean itself diverges and no
+  /// load-based calibration exists).
+  static Pareto from_mean_tail(double mean, double alpha);
+
+  // Defined in the header so the replay fast path can inline it.
+  double sample(util::Rng& rng) const override {
+    // Inverse transform: x = scale / (1 - u)^{1/alpha}.
+    const double u = rng.uniform();
+    return scale_ / std::pow(1.0 - u, 1.0 / alpha_);
+  }
+  void sample_n(util::Rng& rng, std::span<double> out) const override;
+  double moment(int k) const override;
+  double cdf(double x) const override;
+  std::string name() const override { return "Pareto"; }
+  Capabilities capabilities() const override;
+
+  double alpha() const noexcept { return alpha_; }
+  double scale() const noexcept { return scale_; }
+
+ private:
+  double alpha_;
+  double scale_;
+};
+
+/// Mixture of a lognormal body and an untruncated Pareto tail: with
+/// probability body_weight draw from the lognormal, else from the Pareto.
+/// Models the common datacenter profile of a well-behaved bulk with a
+/// power-law stragglers tail; regularly varying with the Pareto's index
+/// and tail constant (1 - body_weight) scale^alpha.
+class ParetoLogNormalMixture final : public Distribution {
+ public:
+  ParetoLogNormalMixture(double body_weight, const LogNormal& body,
+                         const Pareto& tail);
+
+  /// Calibrate both components to the same target mean (so the overall
+  /// mean is exactly `mean` for any body_weight): the body is
+  /// LogNormal::from_mean_cv(mean, body_cv), the tail
+  /// Pareto::from_mean_tail(mean, alpha).
+  static ParetoLogNormalMixture from_mean_tail(double mean, double alpha,
+                                               double body_weight = 0.9,
+                                               double body_cv = 0.8);
+
+  double sample(util::Rng& rng) const override {
+    return rng.bernoulli(body_weight_) ? body_.sample(rng) : tail_.sample(rng);
+  }
+  void sample_n(util::Rng& rng, std::span<double> out) const override;
+  double moment(int k) const override;
+  double cdf(double x) const override;
+  std::string name() const override { return "HeavyMixture"; }
+  Capabilities capabilities() const override;
+
+  double body_weight() const noexcept { return body_weight_; }
+  const LogNormal& body() const noexcept { return body_; }
+  const Pareto& tail() const noexcept { return tail_; }
+
+ private:
+  double body_weight_;
+  LogNormal body_;
+  Pareto tail_;
 };
 
 /// Standard normal CDF (shared helper).

@@ -3,30 +3,12 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
-#include <vector>
-
-#include "dist/basic.hpp"
-#include "dist/empirical.hpp"
-#include "dist/gamma.hpp"
-#include "dist/heavy.hpp"
 
 namespace forktail::dist {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// MGF of a uniform on [a, b] (a <= b): e^{theta a} expm1(theta (b-a)) /
-/// (theta (b-a)), with the exact limit at theta (b-a) -> 0.  Stable for
-/// the narrow segments an Empirical quantile table produces.
-double uniform_segment_mgf(double theta, double a, double b) {
-  const double width = b - a;
-  const double tw = theta * width;
-  if (std::fabs(tw) < 1e-12) {
-    return std::exp(theta * 0.5 * (a + b));
-  }
-  return std::exp(theta * a) * std::expm1(tw) / tw;
-}
 
 /// 32-point Gauss-Legendre nodes/weights on [-1, 1], computed once by
 /// Newton iteration on the Legendre recurrence (no table to transcribe).
@@ -65,9 +47,19 @@ const GaussLegendre32& gl32() {
   return table;
 }
 
-/// Integrate f over [lo, hi] with `panels` composite 32-point panels.
-template <typename F>
-double gauss_legendre(F&& f, double lo, double hi, int panels) {
+}  // namespace
+
+double uniform_segment_mgf(double theta, double a, double b) {
+  const double width = b - a;
+  const double tw = theta * width;
+  if (std::fabs(tw) < 1e-12) {
+    return std::exp(theta * 0.5 * (a + b));
+  }
+  return std::exp(theta * a) * std::expm1(tw) / tw;
+}
+
+double integrate_gl32(const std::function<double(double)>& f, double lo,
+                      double hi, int panels) {
   const GaussLegendre32& gl = gl32();
   double total = 0.0;
   const double step = (hi - lo) / panels;
@@ -84,49 +76,8 @@ double gauss_legendre(F&& f, double lo, double hi, int panels) {
   return total;
 }
 
-double trunc_pareto_mgf(const TruncatedPareto& d, double theta) {
-  // Bounded support [L, H]: the integrand e^{theta x} f(x) is smooth and
-  // positive, so a composite Gauss-Legendre rule converges geometrically.
-  // 64 panels keep the relative error below 1e-12 for theta H up to ~700
-  // (past which e^{theta H} overflows anyway).
-  const double scale = d.alpha() * std::pow(d.lower(), d.alpha()) / d.trunc_mass();
-  const double value = gauss_legendre(
-      [&](double x) {
-        return std::exp(theta * x) * scale * std::pow(x, -d.alpha() - 1.0);
-      },
-      d.lower(), d.upper(), 64);
-  return std::isfinite(value) ? value : kInf;
-}
-
-double empirical_mgf(const Empirical& d, double theta) {
-  // Inverse-transform sampling over a piecewise-linear quantile table is a
-  // mixture of uniforms over the knot segments: the MGF is the exact
-  // probability-weighted sum of segment MGFs.
-  const std::span<const double> probs = d.knot_probs();
-  const std::span<const double> values = d.knot_values();
-  double total = 0.0;
-  for (std::size_t i = 0; i + 1 < probs.size(); ++i) {
-    const double mass = probs[i + 1] - probs[i];
-    if (mass <= 0.0) continue;
-    total += mass * uniform_segment_mgf(theta, values[i], values[i + 1]);
-  }
-  return std::isfinite(total) ? total : kInf;
-}
-
-}  // namespace
-
 bool mgf_available(const Distribution& d) {
-  if (dynamic_cast<const Exponential*>(&d) != nullptr) return true;
-  if (dynamic_cast<const Erlang*>(&d) != nullptr) return true;
-  if (dynamic_cast<const HyperExp2*>(&d) != nullptr) return true;
-  if (dynamic_cast<const Deterministic*>(&d) != nullptr) return true;
-  if (dynamic_cast<const UniformReal*>(&d) != nullptr) return true;
-  if (dynamic_cast<const Gamma*>(&d) != nullptr) return true;
-  if (dynamic_cast<const TruncatedPareto*>(&d) != nullptr) return true;
-  if (dynamic_cast<const Empirical*>(&d) != nullptr) return true;
-  // Weibull with shape < 1 (the paper's CV = 1.5 calibration), LogNormal,
-  // and anything unknown: no finite exponential moments, no Lundberg root.
-  return false;
+  return d.capabilities().has_mgf;
 }
 
 double mgf(const Distribution& d, double theta) {
@@ -134,40 +85,13 @@ double mgf(const Distribution& d, double theta) {
     throw std::invalid_argument("mgf: theta must be >= 0");
   }
   if (theta == 0.0) return 1.0;
-  if (const auto* e = dynamic_cast<const Exponential*>(&d)) {
-    const double rate = 1.0 / e->moment(1);
-    return theta < rate ? rate / (rate - theta) : kInf;
+  if (!d.capabilities().has_mgf) {
+    throw std::invalid_argument("mgf: no exponential moments for " + d.name() +
+                                " (" +
+                                tail_class_name(d.capabilities().tail) +
+                                " tail; no MGF capability)");
   }
-  if (const auto* e = dynamic_cast<const Erlang*>(&d)) {
-    if (theta >= e->stage_rate()) return kInf;
-    return std::pow(e->stage_rate() / (e->stage_rate() - theta),
-                    static_cast<double>(e->stages()));
-  }
-  if (const auto* h = dynamic_cast<const HyperExp2*>(&d)) {
-    if (theta >= h->rate1() || theta >= h->rate2()) return kInf;
-    return h->p1() * h->rate1() / (h->rate1() - theta) +
-           (1.0 - h->p1()) * h->rate2() / (h->rate2() - theta);
-  }
-  if (const auto* c = dynamic_cast<const Deterministic*>(&d)) {
-    const double value = std::exp(theta * c->value());
-    return std::isfinite(value) ? value : kInf;
-  }
-  if (const auto* u = dynamic_cast<const UniformReal*>(&d)) {
-    const double value = uniform_segment_mgf(theta, u->lo(), u->hi());
-    return std::isfinite(value) ? value : kInf;
-  }
-  if (const auto* g = dynamic_cast<const Gamma*>(&d)) {
-    if (theta >= 1.0 / g->scale()) return kInf;
-    return std::pow(1.0 - g->scale() * theta, -g->shape());
-  }
-  if (const auto* t = dynamic_cast<const TruncatedPareto*>(&d)) {
-    return trunc_pareto_mgf(*t, theta);
-  }
-  if (const auto* e = dynamic_cast<const Empirical*>(&d)) {
-    return empirical_mgf(*e, theta);
-  }
-  throw std::invalid_argument("mgf: no exponential moments for " + d.name() +
-                              " (heavy-tailed or unsupported family)");
+  return d.mgf(theta);
 }
 
 double lundberg_root(const Distribution& d, double lambda, double mark_prob) {
@@ -177,10 +101,11 @@ double lundberg_root(const Distribution& d, double lambda, double mark_prob) {
   if (!(mark_prob > 0.0 && mark_prob <= 1.0)) {
     throw std::invalid_argument("lundberg_root: mark_prob must be in (0, 1]");
   }
-  if (!mgf_available(d)) {
+  if (!d.capabilities().has_mgf) {
     throw std::invalid_argument(
-        "lundberg_root: no exponential moments for " + d.name() +
-        " (heavy-tailed service; no coupling certificate exists)");
+        "lundberg_root: no exponential moments for " + d.name() + " (" +
+        tail_class_name(d.capabilities().tail) +
+        " tail; no coupling certificate exists)");
   }
   const double drift = mark_prob * lambda * d.moment(1);
   if (!(drift < 1.0)) {

@@ -13,15 +13,17 @@
 //     their certified upper quantile from a Chernoff bound on the
 //     Pollaczek-Khinchine transform evaluated at real negative arguments.
 //
-// MGFs are evaluated per family: closed forms for the phase-type roster
-// (Exponential, Erlang, HyperExp2, Gamma, Deterministic, Uniform), the
-// exact mixture-of-uniforms form for Empirical tables, Gauss-Legendre
-// quadrature over the bounded support of TruncatedPareto, and the standard
-// Mills-ratio form for TruncatedNormal.  Heavy-tailed families without an
-// MGF (the paper's Weibull with shape < 1, LogNormal) report
-// mgf_available() == false and their consumers refuse with a typed error
-// instead of silently producing an uncertified number.
+// Availability is a capability, not a type list: a family declares
+// capabilities().has_mgf and implements the Distribution::mgf member
+// (closed forms for the phase-type roster, the exact mixture-of-uniforms
+// form for Empirical tables, Gauss-Legendre quadrature over the bounded
+// support of TruncatedPareto).  Heavy-tailed families without an MGF
+// (Weibull with shape < 1, LogNormal, Pareto) declare has_mgf == false and
+// their consumers refuse with a typed error instead of silently producing
+// an uncertified number.
 #pragma once
+
+#include <functional>
 
 #include "dist/distribution.hpp"
 
@@ -29,6 +31,7 @@ namespace forktail::dist {
 
 /// True when mgf() below can evaluate E[e^{theta S}] for this distribution
 /// (equivalently: the service tail is light enough for a Lundberg root).
+/// Exactly capabilities().has_mgf.
 bool mgf_available(const Distribution& d);
 
 /// E[e^{theta S}] for theta >= 0.  Returns +infinity at and beyond the
@@ -45,5 +48,19 @@ double mgf(const Distribution& d, double theta);
 /// inequality).  Requires a stable walk (mark_prob * lambda * E[S] < 1)
 /// and mgf_available(d); throws std::invalid_argument otherwise.
 double lundberg_root(const Distribution& d, double lambda, double mark_prob);
+
+/// MGF of a uniform on [a, b] (a <= b): e^{theta a} expm1(theta (b-a)) /
+/// (theta (b-a)), with the exact limit at theta (b-a) -> 0.  Stable for
+/// the narrow segments an Empirical quantile table produces.  Shared by
+/// the UniformReal and Empirical mgf members.
+double uniform_segment_mgf(double theta, double a, double b);
+
+/// Integrate f over [lo, hi] with `panels` composite 32-point
+/// Gauss-Legendre panels (nodes computed once by Newton iteration on the
+/// Legendre recurrence).  Used by bounded-support mgf members
+/// (TruncatedPareto) and the capability property tests' numerical moment
+/// integration.
+double integrate_gl32(const std::function<double(double)>& f, double lo,
+                      double hi, int panels);
 
 }  // namespace forktail::dist

@@ -19,6 +19,7 @@ VecClass classify_vec(const Distribution& d) {
   if (dynamic_cast<const TruncatedPareto*>(&d)) {
     return {VecKind::kTruncPareto, 0};
   }
+  if (dynamic_cast<const Pareto*>(&d)) return {VecKind::kPareto, 0};
   if (dynamic_cast<const LogNormal*>(&d)) return {VecKind::kLogNormal, 0};
   if (dynamic_cast<const Deterministic*>(&d)) {
     return {VecKind::kDeterministic, 0};
@@ -91,6 +92,16 @@ LaneSampler::LaneSampler(std::span<const Lane> lanes) {
         p0_[l] = t.trunc_mass();
         p1_[l] = -1.0 / t.alpha();
         p2_[l] = t.lower();
+        break;
+      }
+      case VecKind::kPareto: {
+        // Same kernel as kTruncPareto with the full tail mass: the scalar
+        // quantile scale / (1 - u)^{1/alpha} is exactly the truncated form
+        // at trunc_mass = 1.
+        const auto& p = static_cast<const Pareto&>(d);
+        p0_[l] = 1.0;
+        p1_[l] = -1.0 / p.alpha();
+        p2_[l] = p.scale();
         break;
       }
       case VecKind::kLogNormal: {

@@ -50,6 +50,7 @@ enum class VecKind : std::uint8_t {
   kHyperExp2,
   kWeibull,
   kTruncPareto,
+  kPareto,  // untruncated: the kTruncPareto kernel with trunc_mass = 1
   kLogNormal,
   kEmpirical,
   kGeneric,  // per-lane scalar Rng + virtual sample_n (Gamma, TruncNormal, ...)
@@ -136,6 +137,7 @@ class LaneSampler {
         fill_weibull(out, rows, n);
         break;
       case VecKind::kTruncPareto:
+      case VecKind::kPareto:
         fill_truncpareto(out, rows, n);
         break;
       case VecKind::kLogNormal:

@@ -21,13 +21,14 @@ void validate(const PerfectSamplerConfig& config) {
   if (!config.service) {
     throw ConfigError("service", "perfect sampler requires a service");
   }
-  if (!dist::mgf_available(*config.service)) {
+  if (const dist::Capabilities caps = config.service->capabilities();
+      !caps.has_mgf) {
     throw ConfigError(
         "service",
         "perfect sampling needs a Lundberg certificate, which requires a "
-        "service with finite exponential moments; " +
-            config.service->name() +
-            " is heavy-tailed (use the replay engine instead)");
+        "service with a finite MGF; " + config.service->name() +
+            " declares a " + dist::tail_class_name(caps.tail) +
+            " tail with no MGF capability (use the replay engine instead)");
   }
   if (!(config.load > 0.0 && config.load < 1.0)) {
     throw ConfigError("load", "must be in (0, 1)");

@@ -6,6 +6,7 @@
 
 #include "baselines/baseline.hpp"
 #include "baselines/linear_bounds.hpp"
+#include "core/evt.hpp"
 #include "fjsim/consolidated.hpp"
 #include "fjsim/heterogeneous.hpp"
 #include "fjsim/homogeneous.hpp"
@@ -116,9 +117,11 @@ class SubsetSimulator final : public Simulator {
     outcome.lambda = result.lambda;
     outcome.mean_k = result.mean_k;
     outcome.total_tasks = result.total_tasks;
-    if (config.early_k > 0) {
+    if (spec.faults.mitigation.early_k > 0) {
       // Early return is aggregation-only: tasks run unchanged, so the
-      // pooled task moments double as the attempt telemetry.
+      // pooled task moments double as the attempt telemetry.  Redundancy-d
+      // also sets the engine's early_k (min-of-d), but it is a topology
+      // choice, not a mitigation -- its outcomes stay clean.
       outcome.faulty = true;
       outcome.attempt_stats = outcome.task_stats;
       outcome.attempt_count = result.task_stats.count();
@@ -211,6 +214,10 @@ class ForkTailAutoPredictor final : public Predictor {
         if (outcome.spec.k.mode == KSpec::Mode::kUniform) {
           return core::mixture_quantile(outcome.task_stats, mixture_for(outcome), p);
         }
+        if (outcome.spec.k.mode == KSpec::Mode::kRedundant) {
+          return core::redundancy_quantile(
+              outcome.task_stats, static_cast<double>(outcome.spec.k.fixed), p);
+        }
         return core::homogeneous_quantile(
             outcome.task_stats, static_cast<double>(outcome.spec.k.fixed), p);
       case Topology::kConsolidated:
@@ -275,13 +282,42 @@ class WhiteboxMg1Predictor final : public Predictor {
  public:
   std::string name() const override { return "whitebox-mg1"; }
   bool applicable(const Outcome& outcome) const override {
+    // E[S^2] must be finite for the sojourn mean to exist at all; services
+    // declaring fewer finite moments (tail index <= 2) are out of scope.
+    // Degradation PAST that point (infinite E[S^3]) is handled inside the
+    // model, which substitutes an exponential surrogate for the variance.
     return outcome.spec.topology == Topology::kHomogeneous &&
            outcome.service != nullptr && outcome.spec.group.replicas == 1 &&
-           outcome.spec.group.policy == fjsim::Policy::kSingle;
+           outcome.spec.group.policy == fjsim::Policy::kSingle &&
+           outcome.service->capabilities().moment_finite(2);
   }
   double predict(const Outcome& outcome, double p) const override {
     return core::whitebox_mg1_quantile(outcome.lambda, *outcome.service,
                                        outcome.mean_k, p);
+  }
+};
+
+/// "evt": extreme-value correction for heavy-tailed services.  Selects the
+/// Gumbel or Frechet branch from the service tail capability, so on light
+/// tails it coincides with the plain ForkTail max quantile.
+class EvtPredictor final : public Predictor {
+ public:
+  std::string name() const override { return "evt"; }
+  bool applicable(const Outcome& outcome) const override {
+    // Needs pooled task moments, the white-box service (for its declared
+    // tail capability), and a per-node M/G/1 structure.  Redundancy-d is a
+    // min, not a max -- out of scope.
+    return pooled_stats_available(outcome) && outcome.service != nullptr &&
+           outcome.lambda > 0.0 && outcome.spec.group.replicas == 1 &&
+           outcome.spec.group.policy == fjsim::Policy::kSingle &&
+           outcome.spec.k.mode != KSpec::Mode::kRedundant;
+  }
+  double predict(const Outcome& outcome, double p) const override {
+    const double node_lambda = outcome.lambda * outcome.mean_k /
+                               static_cast<double>(outcome.spec.nodes);
+    return core::evt_max_quantile(outcome.task_stats, outcome.mean_k, p,
+                                  node_lambda, *outcome.service)
+        .value;
   }
 };
 
@@ -354,6 +390,10 @@ baselines::BaselineInput baseline_input(const Outcome& outcome) {
         in.k_hi = spec.k.hi;
         in.fanout = static_cast<int>(std::llround(outcome.mean_k));
         in.join = early > 0 ? early : in.fanout;
+      } else if (spec.k.mode == KSpec::Mode::kRedundant) {
+        // Min-of-d replication: issue d, join at the first finisher.
+        in.fanout = spec.k.fixed;
+        in.join = 1;
       } else {
         in.fanout = spec.k.fixed;
         in.join = early > 0 ? early : spec.k.fixed;
@@ -451,6 +491,7 @@ PredictorRegistry& PredictorRegistry::global() {
     r->register_predictor(std::make_unique<MixturePredictor>());
     r->register_predictor(std::make_unique<PipelineStagePredictor>());
     r->register_predictor(std::make_unique<WhiteboxMg1Predictor>());
+    r->register_predictor(std::make_unique<EvtPredictor>());
     for (const char* name : {"expfit", "eat", "linear-bounds"}) {
       const baselines::Baseline* baseline =
           baselines::BaselineRegistry::global().find(name);

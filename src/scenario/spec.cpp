@@ -77,6 +77,7 @@ std::string k_mode_name(KSpec::Mode mode) {
     case KSpec::Mode::kAll: return "all";
     case KSpec::Mode::kFixed: return "fixed";
     case KSpec::Mode::kUniform: return "uniform";
+    case KSpec::Mode::kRedundant: return "redundancy-d";
   }
   throw ConfigError("k.mode", "unhandled k mode enum value");
 }
@@ -85,8 +86,10 @@ KSpec::Mode k_mode_from_name(const std::string& name) {
   if (name == "all") return KSpec::Mode::kAll;
   if (name == "fixed") return KSpec::Mode::kFixed;
   if (name == "uniform") return KSpec::Mode::kUniform;
-  throw ConfigError("k.mode",
-                    "unknown k mode: " + name + " (want all | fixed | uniform)");
+  if (name == "redundancy-d") return KSpec::Mode::kRedundant;
+  throw ConfigError("k.mode", "unknown k mode: " + name +
+                                  " (want all | fixed | uniform | "
+                                  "redundancy-d)");
 }
 
 // ------------------------------------------------------- parse utilities
@@ -135,10 +138,11 @@ std::string get_string(const util::Json& obj, const char* key,
 }
 
 ServiceSpec parse_service(const util::Json& obj, const std::string& where) {
-  check_keys(obj, where, {"dist", "mean"});
+  check_keys(obj, where, {"dist", "mean", "tail"});
   ServiceSpec service;
   service.dist = get_string(obj, "dist", service.dist);
   service.mean = get_number(obj, "mean", service.mean);
+  service.tail = get_number(obj, "tail", service.tail);
   return service;
 }
 
@@ -146,6 +150,7 @@ util::Json service_to_json(const ServiceSpec& service) {
   util::Json obj = util::Json::object();
   obj.set("dist", service.dist);
   obj.set("mean", service.mean);
+  obj.set("tail", service.tail);
   return obj;
 }
 
@@ -281,11 +286,21 @@ ScenarioSpec parse_scenario(const util::Json& doc) {
   }
   if (doc.contains("k")) {
     const util::Json& k = doc.at("k");
-    check_keys(k, "k", {"mode", "fixed", "lo", "hi"});
+    check_keys(k, "k", {"mode", "fixed", "lo", "hi", "d"});
     spec.k.mode = k_mode_from_name(get_string(k, "mode", k_mode_name(spec.k.mode)));
     spec.k.fixed = get_int(k, "fixed", spec.k.fixed, "k");
     spec.k.lo = get_int(k, "lo", spec.k.lo, "k");
     spec.k.hi = get_int(k, "hi", spec.k.hi, "k");
+    if (k.contains("d")) {
+      // "d" is redundancy-mode sugar for "fixed" (the replica count).
+      const int d = get_int(k, "d", 0, "k");
+      if (spec.k.fixed != 0 && spec.k.fixed != d) {
+        throw ConfigError("k.d", "conflicts with k.fixed (" + std::to_string(d) +
+                                     " vs " + std::to_string(spec.k.fixed) +
+                                     "); give one of the two");
+      }
+      spec.k.fixed = d;
+    }
   }
   spec.load = get_number(doc, "load", spec.load);
   if (doc.contains("workload")) {
@@ -384,6 +399,19 @@ void validate_service(const ServiceSpec& service, const std::string& where) {
     throw ConfigError(where + ".mean",
                       "Empirical has a fixed mean; omit the override");
   }
+  if (service.tail < 0.0) {
+    throw ConfigError(where + ".tail",
+                      "must be >= 0 (0 = the default tail index)");
+  }
+  if (service.tail > 0.0 && !dist::takes_tail_index(service.dist)) {
+    throw ConfigError(where + ".tail",
+                      "tail index only parameterises the regularly-varying "
+                      "families (Pareto | HeavyMixture), not " + service.dist);
+  }
+  if (service.tail > 0.0 && service.tail <= 1.0) {
+    throw ConfigError(where + ".tail",
+                      "tail index must be > 1 (the mean diverges otherwise)");
+  }
 }
 
 void validate_common(const ScenarioSpec& spec) {
@@ -427,14 +455,17 @@ void validate(const ScenarioSpec& spec) {
                         "drop group_by_k or use sampler \"replay\"");
     }
     // The coupling certificate is a Lundberg bound: it only exists for
-    // light-tailed services.  Surface the refusal at validation time, not
-    // mid-run.
+    // services that declare an MGF.  Query the capability and surface the
+    // refusal at validation time, not mid-run.
     const dist::DistPtr service = make_service(spec.service);
-    if (!dist::mgf_available(*service)) {
+    if (const dist::Capabilities caps = service->capabilities();
+        !caps.has_mgf) {
       throw ConfigError("sampler",
-                        "perfect sampling needs a service with finite "
-                        "exponential moments; " + spec.service.dist +
-                            " is heavy-tailed (use sampler \"replay\")");
+                        "perfect sampling needs a service with a finite MGF; " +
+                            spec.service.dist + " declares a " +
+                            dist::tail_class_name(caps.tail) +
+                            " tail with no MGF capability (use sampler "
+                            "\"replay\")");
     }
   }
   if (!spec.faults.inert()) {
@@ -515,12 +546,21 @@ void validate(const ScenarioSpec& spec) {
                                                           : fjsim::KMode::kFixed;
       if (spec.k.mode == KSpec::Mode::kAll) {
         throw ConfigError("k.mode",
-                          "subset topology needs k.mode = fixed | uniform");
+                          "subset topology needs k.mode = fixed | uniform | "
+                          "redundancy-d");
+      }
+      if (spec.k.mode == KSpec::Mode::kRedundant &&
+          spec.faults.mitigation.early_k != 0) {
+        throw ConfigError("faults.mitigation.early_k",
+                          "redundancy-d already returns at the first "
+                          "finisher; drop the early_k mitigation");
       }
       probe.k_fixed = spec.k.fixed;
       probe.k_lo = spec.k.lo;
       probe.k_hi = spec.k.hi;
-      probe.early_k = spec.faults.mitigation.early_k;
+      probe.early_k = spec.k.mode == KSpec::Mode::kRedundant
+                          ? 1
+                          : spec.faults.mitigation.early_k;
       fjsim::validate(probe);
       break;
     }
@@ -570,7 +610,7 @@ void validate(const ScenarioSpec& spec) {
 // ------------------------------------------------------- materialisation
 
 dist::DistPtr make_service(const ServiceSpec& service) {
-  return dist::make_named(service.dist, service.mean);
+  return dist::make_named(service.dist, service.mean, service.tail);
 }
 
 std::vector<dist::DistPtr> make_services(const ScenarioSpec& spec) {
@@ -637,7 +677,11 @@ fjsim::SubsetConfig to_subset_config(const ScenarioSpec& spec) {
   config.seed = spec.seed;
   config.group_by_k = spec.group_by_k;
   config.batch = spec.batch;
-  config.early_k = spec.faults.mitigation.early_k;
+  // Redundancy-d issues d replicas and takes the first finisher: the
+  // subset engine expresses min-of-d as fan-out d with early return at 1.
+  config.early_k = spec.k.mode == KSpec::Mode::kRedundant
+                       ? 1
+                       : spec.faults.mitigation.early_k;
   return config;
 }
 
@@ -659,6 +703,7 @@ fjsim::PerfectSamplerConfig to_perfect_config(const ScenarioSpec& spec) {
   config.k_fixed = spec.k.fixed;
   config.k_lo = spec.k.lo;
   config.k_hi = spec.k.hi;
+  config.early_k = spec.k.mode == KSpec::Mode::kRedundant ? 1 : 0;
   config.draws = spec.requests;
   config.seed = spec.seed;
   return config;

@@ -60,10 +60,13 @@ std::string sampler_name(Sampler sampler);
 Sampler sampler_from_name(const std::string& name);
 
 /// One service-time distribution: a name from the paper's roster
-/// (dist::factory) with an optional mean override (0 = the paper's mean).
+/// (dist::factory) with an optional mean override (0 = the paper's mean)
+/// and, for the regularly-varying families ("Pareto" / "HeavyMixture"),
+/// an optional tail index (0 = dist::kDefaultTailIndex).
 struct ServiceSpec {
   std::string dist = "Exponential";
   double mean = 0.0;
+  double tail = 0.0;
 
   bool operator==(const ServiceSpec&) const = default;
 };
@@ -80,9 +83,12 @@ struct HeterogeneitySpec {
 
 /// Per-request fan-out.
 struct KSpec {
-  enum class Mode : std::uint8_t { kAll, kFixed, kUniform };
+  /// kRedundant ("redundancy-d"): issue `fixed` replicas of the request and
+  /// take the FIRST finisher (min-of-d) -- the replication counterpart of
+  /// the fork-join max.  JSON accepts the sugar key "d" for `fixed`.
+  enum class Mode : std::uint8_t { kAll, kFixed, kUniform, kRedundant };
   Mode mode = Mode::kAll;  ///< kAll: k = N (homogeneous/heterogeneous)
-  int fixed = 0;           ///< kFixed: tasks per request
+  int fixed = 0;           ///< kFixed / kRedundant: tasks per request
   int lo = 0;              ///< kUniform: K ~ U[lo, hi]
   int hi = 0;
 

@@ -37,6 +37,29 @@ baselines::BaselineInput clean_input(const dist::DistPtr& service, int n,
   return in;
 }
 
+// Certificate tiers follow the capability model, not a family list:
+// memoryless -> exact sojourn, LST -> Pollaczek-Khinchine inversion, MGF
+// only -> Chernoff.  A service declaring none of the three has no
+// certificate, so the baseline must refuse it outright.
+TEST(BoundsOracle, ApplicabilityFollowsTheCapabilityModel) {
+  const baselines::LinearBoundsBaseline bounds;
+  const struct {
+    dist::DistPtr service;
+    bool certified;
+  } cases[] = {
+      {dist::make_named("Exponential"), true},     // memoryless
+      {dist::make_named("Erlang-2"), true},        // LST
+      {dist::make_named("TruncPareto"), true},     // MGF (bounded support)
+      {dist::make_named("Weibull"), false},        // subexponential, no MGF
+      {dist::make_named("Pareto", 4.22, 2.6), false},
+      {dist::make_named("HeavyMixture", 4.22, 2.6), false},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(bounds.applicable(clean_input(c.service, 4, 0.5)), c.certified)
+        << c.service->name();
+  }
+}
+
 // n = k = 1 is a plain M/M/1 queue: the sojourn is Exp(mu - lambda), so
 // both edges of the bracket must collapse onto the closed form (the
 // certified interval is EXACT here, not merely containing).

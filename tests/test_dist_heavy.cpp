@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/ecdf.hpp"
@@ -169,6 +170,95 @@ TEST(HeavyDists, NoLstAvailable) {
   const auto d = Weibull::from_mean_cv(4.22, 1.5);
   EXPECT_FALSE(d.has_lst());
   EXPECT_THROW(d.lst({1.0, 0.0}), std::logic_error);
+}
+
+TEST(Pareto, MomentsMatchClosedForm) {
+  // E[S^k] = alpha scale^k / (alpha - k) for k < alpha, +infinity at and
+  // beyond the tail index.
+  const Pareto d(2.5, 2.0);
+  EXPECT_NEAR(d.moment(1), 2.5 * 2.0 / 1.5, 1e-12);
+  EXPECT_NEAR(d.moment(2), 2.5 * 4.0 / 0.5, 1e-12);
+  EXPECT_TRUE(std::isinf(d.moment(3)));
+  const Pareto light(3.5, 2.0);
+  EXPECT_NEAR(light.moment(3), 3.5 * 8.0 / 0.5, 1e-12);
+}
+
+TEST(Pareto, CdfBoundariesAndPowerLaw) {
+  const Pareto d(2.5, 2.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.0);
+  EXPECT_NEAR(d.cdf(4.0), 1.0 - std::pow(0.5, 2.5), 1e-14);
+  // Survival is an exact power law: S(2x)/S(x) = 2^-alpha for all x >= L.
+  for (double x : {3.0, 10.0, 100.0}) {
+    EXPECT_NEAR((1.0 - d.cdf(2.0 * x)) / (1.0 - d.cdf(x)),
+                std::pow(2.0, -2.5), 1e-12);
+  }
+}
+
+TEST(Pareto, FromMeanTailRoundTrip) {
+  const auto d = Pareto::from_mean_tail(4.22, 2.2);
+  EXPECT_NEAR(d.scale(), 4.22 * 1.2 / 2.2, 1e-12);
+  EXPECT_NEAR(d.mean(), 4.22, 1e-12);
+  EXPECT_DOUBLE_EQ(d.alpha(), 2.2);
+}
+
+TEST(Pareto, FromMeanTailRejectsDivergentMean) {
+  EXPECT_THROW(Pareto::from_mean_tail(4.22, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pareto::from_mean_tail(4.22, 0.5), std::invalid_argument);
+  EXPECT_THROW(Pareto::from_mean_tail(0.0, 2.2), std::invalid_argument);
+  EXPECT_THROW(Pareto(-1.0, 2.0), std::invalid_argument);
+}
+
+TEST(Pareto, SampledBodyMatchesCdf) {
+  // KS on the full sample checks the inverse transform; the first moment
+  // converges (alpha > 2) but slowly, so the band is loose.
+  const auto d = Pareto::from_mean_tail(4.22, 2.6);
+  util::Rng rng(21);
+  stats::RawMoments m;
+  std::vector<double> samples;
+  for (int i = 0; i < 300000; ++i) {
+    const double x = d.sample(rng);
+    m.add(x);
+    samples.push_back(x);
+  }
+  EXPECT_NEAR(m.moment(1), d.moment(1), 0.05 * d.moment(1));
+  stats::Ecdf e(samples);
+  EXPECT_LT(e.ks_distance([&](double x) { return d.cdf(x); }), 0.01);
+  // Support starts at the scale: no sample below it.
+  EXPECT_GE(*std::min_element(samples.begin(), samples.end()), d.scale());
+}
+
+TEST(HeavyMixture, MomentsAndCdfAreConvexCombinations) {
+  const auto d = ParetoLogNormalMixture::from_mean_tail(4.22, 2.2, 0.9, 0.8);
+  // Both components are calibrated to the target mean, so the mixture mean
+  // is exactly the target for any body weight.
+  EXPECT_NEAR(d.mean(), 4.22, 1e-9);
+  EXPECT_NEAR(d.moment(2),
+              0.9 * d.body().moment(2) + 0.1 * d.tail().moment(2), 1e-9);
+  EXPECT_TRUE(std::isinf(d.moment(3)));  // tail alpha 2.2 < 3 propagates
+  for (double x : {1.0, 4.0, 20.0, 200.0}) {
+    EXPECT_NEAR(d.cdf(x), 0.9 * d.body().cdf(x) + 0.1 * d.tail().cdf(x),
+                1e-14);
+  }
+}
+
+TEST(HeavyMixture, RejectsDegenerateBodyWeight) {
+  const auto body = LogNormal::from_mean_cv(4.22, 0.8);
+  const auto tail = Pareto::from_mean_tail(4.22, 2.2);
+  EXPECT_THROW(ParetoLogNormalMixture(1.0, body, tail), std::invalid_argument);
+  EXPECT_THROW(ParetoLogNormalMixture(-0.1, body, tail),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ParetoLogNormalMixture(0.0, body, tail));
+}
+
+TEST(HeavyMixture, SampledCdfMatchesAnalytic) {
+  const auto d = ParetoLogNormalMixture::from_mean_tail(4.22, 2.6);
+  util::Rng rng(22);
+  std::vector<double> samples;
+  samples.reserve(300000);
+  for (int i = 0; i < 300000; ++i) samples.push_back(d.sample(rng));
+  stats::Ecdf e(samples);
+  EXPECT_LT(e.ks_distance([&](double x) { return d.cdf(x); }), 0.01);
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+#include "core/evt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/basic.hpp"
+#include "dist/heavy.hpp"
+
+namespace forktail::core {
+namespace {
+
+const TaskStats kStats{10.0, 100.0};
+
+TEST(EvtMaxQuantile, LightTailIsExactlyTheGeMaxQuantile) {
+  // Gumbel branch: the GE max quantile already is the light-tail
+  // extreme-value model, so the EVT predictor must be a no-op.
+  const dist::Exponential service(4.22);
+  const auto pred = evt_max_quantile(kStats, 100.0, 99.0, 0.05, service);
+  EXPECT_FALSE(pred.frechet);
+  EXPECT_DOUBLE_EQ(pred.value, homogeneous_quantile(kStats, 100.0, 99.0));
+  EXPECT_DOUBLE_EQ(pred.tail_index, 0.0);
+}
+
+TEST(EvtMaxQuantile, SubexponentialStaysOnTheGumbelBranch) {
+  const auto service = dist::LogNormal::from_mean_cv(4.22, 1.5);
+  const auto pred = evt_max_quantile(kStats, 100.0, 99.0, 0.05, service);
+  EXPECT_FALSE(pred.frechet);
+  EXPECT_DOUBLE_EQ(pred.value, homogeneous_quantile(kStats, 100.0, 99.0));
+}
+
+TEST(EvtMaxQuantile, FrechetBranchFiresOnRegularVariation) {
+  const auto service = dist::Pareto::from_mean_tail(4.22, 2.2);
+  const double node_lambda = 0.8 / service.mean();  // rho = 0.8
+  const auto pred =
+      evt_max_quantile(kStats, 100.0, 99.0, node_lambda, service);
+  EXPECT_TRUE(pred.frechet);
+  EXPECT_DOUBLE_EQ(pred.tail_index, 2.2);
+  // Deep in the tail the power-law asymptote dominates the GE body by
+  // orders of magnitude -- this is exactly the breakdown the benchmark
+  // demonstrates.
+  EXPECT_GT(pred.value, homogeneous_quantile(kStats, 100.0, 99.0));
+}
+
+TEST(EvtMaxQuantile, SplicedValueSolvesThePakesAsymptote) {
+  // With a negligible GE body the reported quantile must satisfy the
+  // first-order sojourn tail equation
+  //   wait_coeff x^{1-alpha} + c x^{-alpha} = 1 - q^{1/k}.
+  const auto service = dist::Pareto::from_mean_tail(4.22, 2.6);
+  const double rho = 0.5;
+  const double node_lambda = rho / service.mean();
+  const TaskStats tiny{0.1, 0.01};
+  const double k = 64.0;
+  const double p = 99.0;
+  const auto pred = evt_max_quantile(tiny, k, p, node_lambda, service);
+  ASSERT_TRUE(pred.frechet);
+
+  const dist::Capabilities caps = service.capabilities();
+  const double wait_coeff = node_lambda * caps.tail_scale /
+                            ((1.0 - rho) * (caps.tail_index - 1.0));
+  const double level = -std::expm1(std::log(0.99) / k);
+  const double tail_at_value =
+      wait_coeff * std::pow(pred.value, 1.0 - caps.tail_index) +
+      caps.tail_scale * std::pow(pred.value, -caps.tail_index);
+  EXPECT_NEAR(tail_at_value, level, 1e-9 * level);
+}
+
+TEST(EvtMaxQuantile, MonotoneInPercentileAndFanout) {
+  const auto service = dist::Pareto::from_mean_tail(4.22, 2.2);
+  const double node_lambda = 0.8 / service.mean();
+  double prev = 0.0;
+  for (double p : {90.0, 99.0, 99.9, 99.99}) {
+    const double x = evt_max_quantile(kStats, 100.0, p, node_lambda, service).value;
+    EXPECT_GT(x, prev) << "p=" << p;
+    prev = x;
+  }
+  prev = 0.0;
+  for (double k : {1.0, 10.0, 100.0, 1000.0}) {
+    const double x = evt_max_quantile(kStats, k, 99.0, node_lambda, service).value;
+    EXPECT_GT(x, prev) << "k=" << k;
+    prev = x;
+  }
+}
+
+TEST(EvtMaxQuantile, OverloadedQueueFallsBackToGumbel) {
+  // rho >= 1: the Pakes asymptote has no stable-queue prefactor, so the
+  // predictor degrades to the GE fit of the measured stats rather than
+  // extrapolating a divergent formula.
+  const auto service = dist::Pareto::from_mean_tail(4.22, 2.2);
+  const double node_lambda = 1.1 / service.mean();  // rho = 1.1
+  const auto pred =
+      evt_max_quantile(kStats, 100.0, 99.0, node_lambda, service);
+  EXPECT_FALSE(pred.frechet);
+  EXPECT_DOUBLE_EQ(pred.value, homogeneous_quantile(kStats, 100.0, 99.0));
+}
+
+TEST(EvtMaxQuantile, RejectsBadArguments) {
+  const auto service = dist::Pareto::from_mean_tail(4.22, 2.2);
+  EXPECT_THROW(evt_max_quantile(kStats, 100.0, 0.0, 0.1, service),
+               std::invalid_argument);
+  EXPECT_THROW(evt_max_quantile(kStats, 100.0, 100.0, 0.1, service),
+               std::invalid_argument);
+  EXPECT_THROW(evt_max_quantile(kStats, 0.5, 99.0, 0.1, service),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace forktail::core

@@ -16,6 +16,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -152,6 +153,23 @@ TEST(PerfectSampler, RefusesHeavyTailedService) {
     FAIL() << "expected ConfigError";
   } catch (const fjsim::ConfigError& e) {
     EXPECT_EQ(e.field(), "service");
+  }
+}
+
+TEST(PerfectSampler, RefusalNamesTheDeclaredTailClass) {
+  // The gate is the capability query, not a family list: a regularly
+  // varying service must be refused with its declared tail class in the
+  // message so the user knows WHY no Lundberg certificate exists.
+  fjsim::PerfectSamplerConfig cfg = homogeneous_config();
+  cfg.service = dist::make_named("Pareto", 4.22, 2.6);
+  try {
+    fjsim::run_perfect(cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const fjsim::ConfigError& e) {
+    EXPECT_EQ(e.field(), "service");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("regularly-varying"), std::string::npos) << what;
+    EXPECT_NE(what.find("MGF"), std::string::npos) << what;
   }
 }
 

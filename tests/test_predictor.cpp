@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "dist/basic.hpp"
 #include "dist/factory.hpp"
+#include "dist/heavy.hpp"
 
 namespace forktail::core {
 namespace {
@@ -151,6 +154,94 @@ TEST(WhiteboxMg1, TaskStatsMatchTakacs) {
   const auto s = whitebox_mg1_task_stats(0.9, service);
   EXPECT_NEAR(s.mean, 10.0, 1e-9);
   EXPECT_NEAR(s.variance, 100.0, 1e-6);
+}
+
+TEST(WhiteboxMg1, FiniteThirdMomentTakesTheFullTakacsPath) {
+  // Pareto alpha 3.5 keeps E[S^3] finite: no degradation, and the stats
+  // agree with the undegraded closed form.
+  const auto service = dist::Pareto::from_mean_tail(4.22, 3.5);
+  const double lambda = 0.5 / 4.22;
+  const auto model = whitebox_mg1_task_model(lambda, service);
+  EXPECT_FALSE(model.degraded);
+  EXPECT_TRUE(model.reasons.empty());
+  const auto stats = whitebox_mg1_task_stats(lambda, service);
+  EXPECT_DOUBLE_EQ(model.stats.mean, stats.mean);
+  EXPECT_DOUBLE_EQ(model.stats.variance, stats.variance);
+}
+
+TEST(WhiteboxMg1, InfiniteThirdMomentDegradesWithExactPkMean) {
+  // Pareto alpha 2.5: E[S^2] finite, E[S^3] infinite.  The model must keep
+  // the exact Pollaczek-Khinchine mean, substitute variance = mean^2, and
+  // say why.
+  const auto service = dist::Pareto::from_mean_tail(4.22, 2.5);
+  const double lambda = 0.5 / 4.22;
+  const auto model = whitebox_mg1_task_model(lambda, service);
+  EXPECT_TRUE(model.degraded);
+  ASSERT_FALSE(model.reasons.empty());
+  EXPECT_NE(model.reasons.front().find("E[S^3]"), std::string::npos);
+
+  const double es = service.moment(1);
+  const double m2 = service.moment(2);
+  const double rho = lambda * es;
+  const double pk_mean = es + lambda * m2 / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(model.stats.mean, pk_mean, 1e-12 * pk_mean);
+  EXPECT_DOUBLE_EQ(model.stats.variance,
+                   model.stats.mean * model.stats.mean);
+}
+
+TEST(WhiteboxMg1, InfiniteSecondMomentRefusesWithTailDiagnostics) {
+  // Pareto alpha 1.8: even the sojourn MEAN diverges -- no moment model
+  // exists, and the error must name the tail class.
+  const auto service = dist::Pareto::from_mean_tail(4.22, 1.8);
+  try {
+    whitebox_mg1_task_model(0.1, service);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("regularly-varying"), std::string::npos) << what;
+    EXPECT_NE(what.find("Pareto"), std::string::npos) << what;
+  }
+}
+
+TEST(GenExpFit, RejectsNonFiniteVariance) {
+  EXPECT_THROW(
+      GenExp::fit_moments(1.0, std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+  EXPECT_THROW(GenExp::fit_moments(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(GenExp::fit_moments(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(RedundancyQuantile, DegenerateDIsThePerTaskQuantile) {
+  const TaskStats stats{10.0, 100.0};
+  EXPECT_NEAR(redundancy_quantile(stats, 1.0, 99.0),
+              homogeneous_quantile(stats, 1.0, 99.0), 1e-9);
+}
+
+TEST(RedundancyQuantile, ExponentialClosedForm) {
+  // Exponential stats fit to GE alpha = 1; the min of d exponentials is
+  // exponential at d times the rate: x_p = -(mean/d) ln(1 - q).
+  const TaskStats stats{10.0, 100.0};
+  for (double d : {1.0, 2.0, 4.0, 8.0}) {
+    const double expected = -(10.0 / d) * std::log(1.0 - 0.99);
+    EXPECT_NEAR(redundancy_quantile(stats, d, 99.0), expected, 1e-6)
+        << "d=" << d;
+  }
+}
+
+TEST(RedundancyQuantile, MonotoneDecreasingInD) {
+  const TaskStats stats{5.0, 40.0};
+  double prev = std::numeric_limits<double>::infinity();
+  for (double d : {1.0, 2.0, 4.0, 16.0}) {
+    const double x = redundancy_quantile(stats, d, 99.0);
+    EXPECT_LT(x, prev) << "d=" << d;
+    prev = x;
+  }
+}
+
+TEST(RedundancyQuantile, RejectsBadArguments) {
+  const TaskStats stats{1.0, 1.0};
+  EXPECT_THROW(redundancy_quantile(stats, 0.5, 99.0), std::invalid_argument);
+  EXPECT_THROW(redundancy_quantile(stats, 2.0, 0.0), std::invalid_argument);
 }
 
 TEST(ForkTailPredictor, HomogeneousQuantileAndCdfAgree) {

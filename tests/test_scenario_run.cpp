@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evt.hpp"
 #include "core/predictor.hpp"
 #include "dist/factory.hpp"
 #include "fjsim/homogeneous.hpp"
@@ -160,6 +161,87 @@ TEST(ScenarioRun, ReportSerializesWithStableSchema) {
             "forktail");
   // The embedded scenario is itself a loadable spec.
   EXPECT_EQ(scenario::parse_scenario(doc.at("scenario")), spec);
+}
+
+// -------------------------------------------- redundancy-d & EVT dispatch
+
+TEST(ScenarioRun, RedundancyDIsFirstFinisherBitIdentical) {
+  // redundancy-d = subset topology with d replicas per request and early
+  // return at the FIRST completion; the declarative path must hit the
+  // plain subset engine with early_k = 1, bit-identically.
+  ScenarioSpec spec;
+  spec.topology = Topology::kSubset;
+  spec.nodes = 32;
+  spec.service.dist = "Exponential";
+  spec.k.mode = KSpec::Mode::kRedundant;
+  spec.k.fixed = 3;
+  spec.load = 0.6;
+  spec.requests = 1500;
+  spec.seed = 11;
+
+  fjsim::SubsetConfig config;
+  config.num_nodes = 32;
+  config.service = dist::make_named("Exponential");
+  config.k_mode = fjsim::KMode::kFixed;
+  config.k_fixed = 3;
+  config.early_k = 1;
+  config.load = 0.6;
+  config.num_requests = 1500;
+  config.warmup_fraction = spec.warmup_fraction;
+  config.seed = 11;
+  const fjsim::SubsetResult direct = fjsim::run_subset(config);
+
+  const scenario::Outcome outcome =
+      scenario::SimulatorRegistry::global().run(spec);
+  EXPECT_EQ(outcome.responses, direct.responses);
+
+  // The forktail predictor answers with the min-of-d quantile, and the
+  // min of 3 replicas must beat a single task's latency.
+  const scenario::ScenarioReport report =
+      scenario::run_scenario(spec, {"forktail"}, {99.0});
+  EXPECT_EQ(report.predictions[0].predicted_ms[0],
+            core::redundancy_quantile(report.outcome.task_stats, 3.0, 99.0));
+  EXPECT_LT(report.predictions[0].predicted_ms[0],
+            core::homogeneous_quantile(report.outcome.task_stats, 1.0, 99.0));
+}
+
+TEST(ScenarioRun, EvtPredictorMatchesTheCoreCall) {
+  ScenarioSpec spec;
+  spec.topology = Topology::kHomogeneous;
+  spec.nodes = 16;
+  spec.service = scenario::ServiceSpec{"Pareto", 4.22, 2.2};
+  spec.load = 0.7;
+  spec.requests = 3000;
+  spec.seed = 5;
+
+  const scenario::ScenarioReport report =
+      scenario::run_scenario(spec, {"forktail", "evt"}, {99.0});
+  ASSERT_EQ(report.predictions.size(), 2u);
+  const scenario::Outcome& outcome = report.outcome;
+  const double node_lambda =
+      outcome.lambda * outcome.mean_k / static_cast<double>(spec.nodes);
+  const auto direct = core::evt_max_quantile(
+      outcome.task_stats, outcome.mean_k, 99.0, node_lambda,
+      *outcome.service);
+  EXPECT_TRUE(direct.frechet);
+  EXPECT_EQ(report.predictions[1].predicted_ms[0], direct.value);
+  // On the Frechet branch the correction can only raise the GE answer.
+  EXPECT_GE(report.predictions[1].predicted_ms[0],
+            report.predictions[0].predicted_ms[0]);
+}
+
+TEST(ScenarioRun, EvtDegradesToForkTailOnLightTails) {
+  ScenarioSpec spec;
+  spec.topology = Topology::kHomogeneous;
+  spec.nodes = 16;
+  spec.requests = 1000;
+  spec.seed = 9;
+
+  const scenario::ScenarioReport report =
+      scenario::run_scenario(spec, {"forktail", "evt"}, {99.0});
+  ASSERT_EQ(report.predictions.size(), 2u);
+  EXPECT_EQ(report.predictions[0].predicted_ms[0],
+            report.predictions[1].predicted_ms[0]);
 }
 
 // ------------------------------------------------- tracked example files

@@ -269,6 +269,87 @@ TEST(ScenarioSpec, RejectsNonIntegerCounts) {
                ConfigError);
 }
 
+// ------------------------------------------- heavy tails & redundancy-d
+
+ScenarioSpec redundancy_spec() {
+  ScenarioSpec spec;
+  spec.name = "round-trip-redundancy";
+  spec.topology = Topology::kSubset;
+  spec.nodes = 100;
+  spec.service = ServiceSpec{"Pareto", 4.22, 2.6};
+  spec.k.mode = KSpec::Mode::kRedundant;
+  spec.k.fixed = 3;
+  spec.load = 0.6;
+  return spec;
+}
+
+TEST(ScenarioSpec, HeavyTailRoundTripKeepsTailAndMode) {
+  const ScenarioSpec spec = redundancy_spec();
+  EXPECT_NO_THROW(scenario::validate(spec));
+  const util::Json doc = scenario::to_json(spec);
+  EXPECT_EQ(doc.at("service").at("tail").as_number(), 2.6);
+  EXPECT_EQ(doc.at("k").at("mode").as_string(), "redundancy-d");
+  EXPECT_EQ(scenario::parse_scenario(doc), spec);
+}
+
+TEST(ScenarioSpec, ParsesTheRedundancyDSugar) {
+  const ScenarioSpec parsed = scenario::parse_scenario_text(R"({
+    "topology": "subset", "nodes": 100, "load": 0.6,
+    "service": {"dist": "Pareto", "mean": 4.22, "tail": 2.6},
+    "k": {"mode": "redundancy-d", "d": 3}
+  })");
+  EXPECT_EQ(parsed.k.mode, KSpec::Mode::kRedundant);
+  EXPECT_EQ(parsed.k.fixed, 3);
+  EXPECT_NO_THROW(scenario::validate(parsed));
+  // "d" agreeing with an explicit "fixed" is fine; disagreeing is not.
+  EXPECT_NO_THROW(scenario::parse_scenario_text(
+      R"({"topology": "subset", "k": {"mode": "redundancy-d", "fixed": 3, "d": 3}})"));
+  expect_config_error("k.d", [] {
+    scenario::parse_scenario_text(
+        R"({"topology": "subset", "k": {"mode": "redundancy-d", "fixed": 4, "d": 3}})");
+  });
+}
+
+TEST(ScenarioSpec, RejectsTailIndexOnNonHeavyFamilies) {
+  ScenarioSpec spec;
+  spec.service = ServiceSpec{"Exponential", 4.22, 2.6};
+  expect_config_error("service.tail", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsDivergentMeanTailIndex) {
+  ScenarioSpec spec;
+  spec.service = ServiceSpec{"Pareto", 4.22, 0.9};
+  expect_config_error("service.tail", [&] { scenario::validate(spec); });
+  spec.service.tail = -1.0;
+  expect_config_error("service.tail", [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, RejectsRedundancyWithEarlyKMitigation) {
+  ScenarioSpec spec = redundancy_spec();
+  spec.faults.mitigation.early_k = 2;
+  expect_config_error("faults.mitigation.early_k",
+                      [&] { scenario::validate(spec); });
+}
+
+TEST(ScenarioSpec, PerfectSamplerRefusesHeavyTailByCapability) {
+  // The refusal must come from the capability query (naming the tail
+  // class), not from a hard-coded family list.
+  ScenarioSpec spec;
+  spec.topology = Topology::kHomogeneous;
+  spec.sampler = scenario::Sampler::kPerfect;
+  spec.load = 0.5;
+  spec.service = ServiceSpec{"Pareto", 4.22, 2.6};
+  try {
+    scenario::validate(spec);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.field(), "sampler");
+    EXPECT_NE(std::string(e.what()).find("regularly-varying"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ScenarioSpec, MalformedJsonIsAConfigError) {
   // Truncated JSON surfaces the parser's typed error; an unreadable file is
   // wrapped into ConfigError so the CLI maps both to its config exit code.

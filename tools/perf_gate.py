@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Performance-regression gate over the tracked benchmark reports.
 
-Understands three report schemas, detected from the "benchmark" field:
+Understands four report schemas, detected from the "benchmark" field:
 
 * BENCH_replay.json  ("bench_replay")  -- batched-vs-scalar replay paths.
 * BENCH_cluster.json ("bench_cluster") -- calendar-queue engine vs the
@@ -12,6 +12,13 @@ Understands three report schemas, detected from the "benchmark" field:
   and ForkTail's prediction must sit inside it (100% containment on both
   counts).  Same-scale runs additionally gate relative bracket width
   (wider brackets = weaker certificates = a regression).
+* BENCH_heavy.json   ("bench_heavy")   -- plain ForkTail vs the EVT
+  predictor on regularly-varying services.  Structural gate
+  (envelope-recovery): at least one row must be out of the accuracy
+  envelope for plain ForkTail, the EVT error must be strictly below the
+  plain error on EVERY out-of-envelope row, and at least one such row must
+  be pulled back inside the envelope.  Same-scale runs additionally gate
+  per-row EVT error growth.
 
 Compares a candidate report against the tracked baseline and fails
 (exit 1) when any (workload, path) throughput regresses by more than the
@@ -51,7 +58,8 @@ def load(path: str) -> dict:
 
 def schema_of(doc: dict, label: str) -> str:
     name = doc.get("benchmark")
-    if name not in ("bench_replay", "bench_cluster", "bench_bounds"):
+    if name not in ("bench_replay", "bench_cluster", "bench_bounds",
+                    "bench_heavy"):
         raise SystemExit(f"FAIL {label}: unknown benchmark schema {name!r}")
     return name
 
@@ -140,12 +148,49 @@ def bounds_structural_errors(doc: dict, label: str) -> list[str]:
     return errors
 
 
+def heavy_structural_errors(doc: dict, label: str) -> list[str]:
+    errors = []
+    rows = doc.get("rows", [])
+    if not rows:
+        errors.append(f"{label}: no rows in report")
+    out_rows = 0
+    recovered = 0
+    for r in rows:
+        name = r.get("name", "<unnamed>")
+        ft_err, evt_err = r.get("forktail_err"), r.get("evt_err")
+        if ft_err is None or evt_err is None:
+            errors.append(f"{label}: {name}: missing forktail_err/evt_err")
+            continue
+        if r.get("forktail_within", False):
+            continue
+        out_rows += 1
+        if evt_err >= ft_err:
+            errors.append(
+                f"{label}: {name}: out of envelope but EVT error {evt_err:.3f}"
+                f" does not beat plain error {ft_err:.3f}")
+        if r.get("evt_within", False):
+            recovered += 1
+    if rows and out_rows == 0:
+        errors.append(
+            f"{label}: no out-of-envelope row -- the sweep no longer reaches "
+            "the breakdown boundary")
+    if rows and out_rows > 0 and recovered == 0:
+        errors.append(
+            f"{label}: no out-of-envelope row is recovered by the EVT "
+            "predictor")
+    if rows and not doc.get("envelope_recovered", False):
+        errors.append(f"{label}: envelope_recovered flag is not set")
+    return errors
+
+
 def structural_errors(doc: dict, label: str) -> list[str]:
     schema = schema_of(doc, label)
     if schema == "bench_replay":
         return replay_structural_errors(doc, label)
     if schema == "bench_bounds":
         return bounds_structural_errors(doc, label)
+    if schema == "bench_heavy":
+        return heavy_structural_errors(doc, label)
     return cluster_structural_errors(doc, label)
 
 
@@ -220,6 +265,32 @@ def main() -> int:
             return 1
         print("\nOK   no regressions beyond threshold; "
               "containment 100% on every row")
+        return 0
+
+    if schema == "bench_heavy":
+        # Per-row EVT accuracy: at the same scale and seed the sweep is
+        # deterministic, so error growth beyond a small absolute band means
+        # the predictor (or an engine it depends on) changed behaviour.
+        band = 0.05
+        base_rows = {r["name"]: r for r in base.get("rows", [])}
+        for r in cand.get("rows", []):
+            name = r["name"]
+            ref = base_rows.get(name)
+            if ref is None:
+                print(f"NOTE {name}: not in baseline, skipping error band")
+                continue
+            b, c = ref.get("evt_err", 0.0), r.get("evt_err", 0.0)
+            growth = c - b
+            status = "FAIL" if growth > band else "ok  "
+            print(f"{status} {name:30s} evt_err {b:.3f} -> {c:.3f} "
+                  f"({growth:+.3f})")
+            if growth > band:
+                failures.append((name, "evt_err", growth))
+        if failures:
+            print(f"\n{len(failures)} regression(s) beyond threshold")
+            return 1
+        print("\nOK   no regressions beyond threshold; envelope recovery "
+              "holds on every out-of-envelope row")
         return 0
 
     # Peak RSS: same scale means same working set by construction, so
