@@ -1,5 +1,8 @@
 #include "core/online.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -16,6 +19,13 @@ struct OnlineMetrics {
       obs::Registry::global().counter("online.predictions");
   obs::Counter& underfilled =
       obs::Registry::global().counter("online.underfilled");
+  // Clock-skew outcomes of record(): backwards timestamps absorbed by
+  // clamping vs dropped as beyond the tolerance.  Either being nonzero
+  // means some agent's clock is misbehaving.
+  obs::Counter& clock_clamped =
+      obs::Registry::global().counter("online.clock_clamped");
+  obs::Counter& clock_rejected =
+      obs::Registry::global().counter("online.clock_rejected");
   static OnlineMetrics& get() {
     static OnlineMetrics m;
     return m;
@@ -34,29 +44,99 @@ std::optional<double> count_outcome(std::optional<double> value) {
 
 OnlineTailPredictor::OnlineTailPredictor(std::size_t num_nodes,
                                          double window_seconds,
-                                         std::size_t min_samples)
-    : min_samples_(min_samples) {
+                                         std::size_t min_samples,
+                                         double skew_tolerance)
+    : min_samples_(min_samples), skew_tolerance_(skew_tolerance) {
   if (num_nodes == 0) {
     throw std::invalid_argument("OnlineTailPredictor: need at least one node");
+  }
+  if (!(skew_tolerance >= 0.0)) {
+    throw std::invalid_argument(
+        "OnlineTailPredictor: skew tolerance must be non-negative");
   }
   windows_.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i) {
     windows_.emplace_back(window_seconds);
   }
+  last_now_.assign(num_nodes, std::numeric_limits<double>::quiet_NaN());
 }
 
-void OnlineTailPredictor::record(std::size_t node, double now, double response) {
-  windows_.at(node).add(now, response);
+RecordOutcome OnlineTailPredictor::record(std::size_t node, double now,
+                                          double response) {
+  auto& window = windows_.at(node);
+  double& mark = last_now_[node];
+  RecordOutcome outcome = RecordOutcome::kAccepted;
+  if (std::isnan(now)) {
+    // A NaN timestamp compares false with everything and would slip past
+    // the monotonicity check into the window; treat it as an unbounded jump.
+    OnlineMetrics::get().clock_rejected.add(1);
+    return RecordOutcome::kRejected;
+  }
+  if (!std::isnan(mark) && now < mark) {
+    if (mark - now <= skew_tolerance_) {
+      now = mark;  // absorb the jump: record at the high-water mark
+      outcome = RecordOutcome::kClamped;
+      OnlineMetrics::get().clock_clamped.add(1);
+    } else {
+      OnlineMetrics::get().clock_rejected.add(1);
+      return RecordOutcome::kRejected;
+    }
+  }
+  window.add(now, response);
+  mark = std::isnan(mark) ? now : std::max(mark, now);
+  return outcome;
 }
 
 void OnlineTailPredictor::advance(std::size_t node, double now) {
-  windows_.at(node).advance(now);
+  auto& window = windows_.at(node);
+  if (std::isnan(now)) return;
+  double& mark = last_now_[node];
+  // Eviction with an older `now` is a harmless no-op, but the high-water
+  // mark must still cover every advance so later record() calls see a
+  // consistent clock.
+  window.advance(now);
+  mark = std::isnan(mark) ? now : std::max(mark, now);
+}
+
+std::optional<double> OnlineTailPredictor::last_timestamp(
+    std::size_t node) const {
+  const double mark = last_now_.at(node);
+  if (std::isnan(mark)) return std::nullopt;
+  return mark;
 }
 
 std::optional<TaskStats> OnlineTailPredictor::node_stats(std::size_t node) const {
   const auto& w = windows_.at(node);
   if (w.count() < min_samples_ || !(w.variance() > 0.0)) return std::nullopt;
   return TaskStats{w.mean(), w.variance()};
+}
+
+OnlineTailPredictor::PooledStats OnlineTailPredictor::pooled_stats() const {
+  PooledStats pooled;
+  pooled.total_nodes = windows_.size();
+  // First pass: pooled mean over the filled windows only.
+  double total_n = 0.0;
+  double mean_acc = 0.0;
+  for (const auto& w : windows_) {
+    if (w.count() < min_samples_) continue;
+    const double n = static_cast<double>(w.count());
+    total_n += n;
+    mean_acc += n * w.mean();
+    ++pooled.filled_nodes;
+  }
+  if (pooled.filled_nodes == 0) return pooled;
+  const double mean = mean_acc / total_n;
+  double var_acc = 0.0;
+  for (const auto& w : windows_) {
+    if (w.count() < min_samples_) continue;
+    const double n = static_cast<double>(w.count());
+    const double d = w.mean() - mean;
+    var_acc += n * (w.variance() + d * d);
+  }
+  pooled.count = total_n;
+  pooled.mean = mean;
+  pooled.variance = var_acc / total_n;
+  return pooled;
 }
 
 std::optional<double> OnlineTailPredictor::predict_homogeneous(double p,

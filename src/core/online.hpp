@@ -5,9 +5,18 @@
 // re-fits the GE model from the windowed mean/variance and answers quantile
 // queries in microseconds -- the paper's contrast with the ~33-minute
 // direct-measurement alternative.
+//
+// Clock discipline: sample timestamps come from the agents that measured
+// them, and real agent clocks jump backwards (NTP steps, VM migrations,
+// agent restarts).  A backwards timestamp fed straight into the window
+// would corrupt eviction, so record() clamps small backwards jumps (up to
+// `skew_tolerance` seconds) onto the node's high-water mark and rejects
+// larger ones with a typed outcome -- it never throws on bad clocks and
+// never lets them corrupt the window.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -16,27 +25,60 @@
 
 namespace forktail::core {
 
+/// What record() did with a sample (see class comment on clock discipline).
+enum class RecordOutcome : std::uint8_t {
+  kAccepted,  ///< timestamp was monotone; recorded as given
+  kClamped,   ///< small backwards jump; recorded at the node's high-water mark
+  kRejected,  ///< backwards jump beyond the skew tolerance; dropped
+};
+
 class OnlineTailPredictor {
  public:
   /// `num_nodes` fork nodes, each with a sliding time window of
   /// `window_seconds`; predictions require at least `min_samples` samples
-  /// in every participating node's window.
+  /// in every participating node's window.  `skew_tolerance` is the largest
+  /// backwards clock jump (seconds) record() absorbs by clamping; beyond it
+  /// the sample is rejected (0 = only exactly-equal timestamps tolerated).
   OnlineTailPredictor(std::size_t num_nodes, double window_seconds,
-                      std::size_t min_samples = 30);
+                      std::size_t min_samples = 30,
+                      double skew_tolerance = 0.0);
 
   std::size_t num_nodes() const noexcept { return windows_.size(); }
+  std::size_t min_samples() const noexcept { return min_samples_; }
 
   /// Record a completed task at `node`: response time `response` observed
-  /// at wall-clock time `now` (seconds, non-decreasing per node).
-  void record(std::size_t node, double now, double response);
+  /// at wall-clock time `now` (seconds).  Backwards `now` values are
+  /// clamped within the skew tolerance and rejected beyond it -- see
+  /// RecordOutcome; the window is never corrupted and nothing throws for
+  /// bad clocks (out-of-range `node` still throws std::out_of_range).
+  RecordOutcome record(std::size_t node, double now, double response);
 
   /// Evict samples older than the window without recording (call before
   /// reading stats from a node that may have gone idle -- otherwise its
-  /// window freezes with its last, possibly congested, samples).
+  /// window freezes with its last, possibly congested, samples).  Advances
+  /// the node's high-water mark, so it also bounds future backwards jumps.
   void advance(std::size_t node, double now);
+
+  /// The node's timestamp high-water mark (latest record/advance time);
+  /// nullopt before the first sample.  Liveness sweeps use this to evict
+  /// in the agent's own time base.
+  std::optional<double> last_timestamp(std::size_t node) const;
 
   /// Per-node current statistics; nullopt when the window is under-filled.
   std::optional<TaskStats> node_stats(std::size_t node) const;
+
+  /// Service-level moments pooled over the *filled* windows only -- the
+  /// shard-friendly accessor: callers merge PooledStats across shards and
+  /// decide for themselves whether `filled_nodes < total_nodes` means
+  /// "degrade" (serve) or "decline" (the strict predict_* methods below).
+  struct PooledStats {
+    double count = 0.0;     ///< samples across the filled windows
+    double mean = 0.0;
+    double variance = 0.0;
+    std::size_t filled_nodes = 0;  ///< windows meeting min_samples
+    std::size_t total_nodes = 0;
+  };
+  PooledStats pooled_stats() const;
 
   /// Homogeneous prediction pooling all nodes (coarse-grained,
   /// per-service view; Eq. 6).  k defaults to the node count.
@@ -56,7 +98,10 @@ class OnlineTailPredictor {
 
  private:
   std::vector<stats::WindowedMoments> windows_;
+  /// Per-node timestamp high-water mark; NaN = no sample yet.
+  std::vector<double> last_now_;
   std::size_t min_samples_;
+  double skew_tolerance_;
 };
 
 }  // namespace forktail::core

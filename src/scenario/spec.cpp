@@ -224,6 +224,20 @@ util::Json to_json(const ScenarioSpec& spec) {
 
   doc.set("group_by_k", spec.group_by_k);
   doc.set("faults", fault::to_json(spec.faults));
+
+  util::Json serve = util::Json::object();
+  serve.set("udp_port", static_cast<std::uint64_t>(spec.serve.udp_port));
+  serve.set("tcp_port", static_cast<std::uint64_t>(spec.serve.tcp_port));
+  serve.set("service", static_cast<std::uint64_t>(spec.serve.service));
+  serve.set("shards", spec.serve.shards);
+  serve.set("window_seconds", spec.serve.window_seconds);
+  serve.set("min_samples", spec.serve.min_samples);
+  serve.set("skew_tolerance", spec.serve.skew_tolerance);
+  serve.set("ring_capacity", spec.serve.ring_capacity);
+  serve.set("liveness_timeout", spec.serve.liveness_timeout);
+  serve.set("sweep_interval", spec.serve.sweep_interval);
+  serve.set("stall_threshold", spec.serve.stall_threshold);
+  doc.set("serve", std::move(serve));
   return doc;
 }
 
@@ -237,7 +251,7 @@ ScenarioSpec parse_scenario(const util::Json& doc) {
              {"schema", "name", "topology", "nodes", "group", "service",
               "services", "heterogeneity", "k", "load", "workload", "stages",
               "samples", "sampler", "seed", "execution", "group_by_k",
-              "faults"});
+              "faults", "serve"});
   if (doc.contains("schema") &&
       doc.at("schema").as_string() != kScenarioSchema) {
     throw ConfigError("schema", "unsupported schema: " +
@@ -360,6 +374,35 @@ ScenarioSpec parse_scenario(const util::Json& doc) {
   if (doc.contains("faults")) {
     spec.faults = fault::parse_fault_plan(doc.at("faults"), "faults");
   }
+  if (doc.contains("serve")) {
+    const util::Json& serve = doc.at("serve");
+    check_keys(serve, "serve",
+               {"udp_port", "tcp_port", "service", "shards", "window_seconds",
+                "min_samples", "skew_tolerance", "ring_capacity",
+                "liveness_timeout", "sweep_interval", "stall_threshold"});
+    spec.serve.udp_port = static_cast<std::uint32_t>(
+        get_u64(serve, "udp_port", spec.serve.udp_port, "serve"));
+    spec.serve.tcp_port = static_cast<std::uint32_t>(
+        get_u64(serve, "tcp_port", spec.serve.tcp_port, "serve"));
+    spec.serve.service = static_cast<std::uint32_t>(
+        get_u64(serve, "service", spec.serve.service, "serve"));
+    spec.serve.shards = static_cast<std::size_t>(
+        get_u64(serve, "shards", spec.serve.shards, "serve"));
+    spec.serve.window_seconds =
+        get_number(serve, "window_seconds", spec.serve.window_seconds);
+    spec.serve.min_samples = static_cast<std::size_t>(
+        get_u64(serve, "min_samples", spec.serve.min_samples, "serve"));
+    spec.serve.skew_tolerance =
+        get_number(serve, "skew_tolerance", spec.serve.skew_tolerance);
+    spec.serve.ring_capacity = static_cast<std::size_t>(
+        get_u64(serve, "ring_capacity", spec.serve.ring_capacity, "serve"));
+    spec.serve.liveness_timeout =
+        get_number(serve, "liveness_timeout", spec.serve.liveness_timeout);
+    spec.serve.sweep_interval =
+        get_number(serve, "sweep_interval", spec.serve.sweep_interval);
+    spec.serve.stall_threshold =
+        get_number(serve, "stall_threshold", spec.serve.stall_threshold);
+  }
   return spec;
 }
 
@@ -424,6 +467,43 @@ void validate_common(const ScenarioSpec& spec) {
     throw ConfigError("samples.warmup_fraction", "must be in [0, 1)");
   }
   fjsim::validate_node_group(spec.group, "group");
+
+  if (spec.serve.udp_port > 65535) {
+    throw ConfigError("serve.udp_port", "must be in [0, 65535]");
+  }
+  if (spec.serve.tcp_port > 65535) {
+    throw ConfigError("serve.tcp_port", "must be in [0, 65535]");
+  }
+  if (spec.serve.service > 65535) {
+    throw ConfigError("serve.service", "must be in [0, 65535]");
+  }
+  if (spec.serve.udp_port != 0 && spec.serve.udp_port == spec.serve.tcp_port) {
+    throw ConfigError("serve.tcp_port", "must differ from serve.udp_port");
+  }
+  if (spec.serve.shards == 0) {
+    throw ConfigError("serve.shards", "must be >= 1");
+  }
+  if (!(spec.serve.window_seconds > 0.0)) {
+    throw ConfigError("serve.window_seconds", "must be > 0");
+  }
+  if (spec.serve.min_samples == 0) {
+    throw ConfigError("serve.min_samples", "must be >= 1");
+  }
+  if (spec.serve.skew_tolerance < 0.0) {
+    throw ConfigError("serve.skew_tolerance", "must be >= 0");
+  }
+  if (spec.serve.ring_capacity == 0) {
+    throw ConfigError("serve.ring_capacity", "must be >= 1");
+  }
+  if (!(spec.serve.liveness_timeout > 0.0)) {
+    throw ConfigError("serve.liveness_timeout", "must be > 0");
+  }
+  if (!(spec.serve.sweep_interval > 0.0)) {
+    throw ConfigError("serve.sweep_interval", "must be > 0");
+  }
+  if (!(spec.serve.stall_threshold > 0.0)) {
+    throw ConfigError("serve.stall_threshold", "must be > 0");
+  }
 }
 
 }  // namespace

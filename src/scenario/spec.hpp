@@ -115,6 +115,26 @@ struct StageSpec {
   bool operator==(const StageSpec&) const = default;
 };
 
+/// Configuration of the always-on prediction daemon ("serve" section; the
+/// `forktail serve` verb).  The daemon's fleet width is the spec's `nodes`;
+/// everything here shapes the ingest/query planes.  A spec without the
+/// section serves with these defaults, so every scenario file is servable.
+struct ServeSpec {
+  std::uint32_t udp_port = 0;   ///< sample ingest; 0 = ephemeral
+  std::uint32_t tcp_port = 0;   ///< query + scrape; 0 = ephemeral
+  std::uint32_t service = 0;    ///< wire service id accepted by the daemon
+  std::size_t shards = 2;       ///< ingest shards (worker threads)
+  double window_seconds = 20.0; ///< per-node sliding window
+  std::size_t min_samples = 30; ///< per-window fill threshold
+  double skew_tolerance = 0.5;  ///< backwards-clock clamp bound, seconds
+  std::size_t ring_capacity = 1024;  ///< batches per shard ring (shed bound)
+  double liveness_timeout = 60.0;    ///< idle seconds before agent is stale
+  double sweep_interval = 0.5;       ///< liveness sweep cadence, seconds
+  double stall_threshold = 5.0;      ///< watchdog ingest-stall horizon
+
+  bool operator==(const ServeSpec&) const = default;
+};
+
 struct ScenarioSpec {
   std::string name = "unnamed";
   Topology topology = Topology::kHomogeneous;
@@ -146,6 +166,9 @@ struct ScenarioSpec {
   /// Fault injection + tail mitigation ("faults" section; src/fault).
   /// Default-inert: a spec without the key runs the unmodified engines.
   fault::FaultPlan faults;
+
+  /// Always-on daemon configuration ("serve" section; `forktail serve`).
+  ServeSpec serve;
 
   bool operator==(const ScenarioSpec&) const = default;
 };

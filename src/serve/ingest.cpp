@@ -1,0 +1,122 @@
+#include "serve/ingest.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace forktail::serve {
+
+namespace {
+struct IngestMetrics {
+  obs::Counter& samples = obs::Registry::global().counter("serve.samples");
+  obs::Counter& batches = obs::Registry::global().counter("serve.batches");
+  obs::Counter& shed = obs::Registry::global().counter("serve.shed");
+  obs::Counter& stale_ts =
+      obs::Registry::global().counter("serve.wire.rejected.stale_timestamp");
+  obs::Counter& clamped =
+      obs::Registry::global().counter("serve.clock_clamped");
+  obs::Counter& evicted =
+      obs::Registry::global().counter("serve.agents.evicted");
+  static IngestMetrics& get() {
+    static IngestMetrics m;
+    return m;
+  }
+};
+}  // namespace
+
+IngestShard::IngestShard(const ShardConfig& config)
+    : ring_(config.ring_capacity),
+      predictor_(config.local_nodes, config.window_seconds,
+                 config.min_samples, config.skew_tolerance),
+      liveness_(config.local_nodes) {}
+
+std::size_t IngestShard::submit(std::uint32_t local, const WireBatch& batch) {
+  WireBatch queued = batch;
+  queued.node = local;
+  const std::size_t shed = ring_.push_drop_oldest(queued);
+  if (shed != 0) {
+    batches_shed_.fetch_add(shed, std::memory_order_relaxed);
+    IngestMetrics::get().shed.add(shed);
+    // Steady-clock time is not available here (submit runs on the socket
+    // reader's hot path); drain() stamps last_shed_s_ when it observes the
+    // count moved.  Store a sentinel "shed happened" by bumping the atomic
+    // count only -- the stamp below is done by the consumer.
+  }
+  return shed;
+}
+
+std::size_t IngestShard::drain(double now_s) {
+  std::size_t drained = 0;
+  WireBatch batch;
+  while (ring_.try_pop(batch)) {
+    ++drained;
+    const double t_s = static_cast<double>(batch.timestamp_ns) * 1e-9;
+    std::lock_guard<std::mutex> lock(mu_);
+    // One timestamp per batch, so the first sample's outcome decides the
+    // whole batch: a beyond-tolerance clock jump rejects all of it.
+    std::size_t accepted = 0;
+    for (std::size_t i = 0; i < batch.count; ++i) {
+      const auto outcome = predictor_.record(batch.node, t_s, batch.samples[i]);
+      if (outcome == core::RecordOutcome::kRejected) {
+        // Counted per datagram, like every other wire.rejected reason (the
+        // batch shares one timestamp, so rejection always hits at i == 0).
+        stale_rejected_.fetch_add(1, std::memory_order_relaxed);
+        IngestMetrics::get().stale_ts.add(1);
+        break;
+      }
+      if (outcome == core::RecordOutcome::kClamped) {
+        IngestMetrics::get().clamped.add(1);
+      }
+      ++accepted;
+    }
+    if (accepted > 0) {
+      samples_ingested_.fetch_add(accepted, std::memory_order_relaxed);
+      IngestMetrics::get().samples.add(accepted);
+      IngestMetrics::get().batches.add(1);
+      liveness_.observe(batch.node, batch.timestamp_ns, now_s);
+    }
+  }
+  // Stamp the shed time whenever this drain observes sheds it has not seen
+  // before (sheds happen producer-side, so the consumer back-dates them to
+  // the drain that noticed -- at most one drain interval late).
+  const std::uint64_t shed_now = batches_shed_.load(std::memory_order_relaxed);
+  if (shed_now != shed_seen_) {
+    shed_seen_ = shed_now;
+    last_shed_s_.store(now_s, std::memory_order_relaxed);
+  }
+  return drained;
+}
+
+void IngestShard::sweep(double now_s, double timeout_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto newly_stale = liveness_.sweep(now_s, timeout_s);
+  for (const std::size_t node : newly_stale) {
+    // Roll the dead agent's window forward in its own time base so its
+    // congested last samples age out instead of freezing node_stats.
+    predictor_.advance(node, liveness_.estimated_agent_now_s(node, now_s));
+    IngestMetrics::get().evicted.add(1);
+  }
+  // Stale (but not yet revived) nodes keep aging: advance them every sweep
+  // so the window actually empties once the timeout has passed.
+  for (std::size_t node = 0; node < liveness_.nodes(); ++node) {
+    if (liveness_.stale(node)) {
+      predictor_.advance(node, liveness_.estimated_agent_now_s(node, now_s));
+    }
+  }
+}
+
+IngestShard::Snapshot IngestShard::snapshot(double now_s) const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.pooled = predictor_.pooled_stats();
+    snap.seen_nodes = liveness_.seen_count();
+    snap.live_nodes = liveness_.live_count();
+    snap.stale_nodes = liveness_.stale_count();
+    snap.staleness_ms = liveness_.staleness_ms(now_s);
+  }
+  snap.batches_shed = batches_shed_.load(std::memory_order_relaxed);
+  snap.last_shed_s = last_shed_s_.load(std::memory_order_relaxed);
+  snap.queue_depth = ring_.size();
+  return snap;
+}
+
+}  // namespace forktail::serve

@@ -1,0 +1,213 @@
+// Ingest path of the serve daemon: bounded rings with explicit
+// load-shedding, sharded online-predictor windows, and per-agent liveness.
+//
+// The robustness invariants this layer owns:
+//
+//   * The socket reader NEVER blocks on a slow consumer and NEVER grows an
+//     unbounded queue.  Each shard has a bounded ring; when it is full the
+//     producer drops the OLDEST queued batch (freshest data wins -- stale
+//     samples were about to age out of the window anyway), counts it in
+//     serve.shed, and the degradation surfaces in served predictions.
+//   * A dead agent cannot freeze a prediction: the liveness sweep advances
+//     idle nodes' windows (the advance()-on-idle-node footgun, fixed at the
+//     call site) and marks them stale so predictions degrade with a stated
+//     reason instead of serving a frozen congested window.
+//   * Backwards agent clocks are absorbed or rejected by the skew-tolerant
+//     core::OnlineTailPredictor::record; rejections are counted as
+//     serve.wire.rejected.stale_timestamp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "core/online.hpp"
+#include "serve/liveness.hpp"
+#include "serve/wire.hpp"
+
+namespace forktail::serve {
+
+/// Bounded lock-free FIFO (Vyukov bounded-MPMC layout).  Used as an SPSC
+/// ring between the socket reader and one shard worker, with one twist:
+/// push_drop_oldest() makes the producer a second (discarding) consumer
+/// when the ring is full, which the MPMC cell-sequence protocol supports
+/// without locks or producer-side blocking.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit BoundedQueue(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Approximate occupancy (exact when producer and consumer are quiet).
+  std::size_t size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool try_push(const T& value) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = value;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = cell->value;
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking push that sheds on overflow: when the ring is full, pop
+  /// and discard the OLDEST entries until the new one fits.  Returns the
+  /// number shed (0 on a clean push).  Never blocks, never fails: the
+  /// bounded-iteration fallback (pathological scheduling only) sheds the
+  /// incoming value itself rather than spinning.
+  std::size_t push_drop_oldest(const T& value) {
+    std::size_t shed = 0;
+    // Each failed try_push is followed by freeing one slot, so capacity+1
+    // rounds always suffice unless the consumer races us; a couple of
+    // extra rounds absorbs that.
+    for (std::size_t round = 0; round < capacity() + 4; ++round) {
+      if (try_push(value)) return shed;
+      T discard;
+      if (try_pop(discard)) ++shed;
+    }
+    return shed + 1;  // shed the incoming value (counted like any other)
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next push position
+  alignas(64) std::atomic<std::size_t> head_{0};  // next pop position
+};
+
+/// Per-shard ingest configuration (the serve scenario section, resolved).
+struct ShardConfig {
+  std::size_t local_nodes = 1;     ///< nodes mapped onto this shard
+  double window_seconds = 20.0;    ///< sliding window per node
+  std::size_t min_samples = 30;    ///< per-window fill threshold
+  double skew_tolerance = 0.5;     ///< backwards-clock clamp bound, seconds
+  std::size_t ring_capacity = 1024;  ///< bounded batches in flight
+};
+
+/// One ingest shard: bounded ring -> skew-tolerant predictor windows with
+/// liveness tracking.  submit() is called by the single socket-reader
+/// thread, drain()/sweep() by the shard's worker thread, snapshot() by
+/// query threads; the predictor + liveness state is mutex-guarded, the
+/// ring is lock-free.
+class IngestShard {
+ public:
+  explicit IngestShard(const ShardConfig& config);
+
+  /// Producer side (socket reader): queue one decoded batch for `local`
+  /// (shard-local node index).  Returns the number of batches shed to make
+  /// room (0 = clean).  Never blocks.
+  std::size_t submit(std::uint32_t local, const WireBatch& batch);
+
+  /// Consumer side (shard worker): drain everything currently queued into
+  /// the predictor windows.  `now_s` is the receiver's steady-clock time.
+  /// Returns the number of batches drained.
+  std::size_t drain(double now_s);
+
+  /// Liveness sweep: advance windows of nodes idle for > `timeout_s` (in
+  /// the agent's own time base) so node_stats can never serve a frozen
+  /// congested window; newly-idle nodes are marked stale and counted.
+  void sweep(double now_s, double timeout_s);
+
+  /// Cumulative counts (thread-safe, monotone).
+  std::uint64_t samples_ingested() const noexcept {
+    return samples_ingested_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t batches_shed() const noexcept {
+    return batches_shed_.load(std::memory_order_relaxed);
+  }
+  /// Datagrams rejected whole for a beyond-tolerance backwards timestamp.
+  std::uint64_t stale_rejected() const noexcept {
+    return stale_rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Query-side state snapshot at receiver time `now_s`.
+  struct Snapshot {
+    core::OnlineTailPredictor::PooledStats pooled;
+    std::size_t seen_nodes = 0;   ///< nodes that ever sent a sample
+    std::size_t live_nodes = 0;   ///< seen and not stale
+    std::size_t stale_nodes = 0;  ///< seen, currently idle past timeout
+    double staleness_ms = 0.0;    ///< worst data age among live nodes
+    std::uint64_t batches_shed = 0;
+    double last_shed_s = -std::numeric_limits<double>::infinity();
+    std::size_t queue_depth = 0;
+  };
+  Snapshot snapshot(double now_s) const;
+
+ private:
+  BoundedQueue<WireBatch> ring_;
+  // `local` rides in WireBatch::node through the ring (the reader already
+  // resolved the global id); kept explicit in submit()'s signature so the
+  // mapping stays at one call site.
+  mutable std::mutex mu_;
+  core::OnlineTailPredictor predictor_;
+  LivenessTable liveness_;
+  std::atomic<std::uint64_t> samples_ingested_{0};
+  std::atomic<std::uint64_t> batches_shed_{0};
+  std::atomic<std::uint64_t> stale_rejected_{0};
+  std::uint64_t shed_seen_ = 0;  ///< consumer-side; owned by drain()
+  std::atomic<double> last_shed_s_{
+      -std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace forktail::serve

@@ -1,0 +1,133 @@
+#include "serve/wire.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace forktail::serve {
+
+namespace {
+
+// Fixed-layout little-endian load/store.  memcpy keeps the accesses
+// alignment-safe (datagram buffers are arbitrary byte offsets); the
+// byte-by-byte composition keeps the format well-defined on any host
+// endianness, not just the little-endian fleets it will actually run on.
+template <typename T>
+T load_le(const std::uint8_t* p) noexcept {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v = static_cast<T>(v | (static_cast<T>(p[i]) << (8 * i)));
+  }
+  return v;
+}
+
+template <typename T>
+void store_le(std::uint8_t* p, T v) noexcept {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+double load_f64(const std::uint8_t* p) noexcept {
+  const std::uint64_t bits = load_le<std::uint64_t>(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+void store_f64(std::uint8_t* p, double v) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  store_le<std::uint64_t>(p, bits);
+}
+
+bool valid_sample(double v) noexcept { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+const char* wire_error_name(WireError error) noexcept {
+  switch (error) {
+    case WireError::kNone: return "none";
+    case WireError::kTruncated: return "truncated";
+    case WireError::kBadMagic: return "bad_magic";
+    case WireError::kBadVersion: return "bad_version";
+    case WireError::kBadCount: return "bad_count";
+    case WireError::kChecksum: return "checksum";
+    case WireError::kBadSample: return "bad_sample";
+  }
+  return "unknown";
+}
+
+std::uint32_t wire_checksum(const std::uint8_t* data,
+                            std::size_t len) noexcept {
+  // FNV-1a 32: cheap, order-sensitive, and strong enough to catch the
+  // torn/bit-rotted datagrams it exists for (this is integrity, not
+  // authentication).
+  std::uint32_t h = 0x811C9DC5u;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+std::size_t encode(const WireBatch& batch, std::uint8_t* out,
+                   std::size_t cap) noexcept {
+  if (batch.count == 0 || batch.count > kMaxSamplesPerDatagram) return 0;
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    if (!valid_sample(batch.samples[i])) return 0;
+  }
+  const std::size_t need =
+      kWireHeaderBytes + 8 * batch.count + kWireChecksumBytes;
+  if (cap < need) return 0;
+  store_le<std::uint32_t>(out + 0, kWireMagic);
+  store_le<std::uint16_t>(out + 4, kWireVersion);
+  store_le<std::uint16_t>(out + 6, batch.service);
+  store_le<std::uint32_t>(out + 8, batch.node);
+  store_le<std::uint64_t>(out + 12, batch.timestamp_ns);
+  store_le<std::uint16_t>(out + 20, batch.count);
+  store_le<std::uint16_t>(out + 22, 0);  // reserved
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    store_f64(out + kWireHeaderBytes + 8 * i, batch.samples[i]);
+  }
+  const std::size_t body = kWireHeaderBytes + 8 * batch.count;
+  store_le<std::uint32_t>(out + body, wire_checksum(out, body));
+  return need;
+}
+
+std::vector<std::uint8_t> encode(const WireBatch& batch) {
+  std::vector<std::uint8_t> out(kMaxDatagramBytes);
+  const std::size_t n = encode(batch, out.data(), out.size());
+  out.resize(n);
+  return out;
+}
+
+WireError decode(const std::uint8_t* data, std::size_t len,
+                 WireBatch& out) noexcept {
+  if (len < kWireHeaderBytes) return WireError::kTruncated;
+  if (load_le<std::uint32_t>(data + 0) != kWireMagic) {
+    return WireError::kBadMagic;
+  }
+  if (load_le<std::uint16_t>(data + 4) != kWireVersion) {
+    return WireError::kBadVersion;
+  }
+  if (load_le<std::uint16_t>(data + 22) != 0) return WireError::kBadVersion;
+  const std::uint16_t count = load_le<std::uint16_t>(data + 20);
+  if (count == 0 || count > kMaxSamplesPerDatagram) return WireError::kBadCount;
+  const std::size_t body = kWireHeaderBytes + 8 * static_cast<std::size_t>(count);
+  if (len != body + kWireChecksumBytes) return WireError::kTruncated;
+  if (load_le<std::uint32_t>(data + body) != wire_checksum(data, body)) {
+    return WireError::kChecksum;
+  }
+  out.service = load_le<std::uint16_t>(data + 6);
+  out.node = load_le<std::uint32_t>(data + 8);
+  out.timestamp_ns = load_le<std::uint64_t>(data + 12);
+  out.count = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double v = load_f64(data + kWireHeaderBytes + 8 * i);
+    if (!valid_sample(v)) return WireError::kBadSample;
+    out.samples[i] = v;
+  }
+  return WireError::kNone;
+}
+
+}  // namespace forktail::serve

@@ -350,6 +350,70 @@ TEST(ScenarioSpec, PerfectSamplerRefusesHeavyTailByCapability) {
   }
 }
 
+// ------------------------------------------------------- serve section
+
+TEST(ScenarioSpec, ServeSectionRoundTripsWithNonDefaultValues) {
+  ScenarioSpec spec = homogeneous_spec();
+  spec.serve.udp_port = 9464;
+  spec.serve.tcp_port = 9465;
+  spec.serve.service = 7;
+  spec.serve.shards = 4;
+  spec.serve.window_seconds = 5.0;
+  spec.serve.min_samples = 12;
+  spec.serve.skew_tolerance = 0.25;
+  spec.serve.ring_capacity = 256;
+  spec.serve.liveness_timeout = 8.0;
+  spec.serve.sweep_interval = 0.1;
+  spec.serve.stall_threshold = 3.0;
+  EXPECT_NO_THROW(scenario::validate(spec));
+  EXPECT_EQ(scenario::parse_scenario(scenario::to_json(spec)), spec);
+}
+
+TEST(ScenarioSpec, ServeSectionRejectsUnknownKey) {
+  expect_config_error("serve.ringcapacity", [] {
+    scenario::parse_scenario_text(
+        R"({"topology": "homogeneous", "serve": {"ringcapacity": 8}})");
+  });
+}
+
+TEST(ScenarioSpec, ServeSectionValidation) {
+  const auto with = [](auto&& mutate) {
+    ScenarioSpec spec = homogeneous_spec();
+    mutate(spec.serve);
+    return spec;
+  };
+  expect_config_error("serve.udp_port", [&] {
+    scenario::validate(with([](auto& s) { s.udp_port = 70000; }));
+  });
+  expect_config_error("serve.tcp_port", [&] {
+    scenario::validate(with([](auto& s) { s.udp_port = s.tcp_port = 9000; }));
+  });
+  expect_config_error("serve.shards", [&] {
+    scenario::validate(with([](auto& s) { s.shards = 0; }));
+  });
+  expect_config_error("serve.window_seconds", [&] {
+    scenario::validate(with([](auto& s) { s.window_seconds = 0.0; }));
+  });
+  expect_config_error("serve.min_samples", [&] {
+    scenario::validate(with([](auto& s) { s.min_samples = 0; }));
+  });
+  expect_config_error("serve.skew_tolerance", [&] {
+    scenario::validate(with([](auto& s) { s.skew_tolerance = -0.1; }));
+  });
+  expect_config_error("serve.ring_capacity", [&] {
+    scenario::validate(with([](auto& s) { s.ring_capacity = 0; }));
+  });
+  expect_config_error("serve.liveness_timeout", [&] {
+    scenario::validate(with([](auto& s) { s.liveness_timeout = 0.0; }));
+  });
+  expect_config_error("serve.sweep_interval", [&] {
+    scenario::validate(with([](auto& s) { s.sweep_interval = -1.0; }));
+  });
+  expect_config_error("serve.stall_threshold", [&] {
+    scenario::validate(with([](auto& s) { s.stall_threshold = 0.0; }));
+  });
+}
+
 TEST(ScenarioSpec, MalformedJsonIsAConfigError) {
   // Truncated JSON surfaces the parser's typed error; an unreadable file is
   // wrapped into ConfigError so the CLI maps both to its config exit code.

@@ -1,0 +1,217 @@
+// Ingest-path tests: the bounded ring's FIFO/drop-oldest contract (single
+// threaded and under a producer/consumer race), and the IngestShard pipeline
+// from submitted wire batches to pooled predictor windows, including
+// batch-level stale-timestamp rejection and overload shedding.
+#include "serve/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace forktail::serve {
+namespace {
+
+TEST(BoundedQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BoundedQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(BoundedQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(BoundedQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(BoundedQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));  // empty
+}
+
+TEST(BoundedQueue, DropOldestShedsFromTheFront) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.push_drop_oldest(i), 0u);
+  // Ring full: pushing 4 more sheds exactly the 4 oldest.
+  std::size_t shed = 0;
+  for (int i = 4; i < 8; ++i) shed += q.push_drop_oldest(i);
+  EXPECT_EQ(shed, 4u);
+  int out = -1;
+  for (int i = 4; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);  // freshest data won
+  }
+}
+
+TEST(BoundedQueue, StressProducerConsumerNothingLostOrDuplicated) {
+  // One producer shedding under overload, one consumer: every value is
+  // either consumed or counted shed, exactly once.
+  BoundedQueue<std::uint64_t> q(64);
+  constexpr std::uint64_t kTotal = 200000;
+  std::atomic<std::uint64_t> consumed_sum{0};
+  std::atomic<std::uint64_t> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::thread consumer([&] {
+    std::uint64_t value = 0;
+    while (!done.load(std::memory_order_acquire) || true) {
+      if (q.try_pop(value)) {
+        consumed_sum.fetch_add(value, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      } else if (done.load(std::memory_order_acquire)) {
+        if (!q.try_pop(value)) break;
+        consumed_sum.fetch_add(value, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::uint64_t shed = 0;
+  for (std::uint64_t i = 1; i <= kTotal; ++i) {
+    shed += q.push_drop_oldest(i);
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  // Shed values are unknowable individually (the consumer races the
+  // producer for them) but the count must balance exactly.
+  EXPECT_EQ(consumed_count.load() + shed, kTotal);
+  EXPECT_GT(consumed_count.load(), 0u);
+}
+
+// ------------------------------------------------------------ IngestShard
+
+ShardConfig small_shard() {
+  ShardConfig config;
+  config.local_nodes = 2;
+  config.window_seconds = 10.0;
+  config.min_samples = 3;
+  config.skew_tolerance = 0.5;
+  config.ring_capacity = 8;
+  return config;
+}
+
+WireBatch batch_for(std::uint32_t node, double t_s,
+                    std::initializer_list<double> samples) {
+  WireBatch batch;
+  batch.node = node;
+  batch.timestamp_ns = static_cast<std::uint64_t>(t_s * 1e9);
+  batch.count = static_cast<std::uint16_t>(samples.size());
+  std::size_t i = 0;
+  for (double v : samples) batch.samples[i++] = v;
+  return batch;
+}
+
+TEST(IngestShard, SubmitDrainFillsWindows) {
+  IngestShard shard(small_shard());
+  shard.submit(0, batch_for(0, 1.0, {1.0, 2.0, 3.0}));
+  shard.submit(1, batch_for(1, 1.0, {4.0, 5.0, 6.0}));
+  EXPECT_EQ(shard.drain(1.0), 2u);
+  EXPECT_EQ(shard.samples_ingested(), 6u);
+
+  const auto snap = shard.snapshot(1.0);
+  EXPECT_EQ(snap.pooled.filled_nodes, 2u);
+  EXPECT_DOUBLE_EQ(snap.pooled.count, 6.0);
+  EXPECT_NEAR(snap.pooled.mean, 3.5, 1e-12);
+  EXPECT_EQ(snap.seen_nodes, 2u);
+  EXPECT_EQ(snap.live_nodes, 2u);
+  EXPECT_EQ(snap.batches_shed, 0u);
+}
+
+TEST(IngestShard, OverflowShedsOldestAndCounts) {
+  IngestShard shard(small_shard());  // ring capacity 8
+  for (int i = 0; i < 20; ++i) {
+    shard.submit(0, batch_for(0, 1.0 + 0.01 * i, {1.0}));
+  }
+  EXPECT_EQ(shard.batches_shed(), 12u);
+  EXPECT_EQ(shard.drain(2.0), 8u);
+  EXPECT_EQ(shard.samples_ingested(), 8u);
+  const auto snap = shard.snapshot(2.0);
+  EXPECT_EQ(snap.batches_shed, 12u);
+  EXPECT_GE(snap.last_shed_s, 0.0);  // stamped by the drain that observed it
+}
+
+TEST(IngestShard, BackwardsBatchTimestampRejectedAsStale) {
+  IngestShard shard(small_shard());
+  shard.submit(0, batch_for(0, 10.0, {1.0, 2.0, 3.0}));
+  EXPECT_EQ(shard.drain(10.0), 1u);
+  // A batch stamped more than skew_tolerance before the high-water mark is
+  // rejected whole.
+  shard.submit(0, batch_for(0, 8.0, {9.0, 9.0}));
+  EXPECT_EQ(shard.drain(10.1), 1u);
+  EXPECT_EQ(shard.stale_rejected(), 1u);  // one datagram, whatever its count
+  EXPECT_EQ(shard.samples_ingested(), 3u);
+  const auto snap = shard.snapshot(10.1);
+  EXPECT_NEAR(snap.pooled.mean, 2.0, 1e-12);  // rejected samples never landed
+}
+
+TEST(IngestShard, SlightlyBackwardsBatchClampedNotDropped) {
+  IngestShard shard(small_shard());  // skew_tolerance 0.5
+  shard.submit(0, batch_for(0, 10.0, {1.0, 2.0}));
+  shard.submit(0, batch_for(0, 9.8, {3.0}));  // within tolerance
+  EXPECT_EQ(shard.drain(10.0), 2u);
+  EXPECT_EQ(shard.samples_ingested(), 3u);
+  EXPECT_EQ(shard.stale_rejected(), 0u);
+}
+
+TEST(IngestShard, SweepMarksDeadAgentStaleAndDegradesPooledStats) {
+  IngestShard shard(small_shard());
+  // Both nodes fill, then node 1 goes silent.
+  shard.submit(0, batch_for(0, 1.0, {1.0, 1.0, 1.0}));
+  shard.submit(1, batch_for(1, 1.0, {5.0, 5.0, 5.0}));
+  shard.drain(1.0);
+  ASSERT_EQ(shard.snapshot(1.0).pooled.filled_nodes, 2u);
+
+  // Node 0 keeps reporting on its own clock; receiver time passes the
+  // liveness timeout for node 1 and then keeps going until node 1's
+  // estimated agent clock has rolled a full window past its last samples.
+  const double timeout_s = 2.0;
+  for (int i = 1; i <= 60; ++i) {
+    const double t = 1.0 + 0.2 * i;
+    shard.submit(0, batch_for(0, t, {1.0, 1.0, 1.0}));
+    shard.drain(t);
+    shard.sweep(t, timeout_s);
+  }
+  const auto snap = shard.snapshot(13.0);
+  EXPECT_EQ(snap.stale_nodes, 1u);
+  EXPECT_EQ(snap.live_nodes, 1u);
+  // The dead node's window was advanced in its own time base far enough
+  // that its frozen congested samples aged out of the pooled stats.
+  EXPECT_EQ(snap.pooled.filled_nodes, 1u);
+  EXPECT_NEAR(snap.pooled.mean, 1.0, 1e-12);
+}
+
+TEST(IngestShard, RevivedAgentComesBackLive) {
+  IngestShard shard(small_shard());
+  shard.submit(0, batch_for(0, 1.0, {1.0, 1.0, 1.0}));
+  shard.drain(1.0);
+  shard.sweep(10.0, 2.0);
+  EXPECT_EQ(shard.snapshot(10.0).stale_nodes, 1u);
+
+  shard.submit(0, batch_for(0, 11.0, {2.0, 2.0, 2.0}));
+  shard.drain(11.0);
+  const auto snap = shard.snapshot(11.0);
+  EXPECT_EQ(snap.stale_nodes, 0u);
+  EXPECT_EQ(snap.live_nodes, 1u);
+}
+
+TEST(IngestShard, StalenessTracksLiveNodesOnly) {
+  IngestShard shard(small_shard());
+  shard.submit(0, batch_for(0, 1.0, {1.0, 1.0, 1.0}));
+  shard.submit(1, batch_for(1, 1.0, {1.0, 1.0, 1.0}));
+  shard.drain(1.0);
+  // Node 1 dies; node 0 last reported at receiver t=5.
+  shard.submit(0, batch_for(0, 5.0, {1.0}));
+  shard.drain(5.0);
+  shard.sweep(5.0, 3.0);  // node 1 idle 4 s > 3 s -> stale
+  const auto snap = shard.snapshot(6.0);
+  EXPECT_EQ(snap.stale_nodes, 1u);
+  // Worst LIVE age is node 0's 1 s, not node 1's 5 s.
+  EXPECT_NEAR(snap.staleness_ms, 1000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace forktail::serve

@@ -1,0 +1,91 @@
+// LivenessTable contract: stale transitions fire exactly once per episode,
+// revival works, staleness excludes dead agents, and the estimated agent
+// clock keeps rolling while an agent is silent.
+#include "serve/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace forktail::serve {
+namespace {
+
+TEST(Liveness, RejectsZeroNodes) {
+  EXPECT_THROW(LivenessTable(0), std::invalid_argument);
+}
+
+TEST(Liveness, CountsStartAtZero) {
+  LivenessTable table(4);
+  EXPECT_EQ(table.nodes(), 4u);
+  EXPECT_EQ(table.seen_count(), 0u);
+  EXPECT_EQ(table.stale_count(), 0u);
+  EXPECT_EQ(table.live_count(), 0u);
+  EXPECT_DOUBLE_EQ(table.staleness_ms(100.0), 0.0);
+}
+
+TEST(Liveness, ObserveMakesSeenAndLive) {
+  LivenessTable table(3);
+  table.observe(1, 1'000'000'000ULL, 5.0);
+  EXPECT_TRUE(table.seen(1));
+  EXPECT_FALSE(table.seen(0));
+  EXPECT_EQ(table.seen_count(), 1u);
+  EXPECT_EQ(table.live_count(), 1u);
+}
+
+TEST(Liveness, SweepFiresOncePerStalenessEpisode) {
+  LivenessTable table(2);
+  table.observe(0, 0, 1.0);
+  table.observe(1, 0, 1.0);
+
+  auto first = table.sweep(5.0, 3.0);  // both idle 4 s > 3 s
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(table.stale_count(), 2u);
+
+  // Second sweep: already stale, no repeat notification.
+  EXPECT_TRUE(table.sweep(6.0, 3.0).empty());
+
+  // Revival resets the episode; the next timeout fires again.
+  table.observe(0, 2'000'000'000ULL, 7.0);
+  EXPECT_EQ(table.stale_count(), 1u);
+  auto again = table.sweep(20.0, 3.0);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], 0u);
+}
+
+TEST(Liveness, SweepIgnoresUnseenNodes) {
+  LivenessTable table(4);
+  table.observe(2, 0, 1.0);
+  const auto stale = table.sweep(100.0, 3.0);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], 2u);  // never-seen nodes cannot go stale
+}
+
+TEST(Liveness, ReorderedArrivalCannotMoveHorizonBackwards) {
+  LivenessTable table(1);
+  table.observe(0, 5'000'000'000ULL, 10.0);
+  table.observe(0, 3'000'000'000ULL, 9.0);  // late, reordered datagram
+  EXPECT_EQ(table.last_agent_ns(0), 5'000'000'000ULL);
+  EXPECT_NEAR(table.staleness_ms(10.5), 500.0, 1e-9);  // vs 10.0, not 9.0
+}
+
+TEST(Liveness, StalenessExcludesStaleNodes) {
+  LivenessTable table(2);
+  table.observe(0, 0, 10.0);
+  table.observe(1, 0, 1.0);
+  table.sweep(10.0, 5.0);  // node 1 idle 9 s -> stale
+  EXPECT_EQ(table.stale_count(), 1u);
+  // Without the exclusion this would be 9500 ms pinned by the dead agent.
+  EXPECT_NEAR(table.staleness_ms(10.5), 500.0, 1e-9);
+}
+
+TEST(Liveness, EstimatedAgentClockRollsForwardWhileSilent) {
+  LivenessTable table(1);
+  table.observe(0, 2'000'000'000ULL, 10.0);  // agent clock 2 s at receiver 10 s
+  // 6 s of receiver silence later, the estimate is agent 2 s + 6 s idle.
+  EXPECT_NEAR(table.estimated_agent_now_s(0, 16.0), 8.0, 1e-9);
+  // Never goes backwards even with a confused receiver clock argument.
+  EXPECT_NEAR(table.estimated_agent_now_s(0, 9.0), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace forktail::serve

@@ -1,0 +1,324 @@
+// forktail.wire.v1 contract tests: known-answer round trips, the full
+// malformed-datagram rejection matrix (every WireError reason reachable and
+// hit), and byte-level fuzz asserting decode() is total -- no crash, no
+// out-of-bounds read, and never an accepted-but-invalid sample.
+#include "serve/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace forktail::serve {
+namespace {
+
+WireBatch make_batch(std::uint16_t count = 4) {
+  WireBatch batch;
+  batch.service = 7;
+  batch.node = 42;
+  batch.timestamp_ns = 123456789012345ULL;
+  batch.count = count;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    batch.samples[i] = 1.5 * (i + 1);
+  }
+  return batch;
+}
+
+TEST(ServeWire, RoundTripPreservesEveryField) {
+  const WireBatch batch = make_batch(5);
+  const std::vector<std::uint8_t> bytes = encode(batch);
+  ASSERT_EQ(bytes.size(), kWireHeaderBytes + 8 * 5 + kWireChecksumBytes);
+
+  WireBatch out;
+  ASSERT_EQ(decode(bytes.data(), bytes.size(), out), WireError::kNone);
+  EXPECT_EQ(out.service, batch.service);
+  EXPECT_EQ(out.node, batch.node);
+  EXPECT_EQ(out.timestamp_ns, batch.timestamp_ns);
+  ASSERT_EQ(out.count, batch.count);
+  for (std::uint16_t i = 0; i < batch.count; ++i) {
+    EXPECT_EQ(out.samples[i], batch.samples[i]) << "sample " << i;
+  }
+}
+
+TEST(ServeWire, KnownAnswerHeaderLayout) {
+  // Byte-level KAT pinning the layout: future refactors must not silently
+  // reorder fields or change endianness.
+  WireBatch batch;
+  batch.service = 0x0102;
+  batch.node = 0x03040506;
+  batch.timestamp_ns = 0x1112131415161718ULL;
+  batch.count = 1;
+  batch.samples[0] = 1.0;  // 0x3FF0000000000000
+  const auto bytes = encode(batch);
+  ASSERT_EQ(bytes.size(), 36u);
+  // magic 0x464B5431 little-endian
+  EXPECT_EQ(bytes[0], 0x31);
+  EXPECT_EQ(bytes[1], 0x54);
+  EXPECT_EQ(bytes[2], 0x4B);
+  EXPECT_EQ(bytes[3], 0x46);
+  // version 1 LE
+  EXPECT_EQ(bytes[4], 0x01);
+  EXPECT_EQ(bytes[5], 0x00);
+  // service LE
+  EXPECT_EQ(bytes[6], 0x02);
+  EXPECT_EQ(bytes[7], 0x01);
+  // node LE
+  EXPECT_EQ(bytes[8], 0x06);
+  EXPECT_EQ(bytes[11], 0x03);
+  // timestamp LE
+  EXPECT_EQ(bytes[12], 0x18);
+  EXPECT_EQ(bytes[19], 0x11);
+  // count, reserved
+  EXPECT_EQ(bytes[20], 0x01);
+  EXPECT_EQ(bytes[21], 0x00);
+  EXPECT_EQ(bytes[22], 0x00);
+  EXPECT_EQ(bytes[23], 0x00);
+  // f64 1.0 LE: 7 zero bytes then 0x3F F0
+  EXPECT_EQ(bytes[24], 0x00);
+  EXPECT_EQ(bytes[30], 0xF0);
+  EXPECT_EQ(bytes[31], 0x3F);
+  // checksum covers [0, 32)
+  const std::uint32_t sum = wire_checksum(bytes.data(), 32);
+  EXPECT_EQ(bytes[32], static_cast<std::uint8_t>(sum & 0xFF));
+  EXPECT_EQ(bytes[35], static_cast<std::uint8_t>((sum >> 24) & 0xFF));
+}
+
+TEST(ServeWire, ChecksumIsFnv1a32) {
+  // FNV-1a 32 KAT: "" -> 0x811C9DC5, "a" -> 0xE40C292C (published vectors).
+  EXPECT_EQ(wire_checksum(nullptr, 0), 0x811C9DC5u);
+  const std::uint8_t a = 'a';
+  EXPECT_EQ(wire_checksum(&a, 1), 0xE40C292Cu);
+}
+
+TEST(ServeWire, EncodeRejectsInvalidBatches) {
+  WireBatch batch = make_batch(1);
+  batch.count = 0;
+  EXPECT_TRUE(encode(batch).empty());
+  batch.count = static_cast<std::uint16_t>(kMaxSamplesPerDatagram + 1);
+  EXPECT_TRUE(encode(batch).empty());
+  batch = make_batch(2);
+  batch.samples[1] = -1.0;
+  EXPECT_TRUE(encode(batch).empty());
+  batch.samples[1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(encode(batch).empty());
+  // Buffer too small.
+  batch = make_batch(2);
+  std::uint8_t small[8];
+  EXPECT_EQ(encode(batch, small, sizeof(small)), 0u);
+}
+
+// ---------------------------------------------------------------- matrix
+
+class ServeWireRejection : public ::testing::Test {
+ protected:
+  std::vector<std::uint8_t> bytes_ = encode(make_batch(3));
+
+  WireError decoded() {
+    WireBatch out;
+    return decode(bytes_.data(), bytes_.size(), out);
+  }
+
+  /// Rewrite the trailing checksum so a deliberate field corruption tests
+  /// THAT field's check rather than the checksum.
+  void refresh_checksum() {
+    const std::size_t body = bytes_.size() - kWireChecksumBytes;
+    const std::uint32_t sum = wire_checksum(bytes_.data(), body);
+    bytes_[body + 0] = static_cast<std::uint8_t>(sum & 0xFF);
+    bytes_[body + 1] = static_cast<std::uint8_t>((sum >> 8) & 0xFF);
+    bytes_[body + 2] = static_cast<std::uint8_t>((sum >> 16) & 0xFF);
+    bytes_[body + 3] = static_cast<std::uint8_t>((sum >> 24) & 0xFF);
+  }
+};
+
+TEST_F(ServeWireRejection, Truncated) {
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{23},
+                          bytes_.size() - 1}) {
+    WireBatch out;
+    EXPECT_EQ(decode(bytes_.data(), len, out), WireError::kTruncated)
+        << "len " << len;
+  }
+  // Trailing junk is a length mismatch, not silently ignored.
+  bytes_.push_back(0);
+  EXPECT_EQ(decoded(), WireError::kTruncated);
+}
+
+TEST_F(ServeWireRejection, BadMagic) {
+  bytes_[0] ^= 0xFF;
+  refresh_checksum();
+  EXPECT_EQ(decoded(), WireError::kBadMagic);
+}
+
+TEST_F(ServeWireRejection, BadVersion) {
+  bytes_[4] = 2;
+  refresh_checksum();
+  EXPECT_EQ(decoded(), WireError::kBadVersion);
+}
+
+TEST_F(ServeWireRejection, NonzeroReservedIsBadVersion) {
+  bytes_[22] = 1;
+  refresh_checksum();
+  EXPECT_EQ(decoded(), WireError::kBadVersion);
+}
+
+TEST_F(ServeWireRejection, BadCountZero) {
+  // count = 0 with a length that matches the header+checksum framing.
+  bytes_[20] = 0;
+  bytes_[21] = 0;
+  bytes_.resize(kWireHeaderBytes);
+  bytes_.resize(kWireHeaderBytes + kWireChecksumBytes);
+  refresh_checksum();
+  EXPECT_EQ(decoded(), WireError::kBadCount);
+}
+
+TEST_F(ServeWireRejection, BadCountOverCap) {
+  const auto over = static_cast<std::uint16_t>(kMaxSamplesPerDatagram + 1);
+  bytes_[20] = static_cast<std::uint8_t>(over & 0xFF);
+  bytes_[21] = static_cast<std::uint8_t>(over >> 8);
+  refresh_checksum();
+  EXPECT_EQ(decoded(), WireError::kBadCount);
+}
+
+TEST_F(ServeWireRejection, ChecksumMismatch) {
+  bytes_.back() ^= 0x01;
+  EXPECT_EQ(decoded(), WireError::kChecksum);
+}
+
+TEST_F(ServeWireRejection, FlippedPayloadBitFailsChecksum) {
+  bytes_[kWireHeaderBytes + 3] ^= 0x10;  // bit rot inside a sample
+  EXPECT_EQ(decoded(), WireError::kChecksum);
+}
+
+TEST_F(ServeWireRejection, BadSampleNaN) {
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(bytes_.data() + kWireHeaderBytes + 8, &nan, 8);
+  refresh_checksum();
+  EXPECT_EQ(decoded(), WireError::kBadSample);
+}
+
+TEST_F(ServeWireRejection, BadSampleNegative) {
+  double neg = -0.5;
+  std::memcpy(bytes_.data() + kWireHeaderBytes, &neg, 8);
+  refresh_checksum();
+  EXPECT_EQ(decoded(), WireError::kBadSample);
+}
+
+TEST_F(ServeWireRejection, BadSampleInfinity) {
+  double inf = std::numeric_limits<double>::infinity();
+  std::memcpy(bytes_.data() + kWireHeaderBytes + 16, &inf, 8);
+  refresh_checksum();
+  EXPECT_EQ(decoded(), WireError::kBadSample);
+}
+
+TEST(ServeWire, EveryErrorHasAStableName) {
+  EXPECT_STREQ(wire_error_name(WireError::kNone), "none");
+  EXPECT_STREQ(wire_error_name(WireError::kTruncated), "truncated");
+  EXPECT_STREQ(wire_error_name(WireError::kBadMagic), "bad_magic");
+  EXPECT_STREQ(wire_error_name(WireError::kBadVersion), "bad_version");
+  EXPECT_STREQ(wire_error_name(WireError::kBadCount), "bad_count");
+  EXPECT_STREQ(wire_error_name(WireError::kChecksum), "checksum");
+  EXPECT_STREQ(wire_error_name(WireError::kBadSample), "bad_sample");
+}
+
+// ------------------------------------------------------------------ fuzz
+
+TEST(ServeWireFuzz, RandomBytesNeverDecodeInvalid) {
+  // decode() is total: arbitrary bytes either fail with a typed reason or
+  // produce a batch every invariant of which holds.  (Random bytes passing
+  // the checksum is a ~2^-32 event per trial, so acceptance here is
+  // effectively always a rejection-path test; the invariant check still
+  // guards the accept path.)
+  util::Rng rng(20260808);
+  for (int round = 0; round < 5000; ++round) {
+    const std::size_t len =
+        static_cast<std::size_t>(rng.uniform() * (kMaxDatagramBytes + 64));
+    std::vector<std::uint8_t> soup(len);
+    for (auto& b : soup) {
+      b = static_cast<std::uint8_t>(rng.uniform() * 256.0);
+    }
+    WireBatch out;
+    const WireError err = decode(soup.data(), soup.size(), out);
+    if (err == WireError::kNone) {
+      ASSERT_GE(out.count, 1u);
+      ASSERT_LE(out.count, kMaxSamplesPerDatagram);
+      for (std::uint16_t i = 0; i < out.count; ++i) {
+        ASSERT_TRUE(std::isfinite(out.samples[i]));
+        ASSERT_GE(out.samples[i], 0.0);
+      }
+    }
+  }
+}
+
+TEST(ServeWireFuzz, MutatedValidDatagramsNeverDecodeInvalid) {
+  // Start from a valid datagram and apply small mutations -- the adversarial
+  // region where most bytes are plausible.  Every accepted decode must still
+  // satisfy the batch invariants.
+  util::Rng rng(42);
+  const WireBatch base = make_batch(8);
+  const std::vector<std::uint8_t> pristine = encode(base);
+  for (int round = 0; round < 5000; ++round) {
+    std::vector<std::uint8_t> bytes = pristine;
+    const int mutations = 1 + static_cast<int>(rng.uniform() * 4);
+    for (int m = 0; m < mutations; ++m) {
+      const double pick = rng.uniform();
+      if (pick < 0.6 && !bytes.empty()) {
+        // Flip bits in place.
+        const std::size_t at =
+            static_cast<std::size_t>(rng.uniform() * bytes.size());
+        bytes[at] ^= static_cast<std::uint8_t>(1 + rng.uniform() * 255);
+      } else if (pick < 0.8 && bytes.size() > 1) {
+        // Truncate.
+        bytes.resize(static_cast<std::size_t>(rng.uniform() * bytes.size()));
+      } else {
+        // Extend with junk.
+        const std::size_t extra = 1 + static_cast<std::size_t>(rng.uniform() * 16);
+        for (std::size_t i = 0; i < extra; ++i) {
+          bytes.push_back(static_cast<std::uint8_t>(rng.uniform() * 256.0));
+        }
+      }
+    }
+    WireBatch out;
+    const WireError err = decode(bytes.data(), bytes.size(), out);
+    if (err == WireError::kNone) {
+      ASSERT_GE(out.count, 1u);
+      ASSERT_LE(out.count, kMaxSamplesPerDatagram);
+      for (std::uint16_t i = 0; i < out.count; ++i) {
+        ASSERT_TRUE(std::isfinite(out.samples[i]));
+        ASSERT_GE(out.samples[i], 0.0);
+      }
+    }
+  }
+}
+
+TEST(ServeWireFuzz, EncodeDecodeRoundTripRandomBatches) {
+  util::Rng rng(99);
+  for (int round = 0; round < 1000; ++round) {
+    WireBatch batch;
+    batch.service = static_cast<std::uint16_t>(rng.uniform() * 65536.0);
+    batch.node = static_cast<std::uint32_t>(rng.uniform() * 4096.0);
+    batch.timestamp_ns =
+        static_cast<std::uint64_t>(rng.uniform() * 9e18);
+    batch.count = static_cast<std::uint16_t>(
+        1 + rng.uniform() * (kMaxSamplesPerDatagram - 1));
+    for (std::uint16_t i = 0; i < batch.count; ++i) {
+      batch.samples[i] = rng.uniform() * 1e6;
+    }
+    const auto bytes = encode(batch);
+    ASSERT_FALSE(bytes.empty());
+    WireBatch out;
+    ASSERT_EQ(decode(bytes.data(), bytes.size(), out), WireError::kNone);
+    EXPECT_EQ(out.service, batch.service);
+    EXPECT_EQ(out.node, batch.node);
+    EXPECT_EQ(out.timestamp_ns, batch.timestamp_ns);
+    ASSERT_EQ(out.count, batch.count);
+    for (std::uint16_t i = 0; i < batch.count; ++i) {
+      ASSERT_EQ(out.samples[i], batch.samples[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace forktail::serve

@@ -16,10 +16,13 @@
 //   forktail bench    [--scale smoke] [--reps 5] [--out BENCH_replay.json]
 //
 // All times are in whatever unit the inputs use; the tool is unit-agnostic.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/forktail.hpp"
@@ -27,6 +30,7 @@
 #include "obs/report.hpp"
 #include "replay_bench.hpp"
 #include "scenario/run.hpp"
+#include "serve/server.hpp"
 #include "sweep.hpp"
 #include "util/cli.hpp"
 
@@ -364,6 +368,134 @@ int cmd_run(int argc, const char* const* argv) {
   return 0;
 }
 
+/// SIGTERM/SIGINT request a clean drain (async-signal-safe flag only; the
+/// serve main loop polls it).
+volatile std::sig_atomic_t g_serve_signal = 0;
+
+extern "C" void serve_signal_handler(int signum) {
+  g_serve_signal = signum;
+}
+
+int cmd_serve(int argc, const char* const* argv) {
+  // Long-running prediction daemon: UDP sample ingest (forktail.wire.v1),
+  // TCP query protocol + Prometheus scrape, clean drain on SIGTERM/SIGINT
+  // with a final RunReport.  See docs/serve.md.
+  std::string path;
+  std::vector<const char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  util::CliFlags flags;
+  flags.declare("port-file", "",
+                "write the bound \"<udp> <tcp>\" ports here once listening "
+                "(for ephemeral-port harnesses; empty disables)");
+  flags.declare("max-seconds", "0",
+                "exit cleanly after this many seconds (0 = run until "
+                "SIGTERM/SIGINT)");
+  flags.declare("metrics-out", "",
+                "final RunReport path written on shutdown (.prom for "
+                "Prometheus text; empty disables)");
+  flags.declare("drain-throttle-us", "0",
+                "test knob: microseconds the shard worker sleeps per "
+                "drained batch (simulates a slow consumer to exercise "
+                "shedding; 0 disables)");
+  if (!flags.parse(static_cast<int>(rest.size()), rest.data())) return 0;
+  if (path.empty()) {
+    throw std::invalid_argument(
+        "serve: need a scenario file (forktail serve examples/serve.json)");
+  }
+
+  const scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
+  scenario::validate(spec);
+
+  serve::ServeConfig config;
+  config.udp_port = static_cast<std::uint16_t>(spec.serve.udp_port);
+  config.tcp_port = static_cast<std::uint16_t>(spec.serve.tcp_port);
+  config.service = static_cast<std::uint16_t>(spec.serve.service);
+  config.nodes = spec.nodes;
+  config.shards = spec.serve.shards;
+  config.window_seconds = spec.serve.window_seconds;
+  config.min_samples = spec.serve.min_samples;
+  config.skew_tolerance = spec.serve.skew_tolerance;
+  config.ring_capacity = spec.serve.ring_capacity;
+  config.liveness_timeout = spec.serve.liveness_timeout;
+  config.sweep_interval = spec.serve.sweep_interval;
+  config.stall_threshold = spec.serve.stall_threshold;
+  config.scenario_name = spec.name;
+  const auto throttle = flags.get_int("drain-throttle-us");
+  if (throttle < 0) {
+    throw std::invalid_argument("--drain-throttle-us must be >= 0");
+  }
+  config.drain_throttle_us = static_cast<std::uint32_t>(throttle);
+  const double max_seconds = flags.get_double("max-seconds");
+  if (max_seconds < 0.0) {
+    throw std::invalid_argument("--max-seconds must be >= 0");
+  }
+
+  serve::Server server(config);
+  server.start();
+  std::printf(
+      "forktail serve: scenario %s, %zu nodes, %zu shards, window %g s\n"
+      "  ingest  udp://0.0.0.0:%u (forktail.wire.v1)\n"
+      "  queries tcp://0.0.0.0:%u (length-prefixed JSON; HTTP GET = scrape)\n",
+      spec.name.c_str(), config.nodes, config.shards, config.window_seconds,
+      server.udp_port(), server.tcp_port());
+  std::fflush(stdout);
+
+  const std::string port_file = flags.get_string("port-file");
+  if (!port_file.empty()) {
+    std::ofstream os(port_file);
+    if (!os) {
+      server.stop();
+      throw std::runtime_error("serve: cannot write " + port_file);
+    }
+    os << server.udp_port() << " " << server.tcp_port() << "\n";
+  }
+
+  g_serve_signal = 0;
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+
+  const auto started = std::chrono::steady_clock::now();
+  while (g_serve_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (max_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+                .count() >= max_seconds) {
+      break;
+    }
+  }
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  // Clean drain: stop the reader, flush the rings, then report.
+  server.stop();
+  const char* why = g_serve_signal == SIGTERM   ? "SIGTERM"
+                    : g_serve_signal == SIGINT  ? "SIGINT"
+                                                : "--max-seconds";
+  std::printf(
+      "forktail serve: %s -> clean drain (%llu samples ingested, "
+      "%llu batches shed%s)\n",
+      why, static_cast<unsigned long long>(server.samples_ingested()),
+      static_cast<unsigned long long>(server.batches_shed()),
+      server.any_degraded() ? ", served degraded predictions" : "");
+
+  const std::string metrics_out = flags.get_string("metrics-out");
+  if (!metrics_out.empty()) {
+    obs::RunReport::capture(obs::Registry::global(), "forktail serve",
+                            spec.name, server.any_degraded())
+        .write(metrics_out);
+    std::printf("wrote %s (final run report)\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 int cmd_bench(int argc, const char* const* argv) {
   // The batched replay throughput benchmark (bench/replay_bench.hpp),
   // exposed on the CLI so the tracked BENCH_replay.json baseline can be
@@ -413,6 +545,9 @@ void usage() {
       "            simulate, measure percentiles, evaluate --predict models\n"
       "  bench     batched replay throughput benchmark; writes the\n"
       "            BENCH_replay.json performance baseline\n"
+      "  serve     always-on prediction daemon for a scenario: UDP sample\n"
+      "            ingest (forktail.wire.v1), TCP queries + Prometheus\n"
+      "            scrape; clean drain on SIGTERM with a final RunReport\n"
       "run `forktail <command> --help` for the command's flags\n",
       stderr);
 }
@@ -442,6 +577,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "run") return cmd_run(argc - 1, argv + 1);
     if (command == "bench") return cmd_bench(argc - 1, argv + 1);
+    if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     std::fprintf(stderr, "forktail: unknown command: %s\n", command.c_str());
     return 1;
   } catch (const fjsim::ConfigError& e) {

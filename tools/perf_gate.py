@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Performance-regression gate over the tracked benchmark reports.
 
-Understands four report schemas, detected from the "benchmark" field:
+Understands five report schemas, detected from the "benchmark" field:
 
 * BENCH_replay.json  ("bench_replay")  -- batched-vs-scalar replay paths.
 * BENCH_cluster.json ("bench_cluster") -- calendar-queue engine vs the
@@ -19,6 +19,12 @@ Understands four report schemas, detected from the "benchmark" field:
   plain error on EVERY out-of-envelope row, and at least one such row must
   be pulled back inside the envelope.  Same-scale runs additionally gate
   per-row EVT error growth.
+* BENCH_serve.json   ("bench_serve")   -- the serve daemon under UDP load
+  (tools/serve_loadgen.cpp).  Structural gate: load was actually sent and
+  ingested, predictions were served with a finite staleness distribution,
+  a nonzero malformed fraction moved the typed rejection counters, and
+  the daemon reported a bounded RSS.  Same-scale runs additionally gate
+  ingest throughput and peak RSS.
 
 Compares a candidate report against the tracked baseline and fails
 (exit 1) when any (workload, path) throughput regresses by more than the
@@ -59,7 +65,7 @@ def load(path: str) -> dict:
 def schema_of(doc: dict, label: str) -> str:
     name = doc.get("benchmark")
     if name not in ("bench_replay", "bench_cluster", "bench_bounds",
-                    "bench_heavy"):
+                    "bench_heavy", "bench_serve"):
         raise SystemExit(f"FAIL {label}: unknown benchmark schema {name!r}")
     return name
 
@@ -183,6 +189,46 @@ def heavy_structural_errors(doc: dict, label: str) -> list[str]:
     return errors
 
 
+def serve_structural_errors(doc: dict, label: str) -> list[str]:
+    errors = []
+    if doc.get("sent_datagrams", 0) <= 0:
+        errors.append(f"{label}: no datagrams were sent")
+    if doc.get("ingested_samples", 0) <= 0:
+        errors.append(f"{label}: the daemon ingested nothing")
+    if doc.get("queries", 0) <= 0:
+        errors.append(f"{label}: no predict queries completed")
+    if not doc.get("served", False):
+        errors.append(f"{label}: the final prediction was not served")
+    staleness = doc.get("staleness_ms", {})
+    if staleness.get("count", 0) <= 0:
+        errors.append(f"{label}: no served staleness samples collected")
+    elif staleness.get("p99", -1.0) < 0.0:
+        errors.append(f"{label}: staleness p99 is negative")
+    if doc.get("malformed_fraction", 0.0) > 0.0:
+        if doc.get("malformed_sent", 0) <= 0:
+            errors.append(
+                f"{label}: malformed fraction set but nothing malformed sent")
+        if doc.get("rejected_total", 0) <= 0:
+            errors.append(
+                f"{label}: malformed datagrams sent but no typed rejection "
+                "counter moved")
+    if doc.get("peak_rss_kib", 0) <= 0:
+        errors.append(f"{label}: daemon RSS was not reported")
+    # Loopback delivery accounting: the daemon can never ingest more than
+    # was sent (a violation means double-counting somewhere).  Malformed
+    # datagrams mostly bounce, but a stale-timestamp one that happens to be
+    # a node's first batch legitimately lands, so they count toward the
+    # bound too.
+    sent = doc.get("sent_samples", 0)
+    sent += doc.get("malformed_sent", 0) * doc.get("batch", 0)
+    ingested = doc.get("ingested_samples", 0)
+    if sent > 0 and ingested > sent:
+        errors.append(
+            f"{label}: ingested {ingested} > sent {sent} -- counters "
+            "double-count")
+    return errors
+
+
 def structural_errors(doc: dict, label: str) -> list[str]:
     schema = schema_of(doc, label)
     if schema == "bench_replay":
@@ -191,6 +237,8 @@ def structural_errors(doc: dict, label: str) -> list[str]:
         return bounds_structural_errors(doc, label)
     if schema == "bench_heavy":
         return heavy_structural_errors(doc, label)
+    if schema == "bench_serve":
+        return serve_structural_errors(doc, label)
     return cluster_structural_errors(doc, label)
 
 
@@ -291,6 +339,34 @@ def main() -> int:
             return 1
         print("\nOK   no regressions beyond threshold; envelope recovery "
               "holds on every out-of-envelope row")
+        return 0
+
+    if schema == "bench_serve":
+        # Ingest throughput and daemon RSS: at the same scale (agents /
+        # batch / malformed mix) a rate drop means the ingest plane got
+        # slower and RSS growth means a buffer stopped being bounded.
+        b_rate = base.get("ingest_rate_per_s", 0.0)
+        c_rate = cand.get("ingest_rate_per_s", 0.0)
+        if b_rate > 0:
+            drop = (b_rate - c_rate) / b_rate
+            status = "FAIL" if drop > args.max_regression else "ok  "
+            print(f"{status} ingest_rate_per_s {b_rate / 1e6:8.2f} -> "
+                  f"{c_rate / 1e6:8.2f} M/s ({-drop:+.1%})")
+            if drop > args.max_regression:
+                failures.append(("ingest_rate_per_s", "-", drop))
+        b_rss = base.get("peak_rss_kib", 0)
+        c_rss = cand.get("peak_rss_kib", 0)
+        if b_rss > 0 and c_rss > 0:
+            growth = (c_rss - b_rss) / b_rss
+            status = "FAIL" if growth > args.max_rss_growth else "ok  "
+            print(f"{status} peak_rss_kib {b_rss} -> {c_rss} ({growth:+.1%})")
+            if growth > args.max_rss_growth:
+                failures.append(("peak_rss_kib", "-", growth))
+        if failures:
+            print(f"\n{len(failures)} regression(s) beyond threshold")
+            return 1
+        print("\nOK   no regressions beyond threshold; rejection matrix "
+              "and staleness structure hold")
         return 0
 
     # Peak RSS: same scale means same working set by construction, so

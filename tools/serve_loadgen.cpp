@@ -1,0 +1,652 @@
+// serve_loadgen: UDP load generator + query probe for the serve daemon.
+//
+// Three jobs, one binary:
+//
+//   1. Load: simulate a fleet of agents (>= 1000) blasting forktail.wire.v1
+//      datagrams at the daemon's UDP ingest port over loopback, each agent
+//      on its own monotone clock, samples drawn from an exponential
+//      service.  A --malformed-fraction knob corrupts that fraction of
+//      datagrams, cycling through every rejection reason the wire and
+//      ingest layers know, so the daemon's typed-rejection counters can be
+//      exercised (and gated) from outside the process.
+//   2. Measure: a query client polls the TCP predict op during the run and
+//      collects the served staleness_ms distribution; at the end it pulls
+//      the daemon's RunReport (report op) and folds the serve.* counters
+//      into a BENCH_serve.json document for tools/perf_gate.py.
+//   3. Probe (--probe): one predict query, response JSON on stdout.  The
+//      soak harness uses this to assert the daemon still serves -- with
+//      stated degradation reasons -- after its agents were kill -9'd.
+//
+// With --spawn the daemon runs in-process on ephemeral ports (still over
+// real loopback sockets), so one command produces a self-contained
+// benchmark run; with --udp-port/--tcp-port it targets an external
+// `forktail serve` daemon.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using forktail::serve::WireBatch;
+using forktail::util::Json;
+
+struct Options {
+  std::uint16_t udp_port = 0;
+  std::uint16_t tcp_port = 0;
+  bool spawn = false;        ///< run the daemon in-process (ephemeral ports)
+  std::size_t agents = 1000;
+  std::size_t batch = 64;    ///< samples per datagram (<= wire cap)
+  double seconds = 2.0;
+  std::size_t threads = 1;   ///< sender threads
+  double malformed_fraction = 0.0;
+  double query_interval_ms = 50.0;
+  double p = 99.0;
+  std::uint16_t service = 0;
+  std::uint64_t seed = 1;
+  std::string scale = "smoke";
+  std::string out;
+  bool probe = false;
+};
+
+[[noreturn]] void usage_error(const std::string& why) {
+  std::cerr << "serve_loadgen: " << why << "\n"
+            << "usage: forktail_serve_loadgen (--spawn | --udp-port P --tcp-port P)\n"
+            << "         [--agents N] [--batch M] [--seconds S] [--threads T]\n"
+            << "         [--malformed-fraction F] [--query-interval-ms MS]\n"
+            << "         [--p P] [--service ID] [--seed S] [--scale NAME]\n"
+            << "         [--out BENCH_serve.json]\n"
+            << "       forktail_serve_loadgen --probe --tcp-port P [--p P]\n";
+  std::exit(1);
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    usage_error("bad value for " + flag + ": " + value);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    usage_error("bad value for " + flag + ": " + value);
+  }
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--udp-port") {
+      opt.udp_port = static_cast<std::uint16_t>(parse_u64(arg, value()));
+    } else if (arg == "--tcp-port") {
+      opt.tcp_port = static_cast<std::uint16_t>(parse_u64(arg, value()));
+    } else if (arg == "--spawn") {
+      opt.spawn = true;
+    } else if (arg == "--agents") {
+      opt.agents = parse_u64(arg, value());
+    } else if (arg == "--batch") {
+      opt.batch = parse_u64(arg, value());
+    } else if (arg == "--seconds") {
+      opt.seconds = parse_double(arg, value());
+    } else if (arg == "--threads") {
+      opt.threads = parse_u64(arg, value());
+    } else if (arg == "--malformed-fraction") {
+      opt.malformed_fraction = parse_double(arg, value());
+    } else if (arg == "--query-interval-ms") {
+      opt.query_interval_ms = parse_double(arg, value());
+    } else if (arg == "--p") {
+      opt.p = parse_double(arg, value());
+    } else if (arg == "--service") {
+      opt.service = static_cast<std::uint16_t>(parse_u64(arg, value()));
+    } else if (arg == "--seed") {
+      opt.seed = parse_u64(arg, value());
+    } else if (arg == "--scale") {
+      opt.scale = value();
+    } else if (arg == "--out") {
+      opt.out = value();
+    } else if (arg == "--probe") {
+      opt.probe = true;
+    } else {
+      usage_error("unknown flag " + arg);
+    }
+  }
+  if (opt.probe) {
+    if (opt.tcp_port == 0 && !opt.spawn) usage_error("--probe needs --tcp-port");
+    return opt;
+  }
+  if (!opt.spawn && (opt.udp_port == 0 || opt.tcp_port == 0)) {
+    usage_error("need --spawn or both --udp-port and --tcp-port");
+  }
+  if (opt.agents == 0) usage_error("--agents must be >= 1");
+  if (opt.batch == 0 || opt.batch > forktail::serve::kMaxSamplesPerDatagram) {
+    usage_error("--batch must be in [1, 256]");
+  }
+  if (opt.threads == 0) usage_error("--threads must be >= 1");
+  if (opt.seconds <= 0.0) usage_error("--seconds must be > 0");
+  if (opt.malformed_fraction < 0.0 || opt.malformed_fraction > 1.0) {
+    usage_error("--malformed-fraction must be in [0, 1]");
+  }
+  return opt;
+}
+
+// ------------------------------------------------------------- TCP client
+
+/// Minimal blocking client for the daemon's length-prefixed JSON protocol.
+/// All syscalls retry on EINTR; send/recv handle partial transfers.
+class QueryClient {
+ public:
+  ~QueryClient() { close_fd(); }
+
+  bool connect_to(std::uint16_t port) {
+    close_fd();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    int rc;
+    do {
+      rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      close_fd();
+      return false;
+    }
+    return true;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// One request/response round trip; empty string on transport failure
+  /// (the connection is dropped so the next call reconnects).
+  std::string call(std::uint16_t port, const std::string& body) {
+    if (fd_ < 0 && !connect_to(port)) return {};
+    if (!send_frame(body)) {
+      close_fd();
+      return {};
+    }
+    std::string reply;
+    if (!recv_frame(reply)) {
+      close_fd();
+      return {};
+    }
+    return reply;
+  }
+
+ private:
+  void close_fd() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool send_all(const std::uint8_t* data, std::size_t len) {
+    std::size_t sent = 0;
+    while (sent < len) {
+      const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool recv_exact(std::uint8_t* data, std::size_t len) {
+    std::size_t got = 0;
+    while (got < len) {
+      const ssize_t n = ::recv(fd_, data + got, len - got, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;  // peer closed mid-frame
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool send_frame(const std::string& body) {
+    std::uint8_t header[4];
+    const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+    header[0] = static_cast<std::uint8_t>(len >> 24);
+    header[1] = static_cast<std::uint8_t>(len >> 16);
+    header[2] = static_cast<std::uint8_t>(len >> 8);
+    header[3] = static_cast<std::uint8_t>(len);
+    return send_all(header, 4) &&
+           send_all(reinterpret_cast<const std::uint8_t*>(body.data()),
+                    body.size());
+  }
+
+  bool recv_frame(std::string& body) {
+    std::uint8_t header[4];
+    if (!recv_exact(header, 4)) return false;
+    const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
+                              (static_cast<std::uint32_t>(header[1]) << 16) |
+                              (static_cast<std::uint32_t>(header[2]) << 8) |
+                              static_cast<std::uint32_t>(header[3]);
+    if (len > (1u << 20)) return false;  // daemon frames are small
+    body.resize(len);
+    return len == 0 ||
+           recv_exact(reinterpret_cast<std::uint8_t*>(body.data()), len);
+  }
+
+  int fd_ = -1;
+};
+
+// ------------------------------------------------------------ UDP senders
+
+/// Kinds of deliberate corruption, cycled through in order so every typed
+/// rejection counter moves whenever malformed_fraction > 0.  The first six
+/// are wire-layer rejections; the last three are ingest-layer ones
+/// (unknown node / unknown service / stale timestamp).
+enum class Corruption : std::uint8_t {
+  kTruncate,
+  kBadMagic,
+  kBadVersion,
+  kBadCount,
+  kChecksum,
+  kNanSample,
+  kUnknownNode,
+  kUnknownService,
+  kStaleTimestamp,
+};
+constexpr std::size_t kCorruptionKinds = 9;
+
+struct SenderStats {
+  std::uint64_t datagrams = 0;       ///< well-formed datagrams sent
+  std::uint64_t samples = 0;         ///< samples inside well-formed datagrams
+  std::uint64_t malformed = 0;       ///< corrupted datagrams sent
+  std::uint64_t send_errors = 0;     ///< sendto() failures (not EINTR)
+};
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Re-checksum a mutated datagram so only the intended field is wrong.
+void refresh_checksum(std::vector<std::uint8_t>& dgram) {
+  const std::size_t body = dgram.size() - forktail::serve::kWireChecksumBytes;
+  const std::uint32_t sum = forktail::serve::wire_checksum(dgram.data(), body);
+  std::memcpy(dgram.data() + body, &sum, sizeof(sum));
+}
+
+void corrupt(std::vector<std::uint8_t>& dgram, Corruption kind,
+             std::size_t fleet_nodes, std::uint16_t service) {
+  switch (kind) {
+    case Corruption::kTruncate:
+      dgram.resize(dgram.size() - 7);
+      break;
+    case Corruption::kBadMagic:
+      dgram[0] ^= 0xFF;
+      refresh_checksum(dgram);
+      break;
+    case Corruption::kBadVersion:
+      dgram[4] = 0x7F;
+      refresh_checksum(dgram);
+      break;
+    case Corruption::kBadCount: {
+      dgram[20] = 0;
+      dgram[21] = 0;
+      refresh_checksum(dgram);
+      break;
+    }
+    case Corruption::kChecksum:
+      dgram.back() ^= 0xFF;
+      break;
+    case Corruption::kNanSample: {
+      const double nan = std::nan("");
+      std::memcpy(dgram.data() + forktail::serve::kWireHeaderBytes, &nan,
+                  sizeof(nan));
+      refresh_checksum(dgram);
+      break;
+    }
+    case Corruption::kUnknownNode: {
+      const std::uint32_t node = static_cast<std::uint32_t>(fleet_nodes) + 7;
+      std::memcpy(dgram.data() + 8, &node, sizeof(node));
+      refresh_checksum(dgram);
+      break;
+    }
+    case Corruption::kUnknownService: {
+      const std::uint16_t bad = static_cast<std::uint16_t>(service + 1);
+      std::memcpy(dgram.data() + 6, &bad, sizeof(bad));
+      refresh_checksum(dgram);
+      break;
+    }
+    case Corruption::kStaleTimestamp: {
+      const std::uint64_t ancient = 1;
+      std::memcpy(dgram.data() + 12, &ancient, sizeof(ancient));
+      refresh_checksum(dgram);
+      break;
+    }
+  }
+}
+
+void sender_loop(const Options& opt, std::uint16_t udp_port,
+                 std::size_t thread_index, std::atomic<bool>& stop,
+                 SenderStats& stats) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    stats.send_errors += 1;
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(udp_port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  forktail::util::Rng rng =
+      forktail::util::Rng(opt.seed).split(thread_index + 1);
+  // This thread owns a contiguous agent range; round-robin inside it so
+  // every agent's window keeps filling and its liveness stays fresh.
+  const std::size_t per = (opt.agents + opt.threads - 1) / opt.threads;
+  const std::size_t lo = thread_index * per;
+  const std::size_t hi = std::min(opt.agents, lo + per);
+  if (lo >= hi) {
+    ::close(fd);
+    return;
+  }
+
+  WireBatch batch;
+  batch.service = opt.service;
+  batch.count = static_cast<std::uint16_t>(opt.batch);
+  std::vector<std::uint8_t> dgram;
+  std::size_t agent = lo;
+  std::uint64_t corruption_cycle = thread_index;  // desynchronise threads
+
+  while (!stop.load(std::memory_order_acquire)) {
+    batch.node = static_cast<std::uint32_t>(agent);
+    if (++agent >= hi) agent = lo;
+    batch.timestamp_ns = steady_now_ns();
+    for (std::size_t i = 0; i < opt.batch; ++i) {
+      batch.samples[i] = 5.0 * -std::log(rng.uniform_pos());
+    }
+    dgram = forktail::serve::encode(batch);
+
+    const bool mangle = opt.malformed_fraction > 0.0 &&
+                        rng.uniform() < opt.malformed_fraction;
+    if (mangle) {
+      corrupt(dgram,
+              static_cast<Corruption>(corruption_cycle++ % kCorruptionKinds),
+              opt.agents, opt.service);
+    }
+
+    ssize_t n;
+    do {
+      n = ::sendto(fd, dgram.data(), dgram.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      stats.send_errors += 1;
+      // Loopback send failures are transient (ENOBUFS under pressure);
+      // back off a moment instead of spinning on the error.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    if (mangle) {
+      stats.malformed += 1;
+    } else {
+      stats.datagrams += 1;
+      stats.samples += opt.batch;
+    }
+  }
+  ::close(fd);
+}
+
+// -------------------------------------------------------------- reporting
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double counter_of(const Json& report, const std::string& name) {
+  if (!report.is_object() || !report.contains("counters")) return 0.0;
+  const Json& counters = report.at("counters");
+  if (!counters.contains(name)) return 0.0;
+  return counters.at(name).as_number();
+}
+
+double gauge_of(const Json& report, const std::string& name) {
+  if (!report.is_object() || !report.contains("gauges")) return 0.0;
+  const Json& gauges = report.at("gauges");
+  if (!gauges.contains(name)) return 0.0;
+  return gauges.at(name).as_number();
+}
+
+int run_probe(const Options& opt, std::uint16_t tcp_port) {
+  QueryClient client;
+  Json request = Json::object();
+  request.set("op", "predict");
+  request.set("p", opt.p);
+  const std::string reply = client.call(tcp_port, request.dump(0));
+  if (reply.empty()) {
+    std::cerr << "serve_loadgen: probe: no response from port " << tcp_port
+              << "\n";
+    return 3;
+  }
+  std::cout << reply << "\n";
+  return 0;
+}
+
+int run_load(const Options& opt) {
+  // Optionally host the daemon in-process: same socket path, one command.
+  std::unique_ptr<forktail::serve::Server> local;
+  std::uint16_t udp_port = opt.udp_port;
+  std::uint16_t tcp_port = opt.tcp_port;
+  if (opt.spawn) {
+    forktail::serve::ServeConfig config;
+    config.nodes = opt.agents;
+    config.service = opt.service;
+    config.shards = 2;
+    config.min_samples = 8;
+    config.scenario_name = "serve-loadgen";
+    local = std::make_unique<forktail::serve::Server>(config);
+    local->start();
+    udp_port = local->udp_port();
+    tcp_port = local->tcp_port();
+  }
+
+  if (opt.probe) return run_probe(opt, tcp_port);
+
+  std::atomic<bool> stop{false};
+  std::vector<SenderStats> stats(opt.threads);
+  std::vector<std::thread> senders;
+  senders.reserve(opt.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < opt.threads; ++t) {
+    senders.emplace_back(sender_loop, std::cref(opt), udp_port, t,
+                         std::ref(stop), std::ref(stats[t]));
+  }
+
+  // Query plane: poll predict while the load runs, collecting the served
+  // staleness distribution the acceptance criteria gate on.
+  QueryClient client;
+  std::vector<double> staleness_ms;
+  std::uint64_t queries = 0;
+  std::uint64_t queries_degraded = 0;
+  bool last_served = false;
+  Json predict_request = Json::object();
+  predict_request.set("op", "predict");
+  predict_request.set("p", opt.p);
+  const std::string predict_body = predict_request.dump(0);
+
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(opt.seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(opt.query_interval_ms));
+    const std::string reply = client.call(tcp_port, predict_body);
+    if (reply.empty()) continue;
+    try {
+      const Json doc = Json::parse(reply);
+      queries += 1;
+      if (doc.contains("served") && doc.at("served").as_bool()) {
+        last_served = true;
+        staleness_ms.push_back(doc.at("staleness_ms").as_number());
+      }
+      if (doc.contains("degraded") && doc.at("degraded").as_bool()) {
+        queries_degraded += 1;
+      }
+    } catch (const std::exception&) {
+      // A torn reply counts as no reply; the client reconnects.
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : senders) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Let the daemon drain its rings before reading the final counters so
+  // the ingest accounting reflects everything we sent.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  Json request = Json::object();
+  request.set("op", "report");
+  Json report;
+  const std::string reply = client.call(tcp_port, request.dump(0));
+  if (!reply.empty()) {
+    try {
+      report = Json::parse(reply);
+    } catch (const std::exception&) {
+      report = Json();
+    }
+  }
+
+  SenderStats total;
+  for (const auto& s : stats) {
+    total.datagrams += s.datagrams;
+    total.samples += s.samples;
+    total.malformed += s.malformed;
+    total.send_errors += s.send_errors;
+  }
+
+  static const char* kReasons[] = {"truncated",      "bad_magic",
+                                   "bad_version",    "bad_count",
+                                   "checksum",       "bad_sample",
+                                   "unknown_node",   "unknown_service",
+                                   "stale_timestamp"};
+  Json rejected = Json::object();
+  double rejected_total = 0.0;
+  for (const char* reason : kReasons) {
+    const double n =
+        counter_of(report, std::string("serve.wire.rejected.") + reason);
+    rejected.set(reason, n);
+    rejected_total += n;
+  }
+
+  const double ingested = counter_of(report, "serve.samples");
+  const double shed = counter_of(report, "serve.shed");
+
+  Json staleness = Json::object();
+  staleness.set("count", static_cast<std::uint64_t>(staleness_ms.size()));
+  staleness.set("p50", percentile(staleness_ms, 50.0));
+  staleness.set("p99", percentile(staleness_ms, 99.0));
+  staleness.set("max",
+                staleness_ms.empty()
+                    ? 0.0
+                    : *std::max_element(staleness_ms.begin(),
+                                        staleness_ms.end()));
+
+  Json doc = Json::object();
+  doc.set("benchmark", "bench_serve");
+  doc.set("scale", opt.scale);
+  doc.set("agents", static_cast<std::uint64_t>(opt.agents));
+  doc.set("batch", static_cast<std::uint64_t>(opt.batch));
+  doc.set("threads", static_cast<std::uint64_t>(opt.threads));
+  doc.set("seconds", opt.seconds);
+  doc.set("malformed_fraction", opt.malformed_fraction);
+  doc.set("seed", opt.seed);
+  doc.set("sent_datagrams", total.datagrams);
+  doc.set("sent_samples", total.samples);
+  doc.set("malformed_sent", total.malformed);
+  doc.set("send_errors", total.send_errors);
+  doc.set("elapsed_s", elapsed);
+  doc.set("send_rate_per_s",
+          elapsed > 0.0 ? static_cast<double>(total.samples) / elapsed : 0.0);
+  doc.set("ingested_samples", ingested);
+  doc.set("ingest_rate_per_s", elapsed > 0.0 ? ingested / elapsed : 0.0);
+  doc.set("shed_batches", shed);
+  doc.set("rejected", rejected);
+  doc.set("rejected_total", rejected_total);
+  doc.set("staleness_ms", staleness);
+  doc.set("queries", queries);
+  doc.set("queries_degraded", queries_degraded);
+  doc.set("served", last_served);
+  doc.set("rss_kib", gauge_of(report, "serve.rss_kib"));
+  doc.set("peak_rss_kib", gauge_of(report, "serve.peak_rss_kib"));
+
+  if (local) local->stop();
+
+  std::cout << "serve_loadgen: " << total.datagrams << " datagrams ("
+            << total.samples << " samples, " << total.malformed
+            << " malformed) in " << elapsed << " s -> "
+            << (elapsed > 0.0 ? static_cast<double>(total.samples) / elapsed
+                              : 0.0)
+            << " samples/s sent, " << ingested << " ingested, " << shed
+            << " batches shed\n";
+  std::cout << "serve_loadgen: " << queries << " queries, staleness p99 "
+            << percentile(staleness_ms, 99.0) << " ms\n";
+
+  if (!opt.out.empty()) {
+    std::ofstream out(opt.out);
+    if (!out) {
+      std::cerr << "serve_loadgen: cannot write " << opt.out << "\n";
+      return 3;
+    }
+    out << doc.dump(2) << "\n";
+    std::cout << "serve_loadgen: wrote " << opt.out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  try {
+    return run_load(opt);
+  } catch (const std::exception& error) {
+    std::cerr << "serve_loadgen: " << error.what() << "\n";
+    return 3;
+  }
+}
